@@ -1,0 +1,113 @@
+// Figure 9 reproduction: verification efficiency and quality vs query size.
+//
+//   (a) average verification time per query: Exact vs SMP (Algorithm 5);
+//   (b) SMP answer quality (precision/recall against Exact answers).
+//
+// Paper shape: SMP stays flat and fast (< 3 s there) while Exact blows up
+// with query size; SMP precision and recall both exceed 90%.
+//
+// Flags: --db, --queries, --seed, --delta, --epsilon, --max_qsize.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "pgsim/common/timer.h"
+#include "pgsim/graph/relaxation.h"
+#include "pgsim/query/verifier.h"
+
+using namespace pgsim;
+using namespace pgsim::bench;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const size_t db_size =
+      args.GetInt("db", 60 * args.GetInt("scale", 1));
+  const size_t num_queries = args.GetInt("queries", 5);
+  const uint64_t seed = args.GetInt("seed", 42);
+  const uint32_t delta = args.GetInt("delta", 2);
+  const double epsilon = args.GetDouble("epsilon", 0.15);
+  const uint32_t max_qsize = args.GetInt("max_qsize", 12);
+
+  std::printf("== Figure 9: verification (Exact vs SMP) ==\n");
+  std::printf("db=%zu queries/point=%zu delta=%u epsilon=%.2f\n\n", db_size,
+              num_queries, delta, epsilon);
+
+  Setup setup = BuildSetup(db_size, seed);
+  const QueryProcessor processor(&setup.db, &setup.pmi, &setup.filter);
+
+  VerifierOptions smp_options;
+  smp_options.mc.xi = 0.05;
+  smp_options.mc.tau = 0.05;
+  smp_options.mc.max_samples = 20'000;
+
+  Table table({"qsize", "exact_ms/cand", "smp_ms/cand", "precision_%",
+               "recall_%", "candidates"});
+  Rng rng(seed + 1);
+  for (uint32_t qsize = 4; qsize <= max_qsize; qsize += 2) {
+    double exact_seconds = 0.0, smp_seconds = 0.0;
+    size_t tp = 0, smp_positive = 0, exact_positive = 0, candidates = 0;
+    size_t measured = 0;
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      auto q = ExtractQuery(
+          setup.certain[rng.Uniform(setup.certain.size())], qsize, &rng);
+      if (!q.ok()) continue;
+      auto relaxed = GenerateRelaxedQueries(*q, delta);
+      if (!relaxed.ok()) continue;
+
+      // Candidates from the full filter chain (structural + probabilistic).
+      QueryOptions options;
+      options.delta = delta;
+      options.epsilon = epsilon;
+      QueryStats stats;
+      ProbabilisticPruner pruner(&setup.pmi, options.pruner);
+      const auto sc_q =
+          setup.filter.Filter(*q, *relaxed, delta, nullptr);
+      pruner.PrepareQuery(*relaxed);
+      std::vector<uint32_t> to_verify;
+      for (uint32_t gi : sc_q) {
+        if (pruner.Evaluate(gi, epsilon, &rng).outcome ==
+            PruneOutcome::kCandidate) {
+          to_verify.push_back(gi);
+        }
+      }
+      candidates += to_verify.size();
+      ++measured;
+
+      for (uint32_t gi : to_verify) {
+        WallTimer exact_timer;
+        auto exact = ExactSubgraphSimilarityProbability(setup.db[gi],
+                                                        *relaxed);
+        exact_seconds += exact_timer.Seconds();
+        WallTimer smp_timer;
+        auto smp = SampleSubgraphSimilarityProbability(
+            setup.db[gi], *relaxed, smp_options, &rng);
+        smp_seconds += smp_timer.Seconds();
+        if (!exact.ok() || !smp.ok()) continue;
+        const bool exact_in = *exact >= epsilon;
+        const bool smp_in = *smp >= epsilon;
+        exact_positive += exact_in;
+        smp_positive += smp_in;
+        tp += exact_in && smp_in;
+      }
+    }
+    const double precision =
+        smp_positive == 0 ? 100.0 : 100.0 * tp / smp_positive;
+    const double recall =
+        exact_positive == 0 ? 100.0 : 100.0 * tp / exact_positive;
+    const double denom = measured == 0 ? 1.0 : static_cast<double>(measured);
+    // Per-candidate verification cost: the curve the paper plots (their
+    // candidate sets also shrink with query size; the per-verification
+    // explosion is the point).
+    const double per_cand =
+        candidates == 0 ? 1.0 : static_cast<double>(candidates);
+    table.AddRow({"q" + std::to_string(qsize),
+                  FmtMs(exact_seconds / per_cand),
+                  FmtMs(smp_seconds / per_cand), Fmt(precision, 1),
+                  Fmt(recall, 1), Fmt(candidates / denom, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: exact_ms grows steeply with qsize; smp_ms stays "
+      "flat; precision/recall > 90%%.\n");
+  return 0;
+}

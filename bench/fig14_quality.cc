@@ -1,0 +1,147 @@
+// Figure 14 reproduction: answer quality of the correlated model (COR)
+// against the independent-edge model (IND) on organism-family ground truth.
+//
+// Queries are extracted from a family's seed graph; a returned graph is
+// "correct" when it belongs to the same family. IND replaces every ne-set
+// JPT by the product of its marginals (the paper's baseline).
+//
+// Paper shape: precision/recall fall as epsilon grows; COR dominates IND
+// decisively (COR > 85%, IND < 60% at large epsilon).
+//
+// Flags: --families, --per_family, --queries, --seed, --qsize, --delta.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "pgsim/query/processor.h"
+
+using namespace pgsim;
+using namespace pgsim::bench;
+
+namespace {
+
+struct Quality {
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+Quality MeasureQuality(const std::vector<ProbabilisticGraph>& db,
+                       const std::vector<uint32_t>& family_of,
+                       const ProbabilisticMatrixIndex& pmi,
+                       const StructuralFilter& filter,
+                       const std::vector<Graph>& seeds,
+                       const std::vector<uint32_t>& query_families,
+                       const std::vector<Graph>& queries, double epsilon,
+                       uint32_t delta) {
+  const QueryProcessor processor(&db, &pmi, &filter);
+  QueryOptions options;
+  options.delta = delta;
+  options.epsilon = epsilon;
+  options.verifier.mc.max_samples = 8'000;
+
+  size_t tp = 0, returned = 0, relevant = 0;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const uint32_t family = query_families[qi];
+    auto answers = processor.Query(queries[qi], options);
+    if (!answers.ok()) continue;
+    for (uint32_t gi : answers.value()) {
+      ++returned;
+      if (family_of[gi] == family) ++tp;
+    }
+    for (uint32_t gi = 0; gi < family_of.size(); ++gi) {
+      if (family_of[gi] == family) ++relevant;
+    }
+  }
+  Quality q;
+  q.precision = returned == 0 ? 0.0 : 100.0 * tp / returned;
+  q.recall = relevant == 0 ? 0.0 : 100.0 * tp / relevant;
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const uint32_t families = args.GetInt("families", 6);
+  const size_t per_family =
+      args.GetInt("per_family", 8 * args.GetInt("scale", 1));
+  const size_t num_queries = args.GetInt("queries", 8);
+  const uint64_t seed = args.GetInt("seed", 42);
+  const uint32_t qsize = args.GetInt("qsize", 4);
+  const uint32_t delta = args.GetInt("delta", 0);
+  const double mean_p = args.GetDouble("mean_p", 0.65);
+  const double lambda = args.GetDouble("lambda", 0.95);
+
+  std::printf("== Figure 14: query quality, COR vs IND ==\n");
+  std::printf("families=%u per_family=%zu queries=%zu qsize=%u delta=%u\n\n",
+              families, per_family, num_queries, qsize, delta);
+
+  FamilyOptions family_options;
+  family_options.num_families = families;
+  family_options.graphs_per_family = per_family;
+  family_options.vertex_relabel_prob = 0.03;
+  family_options.edge_drop_prob = 0.03;
+  family_options.base = DefaultDataset(0, seed);
+  family_options.base.jpt_rule = JptRule::kComonotone;
+  family_options.base.comonotone_lambda = lambda;
+  // Moderate marginals with strong positive correlation: whole motifs
+  // survive together under COR, while the IND baseline multiplies the
+  // marginals away — the regime where Figure 14's separation appears.
+  family_options.base.mean_edge_prob = mean_p;
+  family_options.base.num_vertex_labels = args.GetInt("labels", 12);
+  // Hub interactions are grouped (and correlated) at their center vertex.
+  family_options.base.max_ne_size = 4;
+  family_options.base.group_hubs_first = true;
+  auto fdb = GenerateFamilyDatabase(family_options).value();
+
+  // IND database: same graphs, product-of-marginals JPTs.
+  std::vector<ProbabilisticGraph> ind_db;
+  ind_db.reserve(fdb.graphs.size());
+  for (const auto& g : fdb.graphs) {
+    ind_db.push_back(ToIndependentModel(g).value());
+  }
+
+  // Shared query workload drawn from the family seeds.
+  Rng rng(seed + 19);
+  std::vector<Graph> queries;
+  std::vector<uint32_t> query_families;
+  size_t attempts = 0;
+  while (queries.size() < num_queries && attempts++ < num_queries * 30) {
+    const uint32_t family = static_cast<uint32_t>(rng.Uniform(families));
+    // Hub motifs: the correlated-neighborhood queries the paper's PPI
+    // scenario motivates; fall back to edge-BFS when no hub is large enough.
+    auto q = ExtractStarQuery(fdb.seeds[family], qsize, &rng);
+    if (!q.ok()) q = ExtractQuery(fdb.seeds[family], qsize, &rng);
+    if (!q.ok()) continue;
+    queries.push_back(std::move(q).value());
+    query_families.push_back(family);
+  }
+
+  const PmiBuildOptions build = DefaultPmiBuild();
+  auto cor_pmi = ProbabilisticMatrixIndex::Build(fdb.graphs, build).value();
+  auto ind_pmi = ProbabilisticMatrixIndex::Build(ind_db, build).value();
+  std::vector<Graph> certain;
+  for (const auto& g : fdb.graphs) certain.push_back(g.certain());
+  const StructuralFilter cor_filter =
+      StructuralFilter::Build(certain, cor_pmi.features());
+  const StructuralFilter ind_filter =
+      StructuralFilter::Build(certain, ind_pmi.features());
+
+  Table table({"epsilon", "COR-Precision", "COR-Recall", "IND-Precision",
+               "IND-Recall"});
+  for (double epsilon : {0.3, 0.4, 0.5, 0.6, 0.7}) {
+    const Quality cor =
+        MeasureQuality(fdb.graphs, fdb.family_of, cor_pmi, cor_filter,
+                       fdb.seeds, query_families, queries, epsilon, delta);
+    const Quality ind =
+        MeasureQuality(ind_db, fdb.family_of, ind_pmi, ind_filter, fdb.seeds,
+                       query_families, queries, epsilon, delta);
+    table.AddRow({Fmt(epsilon, 1), Fmt(cor.precision, 1), Fmt(cor.recall, 1),
+                  Fmt(ind.precision, 1), Fmt(ind.recall, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: both models' precision/recall fall with epsilon; "
+      "COR dominates IND.\n");
+  return 0;
+}

@@ -1,0 +1,296 @@
+// Micro-benchmarks of pgsim's core operations (google-benchmark), including
+// the DESIGN.md ablations: hitting-set vs parallel-graph cut enumeration,
+// and partition vs clique-tree world sampling.
+
+#include <benchmark/benchmark.h>
+
+#include "pgsim/bounds/cond_sampler.h"
+#include "pgsim/bounds/embedding_cuts.h"
+#include "pgsim/bounds/max_clique.h"
+#include "pgsim/bounds/sip_bounds.h"
+#include "pgsim/datasets/synthetic.h"
+#include "pgsim/graph/mcs.h"
+#include "pgsim/graph/relaxation.h"
+#include "pgsim/graph/vf2.h"
+#include "pgsim/prob/dnf_exact.h"
+#include "pgsim/index/pmi.h"
+#include "pgsim/query/quadratic_program.h"
+#include "pgsim/query/set_cover.h"
+#include "pgsim/query/top_k.h"
+#include "pgsim/query/verifier.h"
+
+namespace {
+
+using namespace pgsim;
+
+ProbabilisticGraph MakeBenchGraph(uint64_t seed, uint32_t vertices,
+                                  double overlap = 0.0) {
+  SyntheticOptions options;
+  options.num_graphs = 1;
+  options.avg_vertices = vertices;
+  options.edge_factor = 1.5;
+  options.num_vertex_labels = 5;
+  options.overlap_fraction = overlap;
+  options.seed = seed;
+  Rng rng(seed);
+  return GenerateGraph(options, &rng).value();
+}
+
+Graph MakeQuery(const Graph& source, uint32_t edges, uint64_t seed) {
+  Rng rng(seed);
+  return ExtractQuery(source, edges, &rng).value();
+}
+
+void BM_Vf2_FirstEmbedding(benchmark::State& state) {
+  const ProbabilisticGraph g = MakeBenchGraph(1, 24);
+  const Graph q =
+      MakeQuery(g.certain(), static_cast<uint32_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsSubgraphIsomorphic(q, g.certain()));
+  }
+}
+BENCHMARK(BM_Vf2_FirstEmbedding)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_Vf2_AllEmbeddings(benchmark::State& state) {
+  const ProbabilisticGraph g = MakeBenchGraph(3, 24);
+  const Graph q = MakeQuery(g.certain(), 3, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmbeddingEdgeSets(q, g.certain(), 0));
+  }
+}
+BENCHMARK(BM_Vf2_AllEmbeddings);
+
+void BM_Mcs_SubgraphDistance(benchmark::State& state) {
+  const ProbabilisticGraph g = MakeBenchGraph(5, 14);
+  const Graph q = MakeQuery(g.certain(), 5, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SubgraphDistance(q, g.certain()));
+  }
+}
+BENCHMARK(BM_Mcs_SubgraphDistance);
+
+void BM_Relaxation_GenerateU(benchmark::State& state) {
+  const ProbabilisticGraph g = MakeBenchGraph(7, 20);
+  const Graph q =
+      MakeQuery(g.certain(), static_cast<uint32_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateRelaxedQueries(q, 2));
+  }
+}
+BENCHMARK(BM_Relaxation_GenerateU)->Arg(6)->Arg(10);
+
+void BM_WorldSample_Partition(benchmark::State& state) {
+  const ProbabilisticGraph g = MakeBenchGraph(9, 30);
+  Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.SampleWorld(&rng));
+  }
+}
+BENCHMARK(BM_WorldSample_Partition);
+
+void BM_WorldSample_CliqueTree(benchmark::State& state) {
+  // Ablation partner of BM_WorldSample_Partition: overlapping ne sets force
+  // the clique-tree sampler.
+  const ProbabilisticGraph g = MakeBenchGraph(9, 30, /*overlap=*/0.5);
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.SampleWorld(&rng));
+  }
+}
+BENCHMARK(BM_WorldSample_CliqueTree);
+
+void BM_DnfExact_Partition(benchmark::State& state) {
+  const ProbabilisticGraph g = MakeBenchGraph(13, 16);
+  const Graph q = MakeQuery(g.certain(), 4, 14);
+  const auto relaxed = GenerateRelaxedQueries(q, 1).value();
+  VerifierOptions options;
+  const auto events = CollectSimilarityEvents(g, relaxed, options).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactDnfProbability(g, events));
+  }
+}
+BENCHMARK(BM_DnfExact_Partition);
+
+void BM_CondSampler_Algorithm3(benchmark::State& state) {
+  const ProbabilisticGraph g = MakeBenchGraph(15, 20);
+  const Graph f = MakeQuery(g.certain(), 2, 16);
+  const auto embeddings = EmbeddingEdgeSets(f, g.certain(), 64);
+  EdgeEvent target{embeddings[0], true};
+  std::vector<EdgeEvent> conditioning;
+  for (size_t i = 1; i < embeddings.size() && i < 8; ++i) {
+    conditioning.push_back(EdgeEvent{embeddings[i], true});
+  }
+  MonteCarloParams params;
+  params.min_samples = 500;
+  params.max_samples = 500;
+  Rng rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EstimateConditionalProbability(g, target, conditioning, params, &rng));
+  }
+}
+BENCHMARK(BM_CondSampler_Algorithm3);
+
+void BM_Cuts_HittingSet(benchmark::State& state) {
+  const ProbabilisticGraph g = MakeBenchGraph(19, 22);
+  const Graph f = MakeQuery(g.certain(), 2, 20);
+  const auto embeddings = EmbeddingEdgeSets(f, g.certain(), 512);
+  CutEnumOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EnumerateMinimalEmbeddingCuts(embeddings, g.NumEdges(), options));
+  }
+}
+BENCHMARK(BM_Cuts_HittingSet);
+
+void BM_Cuts_ParallelGraph(benchmark::State& state) {
+  // Ablation partner of BM_Cuts_HittingSet: Theorem 6's cG formulation
+  // (exponential label-subset search; reference implementation).
+  const ProbabilisticGraph g = MakeBenchGraph(19, 22);
+  const Graph f = MakeQuery(g.certain(), 2, 20);
+  auto embeddings = EmbeddingEdgeSets(f, g.certain(), 512);
+  if (embeddings.size() > 4) embeddings.resize(4);  // keep tractable
+  const ParallelGraph cg = BuildParallelGraph(embeddings);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EnumerateParallelGraphCuts(cg, g.NumEdges(), 4));
+  }
+}
+BENCHMARK(BM_Cuts_ParallelGraph);
+
+void BM_MaxWeightClique(benchmark::State& state) {
+  Rng rng(23);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<char>> adj(n, std::vector<char>(n, 0));
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = rng.UniformDouble();
+    for (size_t j = i + 1; j < n; ++j) {
+      adj[i][j] = adj[j][i] = rng.Bernoulli(0.4);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxWeightClique(adj, weights));
+  }
+}
+BENCHMARK(BM_MaxWeightClique)->Arg(16)->Arg(32);
+
+void BM_SipBounds_Full(benchmark::State& state) {
+  const ProbabilisticGraph g = MakeBenchGraph(29, 18);
+  const Graph f = MakeQuery(g.certain(), 3, 30);
+  SipBoundOptions options;
+  options.mc.min_samples = 300;
+  options.mc.max_samples = 300;
+  Rng rng(31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSipBounds(g, f, options, &rng));
+  }
+}
+BENCHMARK(BM_SipBounds_Full);
+
+void BM_SetCover_Greedy(benchmark::State& state) {
+  Rng rng(37);
+  std::vector<WeightedSet> sets;
+  const size_t universe = 40;
+  for (uint32_t i = 0; i < 120; ++i) {
+    WeightedSet s;
+    s.id = i;
+    s.weight = rng.UniformDouble();
+    for (uint32_t e = 0; e < universe; ++e) {
+      if (rng.Bernoulli(0.15)) s.elements.push_back(e);
+    }
+    sets.push_back(std::move(s));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyWeightedSetCover(universe, sets));
+  }
+}
+BENCHMARK(BM_SetCover_Greedy);
+
+void BM_Lsim_QpSolve(benchmark::State& state) {
+  Rng seed_rng(41);
+  std::vector<QpWeightedSet> sets;
+  const size_t universe = 20;
+  for (uint32_t i = 0; i < 40; ++i) {
+    QpWeightedSet s;
+    s.id = i;
+    s.wl = seed_rng.UniformDouble() * 0.4;
+    s.wu = s.wl + seed_rng.UniformDouble() * 0.2;
+    for (uint32_t e = 0; e < universe; ++e) {
+      if (seed_rng.Bernoulli(0.2)) s.elements.push_back(e);
+    }
+    sets.push_back(std::move(s));
+  }
+  Rng rng(43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SolveTightestLsim(universe, sets, LsimOptions(), &rng));
+  }
+}
+BENCHMARK(BM_Lsim_QpSolve);
+
+void BM_Verify_Smp(benchmark::State& state) {
+  const ProbabilisticGraph g = MakeBenchGraph(47, 18);
+  const Graph q = MakeQuery(g.certain(), 5, 48);
+  const auto relaxed = GenerateRelaxedQueries(q, 1).value();
+  VerifierOptions options;
+  options.mc.min_samples = 2000;
+  options.mc.max_samples = 2000;
+  Rng rng(49);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SampleSubgraphSimilarityProbability(g, relaxed, options, &rng));
+  }
+}
+BENCHMARK(BM_Verify_Smp);
+
+void BM_Verify_SmpAdaptive(benchmark::State& state) {
+  // Ablation partner of BM_Verify_Smp: the DKLR stopping rule stops as soon
+  // as enough canonical hits accumulate — early for high-SSP candidates
+  // (delta = 2 here makes the union probability large), at the cap for
+  // low-SSP ones.
+  const ProbabilisticGraph g = MakeBenchGraph(47, 18);
+  const Graph q = MakeQuery(g.certain(), 5, 48);
+  const auto relaxed = GenerateRelaxedQueries(q, 2).value();
+  VerifierOptions options;
+  options.adaptive = true;
+  options.mc.xi = 0.1;
+  options.mc.tau = 0.15;
+  options.mc.max_samples = 2000;
+  Rng rng(49);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SampleSubgraphSimilarityProbability(g, relaxed, options, &rng));
+  }
+}
+BENCHMARK(BM_Verify_SmpAdaptive);
+
+void BM_TopK_Query(benchmark::State& state) {
+  SyntheticOptions dataset;
+  dataset.num_graphs = 30;
+  dataset.avg_vertices = 12;
+  dataset.num_vertex_labels = 5;
+  dataset.seed = 53;
+  const auto db = GenerateDatabase(dataset).value();
+  PmiBuildOptions build;
+  build.miner.beta = 0.2;
+  build.miner.gamma = -1.0;
+  build.miner.max_vertices = 3;
+  build.sip.mc.min_samples = 500;
+  build.sip.mc.max_samples = 500;
+  const auto pmi = ProbabilisticMatrixIndex::Build(db, build).value();
+  Rng qrng(54);
+  const Graph q = ExtractQuery(db[0].certain(), 5, &qrng).value();
+  TopKOptions options;
+  options.k = 5;
+  options.delta = 1;
+  options.verifier.mc.min_samples = 1000;
+  options.verifier.mc.max_samples = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopKQuery(db, pmi, nullptr, q, options));
+  }
+}
+BENCHMARK(BM_TopK_Query);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,231 @@
+// pgsim command-line tool: generate datasets, build/persist indexes, and run
+// T-PS / top-k queries against text-format databases without writing C++.
+//
+//   pgsim_cli generate --out=db.txt [--graphs=N] [--vertices=N] [--seed=N]
+//   pgsim_cli index    --db=db.txt --out=index.pmi
+//   pgsim_cli query    --db=db.txt --queries=q.txt [--index=index.pmi]
+//                      [--delta=N] [--epsilon=F]
+//   pgsim_cli topk     --db=db.txt --queries=q.txt [--index=index.pmi]
+//                      [--delta=N] [--k=N]
+//   pgsim_cli sample-queries --db=db.txt --out=q.txt [--count=N] [--size=N]
+//   pgsim_cli stats    --db=db.txt
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "pgsim/datasets/stats.h"
+#include "pgsim/datasets/synthetic.h"
+#include "pgsim/datasets/text_io.h"
+#include "pgsim/index/pmi.h"
+#include "pgsim/query/processor.h"
+#include "pgsim/query/structural_filter.h"
+#include "pgsim/query/top_k.h"
+
+using namespace pgsim;
+
+namespace {
+
+std::string FlagStr(int argc, char** argv, const char* key,
+                    const std::string& fallback) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+int64_t FlagInt(int argc, char** argv, const char* key, int64_t fallback) {
+  const std::string v = FlagStr(argc, argv, key, "");
+  return v.empty() ? fallback : std::atoll(v.c_str());
+}
+
+double FlagDouble(int argc, char** argv, const char* key, double fallback) {
+  const std::string v = FlagStr(argc, argv, key, "");
+  return v.empty() ? fallback : std::atof(v.c_str());
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: pgsim_cli <generate|index|query|topk|sample-queries> "
+      "[--flags]\n  see the header comment of examples/pgsim_cli.cpp\n");
+  return 2;
+}
+
+// Synthetic label table matching the generator's integer labels.
+LabelTable GeneratorLabels(uint32_t num_labels) {
+  LabelTable labels;
+  for (uint32_t i = 0; i < num_labels; ++i) {
+    labels.Intern("L" + std::to_string(i));
+  }
+  return labels;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  const std::string out = FlagStr(argc, argv, "out", "pgsim_db.txt");
+  SyntheticOptions options;
+  options.num_graphs = FlagInt(argc, argv, "graphs", 100);
+  options.avg_vertices = FlagInt(argc, argv, "vertices", 14);
+  options.num_vertex_labels = FlagInt(argc, argv, "labels", 6);
+  options.seed = FlagInt(argc, argv, "seed", 42);
+  auto db = GenerateDatabase(options);
+  if (!db.ok()) return Fail(db.status());
+  const LabelTable labels = GeneratorLabels(options.num_vertex_labels);
+  Status s = SaveDatabaseText(out, *db, labels);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %zu probabilistic graphs to %s\n", db->size(),
+              out.c_str());
+  return 0;
+}
+
+int CmdSampleQueries(int argc, char** argv) {
+  const std::string db_path = FlagStr(argc, argv, "db", "pgsim_db.txt");
+  const std::string out = FlagStr(argc, argv, "out", "pgsim_queries.txt");
+  auto db = LoadDatabaseText(db_path);
+  if (!db.ok()) return Fail(db.status());
+  auto queries = GenerateQueries(db->graphs, FlagInt(argc, argv, "size", 6),
+                                 FlagInt(argc, argv, "count", 10),
+                                 FlagInt(argc, argv, "seed", 7));
+  if (!queries.ok()) return Fail(queries.status());
+  Status s = SaveQueriesText(out, *queries, db->labels);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %zu queries to %s\n", queries->size(), out.c_str());
+  return 0;
+}
+
+int CmdIndex(int argc, char** argv) {
+  const std::string db_path = FlagStr(argc, argv, "db", "pgsim_db.txt");
+  const std::string out = FlagStr(argc, argv, "out", "pgsim_index.pmi");
+  auto db = LoadDatabaseText(db_path);
+  if (!db.ok()) return Fail(db.status());
+  PmiBuildOptions build;
+  build.miner.beta = FlagDouble(argc, argv, "beta", 0.15);
+  build.miner.gamma = FlagDouble(argc, argv, "gamma", -1.0);
+  build.miner.max_vertices = FlagInt(argc, argv, "maxL", 4);
+  auto pmi = ProbabilisticMatrixIndex::Build(db->graphs, build);
+  if (!pmi.ok()) return Fail(pmi.status());
+  Status s = pmi->Save(out);
+  if (!s.ok()) return Fail(s);
+  std::printf(
+      "indexed %u graphs: %zu features, %zu entries, %.1f KB -> %s "
+      "(%.2f s)\n",
+      pmi->num_graphs(), pmi->stats().num_features, pmi->stats().num_entries,
+      pmi->stats().size_bytes / 1024.0, out.c_str(),
+      pmi->stats().total_seconds);
+  return 0;
+}
+
+struct LoadedSetup {
+  TextDatabase db;
+  ProbabilisticMatrixIndex pmi;
+  std::vector<Graph> certain;
+  StructuralFilter filter;
+  std::vector<Graph> queries;
+};
+
+Result<LoadedSetup> LoadSetup(int argc, char** argv) {
+  LoadedSetup s;
+  PGSIM_ASSIGN_OR_RETURN(
+      s.db, LoadDatabaseText(FlagStr(argc, argv, "db", "pgsim_db.txt")));
+  const std::string index_path = FlagStr(argc, argv, "index", "");
+  if (index_path.empty()) {
+    PmiBuildOptions build;
+    build.miner.gamma = -1.0;
+    PGSIM_ASSIGN_OR_RETURN(s.pmi,
+                           ProbabilisticMatrixIndex::Build(s.db.graphs, build));
+  } else {
+    PGSIM_ASSIGN_OR_RETURN(s.pmi, ProbabilisticMatrixIndex::Load(index_path));
+    if (s.pmi.num_graphs() != s.db.graphs.size()) {
+      return Status::InvalidArgument(
+          "index was built for a different database size");
+    }
+  }
+  for (const auto& g : s.db.graphs) s.certain.push_back(g.certain());
+  s.filter = StructuralFilter::Build(s.certain, s.pmi.features());
+  PGSIM_ASSIGN_OR_RETURN(
+      s.queries,
+      LoadQueriesText(FlagStr(argc, argv, "queries", "pgsim_queries.txt"),
+                      &s.db.labels));
+  return s;
+}
+
+int CmdQuery(int argc, char** argv) {
+  auto setup = LoadSetup(argc, argv);
+  if (!setup.ok()) return Fail(setup.status());
+  QueryOptions options;
+  options.delta = FlagInt(argc, argv, "delta", 1);
+  options.epsilon = FlagDouble(argc, argv, "epsilon", 0.5);
+  const QueryProcessor processor(&setup->db.graphs, &setup->pmi,
+                                 &setup->filter);
+  std::printf("%-7s %-8s %-10s %-9s %-9s %-8s\n", "query", "|SCq|",
+              "verified", "answers", "ids", "time_ms");
+  for (size_t qi = 0; qi < setup->queries.size(); ++qi) {
+    QueryStats stats;
+    auto answers = processor.Query(setup->queries[qi], options, &stats);
+    if (!answers.ok()) {
+      std::printf("q%-6zu %s\n", qi, answers.status().ToString().c_str());
+      continue;
+    }
+    std::string ids;
+    for (uint32_t gi : answers.value()) ids += std::to_string(gi) + " ";
+    std::printf("q%-6zu %-8zu %-10zu %-9zu %-9s %-8.1f\n", qi,
+                stats.structural_candidates, stats.verification_candidates,
+                answers->size(), ids.empty() ? "-" : ids.c_str(),
+                stats.total_seconds * 1e3);
+  }
+  return 0;
+}
+
+int CmdTopK(int argc, char** argv) {
+  auto setup = LoadSetup(argc, argv);
+  if (!setup.ok()) return Fail(setup.status());
+  TopKOptions options;
+  options.delta = FlagInt(argc, argv, "delta", 1);
+  options.k = FlagInt(argc, argv, "k", 5);
+  for (size_t qi = 0; qi < setup->queries.size(); ++qi) {
+    auto result = TopKQuery(setup->db.graphs, setup->pmi, &setup->filter,
+                            setup->queries[qi], options);
+    if (!result.ok()) {
+      std::printf("q%zu: %s\n", qi, result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("q%zu: verified %zu of %zu candidates (%zu cut by bound)\n",
+                qi, result->verified, result->structural_candidates,
+                result->skipped_by_bound);
+    for (const TopKEntry& e : result->entries) {
+      std::printf("   graph %-4u ssp=%.3f (usim=%.3f)\n", e.graph_id, e.ssp,
+                  e.usim);
+    }
+  }
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  auto db = LoadDatabaseText(FlagStr(argc, argv, "db", "pgsim_db.txt"));
+  if (!db.ok()) return Fail(db.status());
+  const DatabaseStats stats = ComputeDatabaseStats(db->graphs);
+  std::fputs(FormatDatabaseStats(stats).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(argc, argv);
+  if (command == "index") return CmdIndex(argc, argv);
+  if (command == "query") return CmdQuery(argc, argv);
+  if (command == "topk") return CmdTopK(argc, argv);
+  if (command == "sample-queries") return CmdSampleQueries(argc, argv);
+  if (command == "stats") return CmdStats(argc, argv);
+  return Usage();
+}

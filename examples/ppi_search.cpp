@@ -1,0 +1,126 @@
+// PPI motif search: the paper's motivating scenario. A STRING-like database
+// of probabilistic protein-protein interaction networks is generated with
+// the Section 6 max-rule JPTs, the PMI is built and persisted, and a motif
+// query workload is answered under both the correlated (COR) and
+// independent-edge (IND) models, reporting pruning power and agreement.
+//
+//   ./examples/ppi_search [--db=N] [--queries=N] [--seed=N]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "pgsim/datasets/synthetic.h"
+#include "pgsim/index/pmi.h"
+#include "pgsim/query/processor.h"
+#include "pgsim/query/structural_filter.h"
+
+using namespace pgsim;
+
+namespace {
+
+int64_t FlagInt(int argc, char** argv, const char* key, int64_t fallback) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t db_size = FlagInt(argc, argv, "db", 60);
+  const size_t num_queries = FlagInt(argc, argv, "queries", 6);
+  const uint64_t seed = FlagInt(argc, argv, "seed", 2024);
+
+  // 1. STRING-like probabilistic PPI database (max-rule JPTs, mean edge
+  // probability 0.383 as the paper reports).
+  SyntheticOptions dataset;
+  dataset.num_graphs = db_size;
+  dataset.avg_vertices = 16;
+  dataset.edge_factor = 1.55;
+  dataset.num_vertex_labels = 8;  // COG-style functional annotations
+  dataset.jpt_rule = JptRule::kPaperMax;
+  dataset.seed = seed;
+  auto db = GenerateDatabase(dataset).value();
+  double mean_p = 0.0;
+  size_t edges = 0;
+  for (const auto& g : db) {
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      mean_p += g.EdgeMarginal(e);
+      ++edges;
+    }
+  }
+  std::printf("PPI database: %zu graphs, %zu interactions, mean Pr = %.3f\n",
+              db.size(), edges, mean_p / edges);
+
+  // 2. Build the index once, persist it, and reload (the deployment flow).
+  PmiBuildOptions build;
+  build.miner.beta = 0.15;
+  build.miner.gamma = -1.0;
+  build.miner.max_vertices = 4;
+  auto pmi = ProbabilisticMatrixIndex::Build(db, build).value();
+  const std::string index_path = "/tmp/pgsim_ppi.pmi";
+  if (pmi.Save(index_path).ok()) {
+    auto reloaded = ProbabilisticMatrixIndex::Load(index_path);
+    std::printf("PMI: %zu features, %.1f KB (saved+reloaded: %s)\n",
+                pmi.stats().num_features, pmi.stats().size_bytes / 1024.0,
+                reloaded.ok() ? "ok" : "FAILED");
+  }
+
+  std::vector<Graph> certain;
+  for (const auto& g : db) certain.push_back(g.certain());
+  StructuralFilter filter = StructuralFilter::Build(certain, pmi.features());
+  QueryProcessor processor(&db, &pmi, &filter);
+
+  // 3. IND counterpart database (product of marginals) for comparison.
+  std::vector<ProbabilisticGraph> ind_db;
+  for (const auto& g : db) ind_db.push_back(ToIndependentModel(g).value());
+  auto ind_pmi = ProbabilisticMatrixIndex::Build(ind_db, build).value();
+  StructuralFilter ind_filter =
+      StructuralFilter::Build(certain, ind_pmi.features());
+  QueryProcessor ind_processor(&ind_db, &ind_pmi, &ind_filter);
+
+  // 4. Motif workload: size-4 motifs extracted from the database itself.
+  // With mean interaction probability ~0.4, a 4-edge motif relaxed by one
+  // edge survives with SSP around 0.1-0.4, so epsilon = 0.2 separates
+  // confident networks from coincidental ones.
+  auto queries = GenerateQueries(db, 4, num_queries, seed + 1).value();
+  QueryOptions options;
+  options.delta = 1;
+  options.epsilon = 0.2;
+
+  std::printf("\n%-6s %-10s %-10s %-8s %-8s %-10s %-10s\n", "query", "|SCq|",
+              "verified", "ans_COR", "ans_IND", "agree", "time_ms");
+  size_t agreements = 0, comparisons = 0;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    QueryStats stats;
+    auto cor_answers = processor.Query(queries[qi], options, &stats);
+    auto ind_answers = ind_processor.Query(queries[qi], options);
+    if (!cor_answers.ok() || !ind_answers.ok()) continue;
+    size_t common = 0;
+    for (uint32_t gi : cor_answers.value()) {
+      for (uint32_t gj : ind_answers.value()) {
+        if (gi == gj) ++common;
+      }
+    }
+    const size_t total =
+        cor_answers->size() + ind_answers->size() - common;
+    agreements += common;
+    comparisons += total;
+    std::printf("q%-5zu %-10zu %-10zu %-8zu %-8zu %zu/%-8zu %-10.1f\n", qi,
+                stats.structural_candidates, stats.verification_candidates,
+                cor_answers->size(), ind_answers->size(), common, total,
+                stats.total_seconds * 1e3);
+  }
+  if (comparisons > 0) {
+    std::printf(
+        "\nCOR vs IND answer overlap: %.0f%% — the correlated model changes "
+        "which PPI networks pass the probability threshold.\n",
+        100.0 * agreements / comparisons);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "pgsim/bounds/cond_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgsim {
+
+uint64_t MonteCarloParams::NumSamples() const {
+  const double xi_safe = std::clamp(xi, 1e-9, 0.999999);
+  const double tau_safe = std::max(tau, 1e-6);
+  const double m = 4.0 * std::log(2.0 / xi_safe) / (tau_safe * tau_safe);
+  const uint64_t rounded =
+      m >= static_cast<double>(max_samples)
+          ? max_samples
+          : static_cast<uint64_t>(std::llround(std::ceil(m)));
+  return std::clamp(rounded, min_samples, max_samples);
+}
+
+double EstimateConditionalProbability(
+    const ProbabilisticGraph& g, const EdgeEvent& target,
+    const std::vector<EdgeEvent>& conditioning, const MonteCarloParams& params,
+    Rng* rng) {
+  const uint64_t m = params.NumSamples();
+  uint64_t n1 = 0, n2 = 0;
+  for (uint64_t i = 0; i < m; ++i) {
+    const EdgeBitset world = g.SampleWorld(rng);
+    bool conditioning_clear = true;
+    for (const EdgeEvent& ev : conditioning) {
+      if (ev.Holds(world)) {
+        conditioning_clear = false;
+        break;
+      }
+    }
+    if (!conditioning_clear) continue;
+    ++n2;
+    if (target.Holds(world)) ++n1;
+  }
+  if (n2 == 0) return 0.0;
+  return static_cast<double>(n1) / static_cast<double>(n2);
+}
+
+}  // namespace pgsim

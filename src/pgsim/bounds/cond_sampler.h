@@ -1,0 +1,62 @@
+// Algorithm 3: Monte-Carlo estimation of Pr(Bfi | COR).
+//
+// Events are conjunctions over one edge set: an *embedding event* is true
+// when all of its edges are present in a sampled world; a *cut event* is true
+// when all of its edges are absent (the cut "exists", destroying every
+// embedding). The estimator samples possible worlds and returns
+//
+//   n1/n2 = #(target true ∧ all conditioning events false)
+//           / #(all conditioning events false),
+//
+// the paper's estimate of Pr(target | conditioning events all false). The
+// sample count follows the Monte-Carlo bound m = (4 ln(2/ξ)) / τ² cited from
+// [26].
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgsim/common/bitset.h"
+#include "pgsim/common/random.h"
+#include "pgsim/common/status.h"
+#include "pgsim/prob/probabilistic_graph.h"
+
+namespace pgsim {
+
+/// A conjunction event over one edge subset.
+struct EdgeEvent {
+  EdgeBitset edges;
+  /// true: event holds when all edges are present (embedding Bf).
+  /// false: event holds when all edges are absent (cut Bc).
+  bool all_present = true;
+
+  /// Evaluates the event on a sampled world.
+  bool Holds(const EdgeBitset& world) const {
+    return all_present ? world.ContainsAll(edges)
+                       : !world.Intersects(edges);
+  }
+};
+
+/// Accuracy knobs for every Monte-Carlo routine in the library
+/// (Algorithm 3 here, Algorithm 5 in the verifier).
+struct MonteCarloParams {
+  double xi = 0.1;    ///< Confidence parameter ξ in (0, 1).
+  double tau = 0.1;   ///< Accuracy parameter τ > 0.
+  uint64_t min_samples = 200;
+  uint64_t max_samples = 500'000;
+
+  /// m = (4 ln(2/ξ)) / τ², clamped to [min_samples, max_samples].
+  uint64_t NumSamples() const;
+};
+
+/// Algorithm 3. Estimates Pr(target | all `conditioning` events false) by
+/// sampling `params.NumSamples()` worlds of `g`. Returns 0 when the
+/// conditioning event was never observed (conservative for both bound
+/// directions: a zero estimate only loosens the bounds).
+double EstimateConditionalProbability(const ProbabilisticGraph& g,
+                                      const EdgeEvent& target,
+                                      const std::vector<EdgeEvent>& conditioning,
+                                      const MonteCarloParams& params, Rng* rng);
+
+}  // namespace pgsim

@@ -1,0 +1,217 @@
+#include "pgsim/bounds/embedding_cuts.h"
+
+#include <algorithm>
+
+namespace pgsim {
+
+namespace {
+
+// Recursive minimal-hitting-set enumeration. At each node: pick an un-hit
+// embedding, branch on each of its edges; edges tried earlier at the same
+// node are excluded from later branches (classic duplicate-avoidance).
+// Minimality is guaranteed by requiring every chosen edge to keep a
+// "private" embedding that no other chosen edge hits.
+class HittingSetEnumerator {
+ public:
+  HittingSetEnumerator(const std::vector<EdgeBitset>& embeddings,
+                       size_t num_edges, const CutEnumOptions& options)
+      : embeddings_(embeddings), num_edges_(num_edges), options_(options) {}
+
+  std::vector<EdgeBitset> Run(bool* truncated) {
+    chosen_.clear();
+    EdgeBitset excluded(num_edges_);
+    Recurse(excluded);
+    if (truncated != nullptr) *truncated = truncated_;
+    return results_;
+  }
+
+ private:
+  // True iff every chosen edge hits at least one embedding that no other
+  // chosen edge hits (i.e., the current partial set is irredundant).
+  bool Irredundant() const {
+    for (size_t i = 0; i < chosen_.size(); ++i) {
+      bool has_private = false;
+      for (const EdgeBitset& emb : embeddings_) {
+        if (!emb.Test(chosen_[i])) continue;
+        bool hit_by_other = false;
+        for (size_t j = 0; j < chosen_.size() && !hit_by_other; ++j) {
+          if (j != i && emb.Test(chosen_[j])) hit_by_other = true;
+        }
+        if (!hit_by_other) {
+          has_private = true;
+          break;
+        }
+      }
+      if (!has_private) return false;
+    }
+    return true;
+  }
+
+  void Recurse(const EdgeBitset& excluded) {
+    if (truncated_) return;
+    if (++nodes_ > options_.max_nodes) {
+      truncated_ = true;
+      return;
+    }
+    // Find an embedding not hit by the current choice, preferring the one
+    // with the fewest branchable edges.
+    const EdgeBitset* pick = nullptr;
+    size_t pick_branches = SIZE_MAX;
+    for (const EdgeBitset& emb : embeddings_) {
+      bool hit = false;
+      for (uint32_t e : chosen_) {
+        if (emb.Test(e)) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) continue;
+      EdgeBitset branchable = emb;
+      branchable.Subtract(excluded);
+      const size_t count = branchable.Count();
+      if (count == 0) return;  // dead branch: cannot hit this embedding
+      if (count < pick_branches) {
+        pick_branches = count;
+        pick = &emb;
+      }
+    }
+    if (pick == nullptr) {
+      // Everything hit: chosen_ is a hitting set; emit if irredundant.
+      if (Irredundant()) {
+        results_.push_back(
+            EdgeBitset::FromIndices(num_edges_, chosen_));
+        if (results_.size() >= options_.max_cuts) truncated_ = true;
+      }
+      return;
+    }
+    if (chosen_.size() >= options_.max_cut_size) return;  // too large
+
+    EdgeBitset branchable = *pick;
+    branchable.Subtract(excluded);
+    EdgeBitset local_excluded = excluded;
+    for (uint32_t e : branchable.ToVector()) {
+      chosen_.push_back(e);
+      // Quick irredundancy precheck keeps the tree small.
+      if (Irredundant()) Recurse(local_excluded);
+      chosen_.pop_back();
+      if (truncated_) return;
+      local_excluded.Set(e);
+    }
+  }
+
+  const std::vector<EdgeBitset>& embeddings_;
+  const size_t num_edges_;
+  const CutEnumOptions& options_;
+  std::vector<uint32_t> chosen_;
+  std::vector<EdgeBitset> results_;
+  uint64_t nodes_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+std::vector<EdgeBitset> EnumerateMinimalEmbeddingCuts(
+    const std::vector<EdgeBitset>& embeddings, size_t num_edges,
+    const CutEnumOptions& options, bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  if (embeddings.empty()) return {};  // nothing to cut
+  for (const EdgeBitset& emb : embeddings) {
+    if (emb.Empty()) return {};  // an empty embedding can never be destroyed
+  }
+  HittingSetEnumerator enumerator(embeddings, num_edges, options);
+  return enumerator.Run(truncated);
+}
+
+ParallelGraph BuildParallelGraph(const std::vector<EdgeBitset>& embeddings) {
+  ParallelGraph cg;
+  cg.num_nodes = 2;  // s = 0, t = 1
+  for (const EdgeBitset& emb : embeddings) {
+    const std::vector<uint32_t> edges = emb.ToVector();
+    // Line: s - n1 - n2 - ... - nk - t with k = |edges| internal hops.
+    uint32_t prev = 0;  // s
+    for (size_t i = 0; i < edges.size(); ++i) {
+      const uint32_t node = cg.num_nodes++;
+      cg.edges.push_back({prev, node,
+                          i == 0 ? kInvalidEdge : edges[i - 1]});
+      prev = node;
+    }
+    // Last labeled edge, then connector to t.
+    if (!edges.empty()) {
+      const uint32_t node = cg.num_nodes++;
+      cg.edges.push_back({prev, node, edges.back()});
+      cg.edges.push_back({node, 1, kInvalidEdge});
+    }
+  }
+  return cg;
+}
+
+namespace {
+
+bool StillConnected(const ParallelGraph& cg, const EdgeBitset& removed) {
+  std::vector<char> seen(cg.num_nodes, 0);
+  std::vector<uint32_t> stack{0};
+  seen[0] = 1;
+  std::vector<std::vector<uint32_t>> adj(cg.num_nodes);
+  for (size_t i = 0; i < cg.edges.size(); ++i) {
+    const auto& e = cg.edges[i];
+    if (e.label != kInvalidEdge && removed.Test(e.label)) continue;
+    adj[e.a].push_back(e.b);
+    adj[e.b].push_back(e.a);
+  }
+  while (!stack.empty()) {
+    const uint32_t v = stack.back();
+    stack.pop_back();
+    if (v == 1) return true;
+    for (uint32_t nb : adj[v]) {
+      if (!seen[nb]) {
+        seen[nb] = 1;
+        stack.push_back(nb);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<EdgeBitset> EnumerateParallelGraphCuts(const ParallelGraph& cg,
+                                                   size_t num_edges,
+                                                   size_t max_cut_size) {
+  // Labels actually used in cG.
+  std::vector<uint32_t> labels;
+  {
+    EdgeBitset used(num_edges);
+    for (const auto& e : cg.edges) {
+      if (e.label != kInvalidEdge) used.Set(e.label);
+    }
+    labels = used.ToVector();
+  }
+  std::vector<EdgeBitset> cuts;
+  // Brute force over label subsets in increasing size: a subset is a minimal
+  // cut iff it disconnects s from t and no already-found cut is contained
+  // in it (size ordering makes subset-pruning == minimality).
+  std::vector<uint32_t> subset;
+  const size_t n = labels.size();
+  auto enumerate = [&](auto&& self, size_t start, size_t remaining) -> void {
+    if (remaining == 0) {
+      EdgeBitset candidate(num_edges);
+      for (uint32_t idx : subset) candidate.Set(labels[idx]);
+      for (const EdgeBitset& c : cuts) {
+        if (candidate.ContainsAll(c)) return;  // superset of a smaller cut
+      }
+      if (!StillConnected(cg, candidate)) cuts.push_back(candidate);
+      return;
+    }
+    for (size_t i = start; i + remaining <= n; ++i) {
+      subset.push_back(static_cast<uint32_t>(i));
+      self(self, i + 1, remaining - 1);
+      subset.pop_back();
+    }
+  };
+  for (size_t size = 1; size <= std::min(max_cut_size, n); ++size) {
+    enumerate(enumerate, 0, size);
+  }
+  return cuts;
+}
+
+}  // namespace pgsim

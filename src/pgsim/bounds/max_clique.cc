@@ -1,0 +1,169 @@
+#include "pgsim/bounds/max_clique.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pgsim {
+
+namespace {
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const std::vector<std::vector<char>>& adjacent,
+                 const std::vector<double>& weights,
+                 const MaxCliqueOptions& options)
+      : adjacent_(adjacent), weights_(weights), options_(options) {}
+
+  MaxCliqueResult Run() {
+    const size_t n = weights_.size();
+    std::vector<uint32_t> candidates(n);
+    std::iota(candidates.begin(), candidates.end(), 0);
+    // Weight-descending order helps both the greedy seed and the bound.
+    std::sort(candidates.begin(), candidates.end(),
+              [&](uint32_t a, uint32_t b) { return weights_[a] > weights_[b]; });
+    best_ = GreedyWeightClique(adjacent_, weights_);
+    std::vector<uint32_t> current;
+    Expand(candidates, current, 0.0);
+    best_.exact = !budget_exhausted_;
+    return best_;
+  }
+
+ private:
+  // Weighted greedy-coloring bound: partition candidates into independent
+  // classes; a clique takes at most one node per class, so the bound is the
+  // sum of per-class maximum weights.
+  double ColoringBound(const std::vector<uint32_t>& candidates) const {
+    double bound = 0.0;
+    std::vector<std::vector<uint32_t>> classes;
+    for (uint32_t v : candidates) {
+      bool placed = false;
+      for (auto& cls : classes) {
+        bool independent = true;
+        for (uint32_t u : cls) {
+          if (adjacent_[v][u]) {
+            independent = false;
+            break;
+          }
+        }
+        if (independent) {
+          cls.push_back(v);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) classes.push_back({v});
+    }
+    for (const auto& cls : classes) {
+      double class_max = 0.0;
+      for (uint32_t v : cls) class_max = std::max(class_max, weights_[v]);
+      bound += class_max;
+    }
+    return bound;
+  }
+
+  void Expand(const std::vector<uint32_t>& candidates,
+              std::vector<uint32_t>& current, double current_weight) {
+    if (budget_exhausted_) return;
+    if (++nodes_ > options_.max_bb_nodes) {
+      budget_exhausted_ = true;
+      return;
+    }
+    if (candidates.empty()) {
+      if (current_weight > best_.weight) {
+        best_.weight = current_weight;
+        best_.members = current;
+      }
+      return;
+    }
+    if (current_weight + ColoringBound(candidates) <= best_.weight) return;
+
+    std::vector<uint32_t> remaining = candidates;
+    while (!remaining.empty()) {
+      // Residual sum bound (cheaper than recoloring inside the loop).
+      double residual = 0.0;
+      for (uint32_t v : remaining) residual += weights_[v];
+      if (current_weight + residual <= best_.weight) return;
+
+      const uint32_t v = remaining.front();
+      remaining.erase(remaining.begin());
+
+      std::vector<uint32_t> next;
+      next.reserve(remaining.size());
+      for (uint32_t u : remaining) {
+        if (adjacent_[v][u]) next.push_back(u);
+      }
+      current.push_back(v);
+      Expand(next, current, current_weight + weights_[v]);
+      current.pop_back();
+      if (budget_exhausted_) return;
+    }
+  }
+
+  const std::vector<std::vector<char>>& adjacent_;
+  const std::vector<double>& weights_;
+  const MaxCliqueOptions& options_;
+  MaxCliqueResult best_;
+  uint64_t nodes_ = 0;
+  bool budget_exhausted_ = false;
+};
+
+}  // namespace
+
+MaxCliqueResult GreedyWeightClique(
+    const std::vector<std::vector<char>>& adjacent,
+    const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) { return weights[a] > weights[b]; });
+  MaxCliqueResult result;
+  result.exact = false;
+  for (uint32_t v : order) {
+    bool compatible = true;
+    for (uint32_t u : result.members) {
+      if (!adjacent[v][u]) {
+        compatible = false;
+        break;
+      }
+    }
+    if (compatible) {
+      result.members.push_back(v);
+      result.weight += weights[v];
+    }
+  }
+  return result;
+}
+
+MaxCliqueResult FirstFitClique(const std::vector<std::vector<char>>& adjacent,
+                               const std::vector<double>& weights) {
+  MaxCliqueResult result;
+  result.exact = false;
+  for (uint32_t v = 0; v < weights.size(); ++v) {
+    bool compatible = true;
+    for (uint32_t u : result.members) {
+      if (!adjacent[v][u]) {
+        compatible = false;
+        break;
+      }
+    }
+    if (compatible) {
+      result.members.push_back(v);
+      result.weight += weights[v];
+    }
+  }
+  return result;
+}
+
+MaxCliqueResult MaxWeightClique(const std::vector<std::vector<char>>& adjacent,
+                                const std::vector<double>& weights,
+                                const MaxCliqueOptions& options) {
+  if (weights.empty()) return MaxCliqueResult{};
+  if (weights.size() > options.exact_node_limit) {
+    return GreedyWeightClique(adjacent, weights);
+  }
+  BranchAndBound solver(adjacent, weights, options);
+  return solver.Run();
+}
+
+}  // namespace pgsim

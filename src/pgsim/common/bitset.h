@@ -1,0 +1,146 @@
+// Dynamic fixed-capacity bitset used for edge subsets (possible worlds,
+// embeddings, cuts). Graphs in pgsim have a few hundred edges at most, so a
+// small inline vector of 64-bit words with set-algebra operations is the
+// workhorse representation for "which edges are present".
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pgsim {
+
+/// A set of edge (or generic) indices backed by packed 64-bit words.
+class EdgeBitset {
+ public:
+  EdgeBitset() = default;
+
+  /// Creates an empty set with capacity for indices [0, size).
+  explicit EdgeBitset(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  /// Number of addressable indices (not the population count).
+  size_t size() const { return size_; }
+
+  /// Inserts index `i`.
+  void Set(size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+
+  /// Removes index `i`.
+  void Reset(size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  /// Sets index `i` to `value`.
+  void Assign(size_t i, bool value) { value ? Set(i) : Reset(i); }
+
+  /// Membership test.
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// Removes all indices.
+  void Clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Population count.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// True iff no index is set.
+  bool Empty() const {
+    for (uint64_t w : words_) {
+      if (w) return false;
+    }
+    return true;
+  }
+
+  /// True iff every index in `other` is also in *this (superset test).
+  bool ContainsAll(const EdgeBitset& other) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((other.words_[i] & ~words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// True iff *this and `other` share at least one index.
+  bool Intersects(const EdgeBitset& other) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  /// True iff *this and `other` share no index.
+  bool DisjointWith(const EdgeBitset& other) const {
+    return !Intersects(other);
+  }
+
+  /// In-place union.
+  EdgeBitset& operator|=(const EdgeBitset& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  /// In-place intersection.
+  EdgeBitset& operator&=(const EdgeBitset& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  /// In-place difference (removes `other`'s indices).
+  EdgeBitset& Subtract(const EdgeBitset& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    return *this;
+  }
+
+  bool operator==(const EdgeBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// Lists the set indices in increasing order.
+  std::vector<uint32_t> ToVector() const {
+    std::vector<uint32_t> out;
+    out.reserve(Count());
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w) {
+        const int bit = __builtin_ctzll(w);
+        out.push_back(static_cast<uint32_t>(wi * 64 + bit));
+        w &= w - 1;
+      }
+    }
+    return out;
+  }
+
+  /// Builds a set of capacity `size` from explicit indices.
+  static EdgeBitset FromIndices(size_t size,
+                                const std::vector<uint32_t>& indices) {
+    EdgeBitset b(size);
+    for (uint32_t i : indices) b.Set(i);
+    return b;
+  }
+
+  /// FNV-style hash for use in unordered containers.
+  size_t Hash() const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t w : words_) {
+      h ^= w;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Hash functor so EdgeBitset can key unordered containers.
+struct EdgeBitsetHash {
+  size_t operator()(const EdgeBitset& b) const { return b.Hash(); }
+};
+
+}  // namespace pgsim

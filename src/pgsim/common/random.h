@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in pgsim (dataset generator, the Algorithm 3 /
+// Algorithm 5 Monte-Carlo samplers, the Algorithm 2 randomized rounding) takes
+// an explicit seed so that tests and benchmarks are reproducible run-to-run.
+// The engine is xoshiro256**, seeded via splitmix64.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pgsim {
+
+/// Fast, high-quality, deterministic PRNG (xoshiro256**).
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial: true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal variate (Box–Muller).
+  double Gaussian();
+
+  /// Samples an index i with probability weights[i] / sum(weights).
+  /// Weights must be non-negative with positive sum; returns weights.size()-1
+  /// on floating-point underflow of the tail.
+  size_t Discrete(const std::vector<double>& weights);
+
+  /// A Beta(alpha, beta) variate via the ratio-of-Gammas method.
+  double Beta(double alpha, double beta);
+
+  /// Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel-safe sub-streams).
+  Rng Fork();
+
+ private:
+  double Gamma(double shape);
+
+  uint64_t state_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace pgsim

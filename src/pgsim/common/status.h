@@ -1,0 +1,162 @@
+// Lightweight Status / Result error-handling primitives (RocksDB/Arrow idiom).
+//
+// pgsim avoids exceptions on all library paths. Fallible operations return
+// either a `Status` (no payload) or a `Result<T>` (payload or error). Both are
+// cheap to move and carry a code plus a human-readable message.
+
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pgsim {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< Caller passed something malformed.
+  kNotFound,         ///< Lookup target does not exist.
+  kOutOfRange,       ///< Value or size exceeds a configured limit.
+  kResourceExhausted,///< A cap (embeddings, cuts, worlds...) was hit.
+  kFailedPrecondition,///< Object not in the required state.
+  kInternal,         ///< Invariant violation inside the library.
+  kUnimplemented,    ///< Feature intentionally not supported.
+};
+
+/// Returns a short stable name for a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail but carries no payload.
+///
+/// Typical use:
+/// \code
+///   Status s = builder.AddEdge(u, v, label);
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category (kOk when ok()).
+  StatusCode code() const { return code_; }
+
+  /// The human-readable message (empty when ok()).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result of an operation returning a `T` on success or a `Status` on error.
+///
+/// Mirrors arrow::Result / absl::StatusOr. Accessing the value of an errored
+/// Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a success value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status.ok()` is forbidden.
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(value_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// The error status; Status::OK() if a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  /// Borrow the value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  /// Move the value out. Requires ok().
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  /// Borrow the value, or `fallback` on error.
+  const T& value_or(const T& fallback) const& {
+    return ok() ? std::get<T>(value_) : fallback;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define PGSIM_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::pgsim::Status _pgsim_s = (expr);            \
+    if (!_pgsim_s.ok()) return _pgsim_s;          \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; on success assigns
+/// the value to `lhs` (which may include a declaration).
+#define PGSIM_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  PGSIM_ASSIGN_OR_RETURN_IMPL_(                   \
+      PGSIM_CONCAT_(_pgsim_result_, __LINE__), lhs, rexpr)
+
+#define PGSIM_CONCAT_INNER_(a, b) a##b
+#define PGSIM_CONCAT_(a, b) PGSIM_CONCAT_INNER_(a, b)
+#define PGSIM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace pgsim

@@ -1,0 +1,32 @@
+// Wall-clock timing helper used by query statistics and the benchmark
+// harnesses.
+
+#pragma once
+
+#include <chrono>
+
+namespace pgsim {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Restart().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pgsim

@@ -1,0 +1,72 @@
+#include "pgsim/datasets/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pgsim {
+
+DatabaseStats ComputeDatabaseStats(const std::vector<ProbabilisticGraph>& db) {
+  DatabaseStats stats;
+  stats.num_graphs = db.size();
+  if (db.empty()) return stats;
+
+  size_t total_vertices = 0, total_edges = 0, total_ne = 0, total_ne_size = 0;
+  double prob_sum = 0.0;
+  size_t prob_count = 0;
+  stats.degree_histogram.assign(33, 0);
+  for (const ProbabilisticGraph& g : db) {
+    const Graph& gc = g.certain();
+    total_vertices += gc.NumVertices();
+    total_edges += gc.NumEdges();
+    stats.max_vertices = std::max(stats.max_vertices, gc.NumVertices());
+    stats.max_edges = std::max(stats.max_edges, gc.NumEdges());
+    if (gc.IsConnected()) ++stats.connected_graphs;
+    if (g.kind() == JointModelKind::kTree) ++stats.tree_model_graphs;
+    for (VertexId v = 0; v < gc.NumVertices(); ++v) {
+      const LabelId label = gc.VertexLabel(v);
+      if (label >= stats.vertex_label_counts.size()) {
+        stats.vertex_label_counts.resize(label + 1, 0);
+      }
+      ++stats.vertex_label_counts[label];
+      ++stats.degree_histogram[std::min<uint32_t>(gc.Degree(v), 32)];
+    }
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      prob_sum += g.EdgeMarginal(e);
+      ++prob_count;
+    }
+    for (const NeighborEdgeSet& ne : g.ne_sets()) {
+      ++total_ne;
+      total_ne_size += ne.edges.size();
+      stats.max_ne_set_size = std::max<uint32_t>(
+          stats.max_ne_set_size, static_cast<uint32_t>(ne.edges.size()));
+    }
+  }
+  stats.avg_vertices = static_cast<double>(total_vertices) / db.size();
+  stats.avg_edges = static_cast<double>(total_edges) / db.size();
+  stats.mean_edge_probability =
+      prob_count == 0 ? 0.0 : prob_sum / static_cast<double>(prob_count);
+  stats.avg_ne_set_size =
+      total_ne == 0 ? 0.0
+                    : static_cast<double>(total_ne_size) /
+                          static_cast<double>(total_ne);
+  return stats;
+}
+
+std::string FormatDatabaseStats(const DatabaseStats& stats) {
+  std::ostringstream os;
+  os << "graphs                : " << stats.num_graphs << "\n";
+  os << "avg |V| / |E|         : " << stats.avg_vertices << " / "
+     << stats.avg_edges << "\n";
+  os << "max |V| / |E|         : " << stats.max_vertices << " / "
+     << stats.max_edges << "\n";
+  os << "mean edge probability : " << stats.mean_edge_probability << "\n";
+  os << "avg / max ne-set size : " << stats.avg_ne_set_size << " / "
+     << stats.max_ne_set_size << "\n";
+  os << "connected graphs      : " << stats.connected_graphs << "\n";
+  os << "tree-model graphs     : " << stats.tree_model_graphs << "\n";
+  os << "distinct vertex labels: " << stats.vertex_label_counts.size()
+     << "\n";
+  return os.str();
+}
+
+}  // namespace pgsim

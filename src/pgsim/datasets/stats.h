@@ -1,0 +1,42 @@
+// Database statistics: the quantities the paper reports about its dataset
+// (graph sizes, mean edge existence probability, label distribution,
+// neighbor-edge-set structure) computed for any probabilistic graph
+// database. Used by the CLI's `stats` command, by tests validating the
+// synthetic generator against the paper's numbers, and handy when importing
+// external data.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pgsim/prob/probabilistic_graph.h"
+
+namespace pgsim {
+
+/// Aggregate statistics of one database.
+struct DatabaseStats {
+  size_t num_graphs = 0;
+  double avg_vertices = 0.0;
+  double avg_edges = 0.0;
+  uint32_t max_vertices = 0;
+  uint32_t max_edges = 0;
+  double mean_edge_probability = 0.0;  ///< average exact edge marginal
+  double avg_ne_set_size = 0.0;        ///< mean neighbor-edge-set arity
+  uint32_t max_ne_set_size = 0;
+  size_t tree_model_graphs = 0;        ///< graphs with overlapping ne sets
+  size_t connected_graphs = 0;
+  /// Vertex-label histogram (index = label id), database-wide.
+  std::vector<size_t> vertex_label_counts;
+  /// Degree histogram (index = degree, truncated at 32).
+  std::vector<size_t> degree_histogram;
+};
+
+/// Computes statistics over `db` (single pass; exact marginals per edge).
+DatabaseStats ComputeDatabaseStats(const std::vector<ProbabilisticGraph>& db);
+
+/// Multi-line human-readable rendering.
+std::string FormatDatabaseStats(const DatabaseStats& stats);
+
+}  // namespace pgsim

@@ -1,0 +1,386 @@
+#include "pgsim/datasets/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pgsim {
+
+namespace {
+
+// Zipf-ish label sampler: label k with weight 1/(k+1).
+LabelId SampleLabel(uint32_t num_labels, Rng* rng) {
+  std::vector<double> weights(num_labels);
+  for (uint32_t k = 0; k < num_labels; ++k) weights[k] = 1.0 / (k + 1.0);
+  return static_cast<LabelId>(rng->Discrete(weights));
+}
+
+// Connected random topology: spanning tree + degree-biased extra edges.
+Graph GenerateTopology(uint32_t num_vertices, uint32_t target_edges,
+                       uint32_t num_vertex_labels, uint32_t num_edge_labels,
+                       Rng* rng) {
+  GraphBuilder builder;
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    builder.AddVertex(SampleLabel(num_vertex_labels, rng));
+  }
+  std::vector<uint32_t> degree(num_vertices, 0);
+  auto edge_label = [&]() -> LabelId {
+    return num_edge_labels <= 1
+               ? 0
+               : static_cast<LabelId>(rng->Uniform(num_edge_labels));
+  };
+  // Spanning tree: attach vertex v to a degree-biased earlier vertex.
+  for (uint32_t v = 1; v < num_vertices; ++v) {
+    std::vector<double> weights(v);
+    for (uint32_t u = 0; u < v; ++u) weights[u] = degree[u] + 1.0;
+    const uint32_t u = static_cast<uint32_t>(rng->Discrete(weights));
+    auto r = builder.AddEdge(u, v, edge_label());
+    (void)r;
+    ++degree[u];
+    ++degree[v];
+  }
+  // Extra edges, degree-biased endpoints, rejecting duplicates.
+  uint32_t added = num_vertices - 1;
+  uint32_t attempts = 0;
+  const uint32_t max_attempts = target_edges * 20 + 100;
+  while (added < target_edges && attempts++ < max_attempts) {
+    std::vector<double> weights(num_vertices);
+    for (uint32_t u = 0; u < num_vertices; ++u) weights[u] = degree[u] + 1.0;
+    const uint32_t a = static_cast<uint32_t>(rng->Discrete(weights));
+    const uint32_t b = static_cast<uint32_t>(rng->Discrete(weights));
+    if (a == b) continue;
+    auto r = builder.AddEdge(a, b, edge_label());
+    if (r.ok()) {
+      ++degree[a];
+      ++degree[b];
+      ++added;
+    }
+  }
+  return builder.Build();
+}
+
+// Per-assignment weight under the Section 6 max rule.
+std::vector<double> MaxRuleWeights(const std::vector<double>& edge_probs) {
+  const uint32_t k = static_cast<uint32_t>(edge_probs.size());
+  std::vector<double> weights(1ULL << k);
+  for (uint32_t mask = 0; mask < weights.size(); ++mask) {
+    double best = 0.0;
+    for (uint32_t j = 0; j < k; ++j) {
+      const double pr_xi =
+          ((mask >> j) & 1U) ? edge_probs[j] : 1.0 - edge_probs[j];
+      best = std::max(best, pr_xi);
+    }
+    weights[mask] = best;
+  }
+  return weights;
+}
+
+std::vector<double> ComonotoneWeights(const std::vector<double>& edge_probs,
+                                      double lambda) {
+  const uint32_t k = static_cast<uint32_t>(edge_probs.size());
+  const double mean =
+      std::accumulate(edge_probs.begin(), edge_probs.end(), 0.0) / k;
+  std::vector<double> weights(1ULL << k, 0.0);
+  for (uint32_t mask = 0; mask < weights.size(); ++mask) {
+    double independent = 1.0;
+    for (uint32_t j = 0; j < k; ++j) {
+      independent *=
+          ((mask >> j) & 1U) ? edge_probs[j] : 1.0 - edge_probs[j];
+    }
+    weights[mask] = (1.0 - lambda) * independent;
+  }
+  weights[(1U << k) - 1] += lambda * mean;        // all present
+  weights[0] += lambda * (1.0 - mean);            // all absent
+  return weights;
+}
+
+Result<JointProbTable> BuildJpt(const std::vector<double>& edge_probs,
+                                const SyntheticOptions& options) {
+  switch (options.jpt_rule) {
+    case JptRule::kPaperMax:
+      return JointProbTable::FromWeights(MaxRuleWeights(edge_probs));
+    case JptRule::kIndependent:
+      return JointProbTable::Independent(edge_probs);
+    case JptRule::kComonotone:
+      return JointProbTable::FromWeights(
+          ComonotoneWeights(edge_probs, options.comonotone_lambda));
+  }
+  return Status::Internal("unknown JptRule");
+}
+
+}  // namespace
+
+Result<ProbabilisticGraph> AttachProbabilities(const Graph& certain,
+                                               const SyntheticOptions& options,
+                                               Rng* rng) {
+  const uint32_t m = certain.NumEdges();
+  // Per-edge marginal-ish probabilities, Beta around the target mean.
+  const double mean = std::clamp(options.mean_edge_prob, 0.01, 0.99);
+  const double a = mean * options.beta_concentration;
+  const double b = (1.0 - mean) * options.beta_concentration;
+  std::vector<double> edge_prob(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    edge_prob[e] = std::clamp(rng->Beta(a, b), 0.02, 0.98);
+  }
+
+  // Vertex-anchored partition into neighbor edge sets: visit vertices in
+  // random order; group up to max_ne_size of the vertex's unassigned
+  // incident edges (they share that vertex, hence are neighbor edges).
+  std::vector<char> assigned(m, 0);
+  std::vector<std::vector<EdgeId>> groups;
+  std::vector<VertexId> vertex_order(certain.NumVertices());
+  std::iota(vertex_order.begin(), vertex_order.end(), 0);
+  rng->Shuffle(&vertex_order);
+  if (options.group_hubs_first) {
+    std::stable_sort(vertex_order.begin(), vertex_order.end(),
+                     [&certain](VertexId a, VertexId b) {
+                       return certain.Degree(a) > certain.Degree(b);
+                     });
+  }
+  for (VertexId v : vertex_order) {
+    std::vector<EdgeId> pool;
+    for (const AdjEntry& adj : certain.Neighbors(v)) {
+      if (!assigned[adj.edge]) pool.push_back(adj.edge);
+    }
+    rng->Shuffle(&pool);
+    size_t i = 0;
+    while (i < pool.size()) {
+      const size_t take =
+          std::min<size_t>(options.max_ne_size, pool.size() - i);
+      std::vector<EdgeId> group(pool.begin() + i, pool.begin() + i + take);
+      for (EdgeId e : group) assigned[e] = 1;
+      groups.push_back(std::move(group));
+      i += take;
+    }
+  }
+
+  // Optional overlap (kTree model): extend a group by one edge of an
+  // adjacent group, keeping the sharing structure a forest so the clique
+  // tree's running-intersection property holds.
+  if (options.overlap_fraction > 0.0 && groups.size() >= 2) {
+    // Union-find over groups to keep overlaps acyclic.
+    std::vector<uint32_t> parent(groups.size());
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](uint32_t x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    // Map: edge -> owning group.
+    std::vector<uint32_t> owner(m, 0);
+    for (uint32_t gi = 0; gi < groups.size(); ++gi) {
+      for (EdgeId e : groups[gi]) owner[e] = gi;
+    }
+    for (uint32_t gi = 0; gi < groups.size(); ++gi) {
+      if (!rng->Bernoulli(options.overlap_fraction)) continue;
+      if (groups[gi].size() >= options.max_ne_size + 1) continue;
+      // A candidate shared edge: incident (at a common vertex) to one of our
+      // edges but owned by another group.
+      for (EdgeId e : std::vector<EdgeId>(groups[gi])) {
+        const Edge& edge = certain.GetEdge(e);
+        bool extended = false;
+        for (VertexId endpoint : {edge.u, edge.v}) {
+          for (const AdjEntry& adj : certain.Neighbors(endpoint)) {
+            const uint32_t other = owner[adj.edge];
+            if (other == gi) continue;
+            // All edges of the extended group must share `endpoint`; check.
+            bool common = true;
+            for (EdgeId mine : groups[gi]) {
+              const Edge& me = certain.GetEdge(mine);
+              if (me.u != endpoint && me.v != endpoint) {
+                common = false;
+                break;
+              }
+            }
+            if (!common) continue;
+            if (find(gi) == find(other)) continue;  // would close a cycle
+            groups[gi].push_back(adj.edge);
+            parent[find(gi)] = find(other);
+            extended = true;
+            break;
+          }
+          if (extended) break;
+        }
+        if (extended) break;
+      }
+    }
+  }
+
+  std::vector<NeighborEdgeSet> ne_sets;
+  ne_sets.reserve(groups.size());
+  for (const auto& group : groups) {
+    std::vector<double> probs;
+    probs.reserve(group.size());
+    for (EdgeId e : group) probs.push_back(edge_prob[e]);
+    NeighborEdgeSet ne;
+    ne.edges = group;
+    PGSIM_ASSIGN_OR_RETURN(ne.table, BuildJpt(probs, options));
+    ne_sets.push_back(std::move(ne));
+  }
+  return ProbabilisticGraph::Create(certain, std::move(ne_sets));
+}
+
+Result<ProbabilisticGraph> GenerateGraph(const SyntheticOptions& options,
+                                         Rng* rng) {
+  // Vertex count jitters ±25% around the average.
+  const uint32_t lo = std::max<uint32_t>(4, options.avg_vertices * 3 / 4);
+  const uint32_t hi = std::max<uint32_t>(lo + 1, options.avg_vertices * 5 / 4);
+  const uint32_t n = static_cast<uint32_t>(rng->UniformInt(lo, hi));
+  const uint32_t target_edges = std::max<uint32_t>(
+      n - 1, static_cast<uint32_t>(std::llround(n * options.edge_factor)));
+  const Graph topology =
+      GenerateTopology(n, target_edges, options.num_vertex_labels,
+                       options.num_edge_labels, rng);
+  return AttachProbabilities(topology, options, rng);
+}
+
+Result<std::vector<ProbabilisticGraph>> GenerateDatabase(
+    const SyntheticOptions& options) {
+  Rng rng(options.seed);
+  std::vector<ProbabilisticGraph> db;
+  db.reserve(options.num_graphs);
+  for (size_t i = 0; i < options.num_graphs; ++i) {
+    Rng graph_rng = rng.Fork();
+    PGSIM_ASSIGN_OR_RETURN(ProbabilisticGraph g,
+                           GenerateGraph(options, &graph_rng));
+    db.push_back(std::move(g));
+  }
+  return db;
+}
+
+Result<FamilyDatabase> GenerateFamilyDatabase(const FamilyOptions& options) {
+  Rng rng(options.base.seed);
+  FamilyDatabase out;
+  for (uint32_t family = 0; family < options.num_families; ++family) {
+    Rng seed_rng = rng.Fork();
+    const uint32_t lo = std::max<uint32_t>(4, options.base.avg_vertices * 3 / 4);
+    const uint32_t hi = std::max<uint32_t>(lo + 1,
+                                           options.base.avg_vertices * 5 / 4);
+    const uint32_t n = static_cast<uint32_t>(seed_rng.UniformInt(lo, hi));
+    const uint32_t target_edges = std::max<uint32_t>(
+        n - 1,
+        static_cast<uint32_t>(std::llround(n * options.base.edge_factor)));
+    const Graph seed = GenerateTopology(n, target_edges,
+                                        options.base.num_vertex_labels,
+                                        options.base.num_edge_labels,
+                                        &seed_rng);
+    out.seeds.push_back(seed);
+
+    for (size_t member = 0; member < options.graphs_per_family; ++member) {
+      Rng member_rng = rng.Fork();
+      // Noisy copy: relabel vertices, drop edges, add edges.
+      GraphBuilder builder;
+      for (VertexId v = 0; v < seed.NumVertices(); ++v) {
+        LabelId label = seed.VertexLabel(v);
+        if (member_rng.Bernoulli(options.vertex_relabel_prob)) {
+          label = SampleLabel(options.base.num_vertex_labels, &member_rng);
+        }
+        builder.AddVertex(label);
+      }
+      for (const Edge& e : seed.Edges()) {
+        if (member_rng.Bernoulli(options.edge_drop_prob)) continue;
+        auto r = builder.AddEdge(e.u, e.v, e.label);
+        (void)r;
+      }
+      const uint32_t extra = static_cast<uint32_t>(
+          std::llround(seed.NumEdges() * options.edge_add_factor));
+      for (uint32_t i = 0; i < extra; ++i) {
+        const VertexId a =
+            static_cast<VertexId>(member_rng.Uniform(seed.NumVertices()));
+        const VertexId b =
+            static_cast<VertexId>(member_rng.Uniform(seed.NumVertices()));
+        if (a == b) continue;
+        auto r = builder.AddEdge(a, b, 0);
+        (void)r;  // duplicates silently skipped
+      }
+      const Graph certain = builder.Build();
+      PGSIM_ASSIGN_OR_RETURN(
+          ProbabilisticGraph g,
+          AttachProbabilities(certain, options.base, &member_rng));
+      out.graphs.push_back(std::move(g));
+      out.family_of.push_back(family);
+    }
+  }
+  return out;
+}
+
+Result<Graph> ExtractQuery(const Graph& source, uint32_t num_edges, Rng* rng) {
+  if (source.NumEdges() < num_edges) {
+    return Status::InvalidArgument(
+        "ExtractQuery: source graph has too few edges");
+  }
+  // Random edge-BFS: start from a random edge, repeatedly add a random edge
+  // adjacent to the collected subgraph.
+  std::vector<EdgeId> chosen;
+  EdgeBitset chosen_set(source.NumEdges());
+  std::vector<char> vertex_in(source.NumVertices(), 0);
+  const EdgeId first = static_cast<EdgeId>(rng->Uniform(source.NumEdges()));
+  chosen.push_back(first);
+  chosen_set.Set(first);
+  vertex_in[source.GetEdge(first).u] = 1;
+  vertex_in[source.GetEdge(first).v] = 1;
+  while (chosen.size() < num_edges) {
+    std::vector<EdgeId> frontier;
+    for (VertexId v = 0; v < source.NumVertices(); ++v) {
+      if (!vertex_in[v]) continue;
+      for (const AdjEntry& adj : source.Neighbors(v)) {
+        if (!chosen_set.Test(adj.edge)) frontier.push_back(adj.edge);
+      }
+    }
+    if (frontier.empty()) {
+      return Status::FailedPrecondition(
+          "ExtractQuery: connected component exhausted before reaching the "
+          "requested size");
+    }
+    const EdgeId pick = frontier[rng->Uniform(frontier.size())];
+    chosen.push_back(pick);
+    chosen_set.Set(pick);
+    vertex_in[source.GetEdge(pick).u] = 1;
+    vertex_in[source.GetEdge(pick).v] = 1;
+  }
+  return EdgeInducedSubgraph(source, chosen);
+}
+
+Result<Graph> ExtractStarQuery(const Graph& source, uint32_t num_edges,
+                               Rng* rng) {
+  std::vector<VertexId> centers;
+  for (VertexId v = 0; v < source.NumVertices(); ++v) {
+    if (source.Degree(v) >= num_edges) centers.push_back(v);
+  }
+  if (centers.empty()) {
+    return Status::FailedPrecondition(
+        "ExtractStarQuery: no vertex has the requested degree");
+  }
+  const VertexId center = centers[rng->Uniform(centers.size())];
+  std::vector<EdgeId> incident;
+  for (const AdjEntry& adj : source.Neighbors(center)) {
+    incident.push_back(adj.edge);
+  }
+  rng->Shuffle(&incident);
+  incident.resize(num_edges);
+  return EdgeInducedSubgraph(source, incident);
+}
+
+Result<std::vector<Graph>> GenerateQueries(
+    const std::vector<ProbabilisticGraph>& database, uint32_t num_edges,
+    size_t count, uint64_t seed) {
+  if (database.empty()) {
+    return Status::InvalidArgument("GenerateQueries: empty database");
+  }
+  Rng rng(seed);
+  std::vector<Graph> queries;
+  queries.reserve(count);
+  size_t attempts = 0;
+  while (queries.size() < count && attempts++ < count * 50) {
+    const size_t gi = rng.Uniform(database.size());
+    auto q = ExtractQuery(database[gi].certain(), num_edges, &rng);
+    if (q.ok()) queries.push_back(std::move(q).value());
+  }
+  if (queries.size() < count) {
+    return Status::ResourceExhausted(
+        "GenerateQueries: could not extract enough queries (graphs too "
+        "small?)");
+  }
+  return queries;
+}
+
+}  // namespace pgsim

@@ -1,0 +1,112 @@
+// Synthetic probabilistic graph datasets (paper Section 6 substitute).
+//
+// The paper evaluates on 5K PPI networks from STRING/BioGRID (avg 385
+// vertices / 612 edges, mean edge probability 0.383, COG vertex labels) and
+// builds each neighbor-edge-set JPT with the rule
+//     Pr(x_ne) = max_{1<=i<=|ne|} Pr(x_i),   then normalized,
+// where Pr(x_i) = p_i if x_i = 1 else 1 - p_i ("neighbor PPIs are dominated
+// by the strongest interaction").
+//
+// This module generates databases with the same shape at configurable scale:
+// connected power-law-ish labeled graphs, Beta-distributed edge
+// probabilities with mean 0.383, vertex-anchored neighbor-edge partitions,
+// and exactly that max-rule JPT (plus alternatives: independent tables and a
+// comonotone mixture with tunable correlation strength). Organism families
+// (a seed graph per family, perturbed copies as members) stand in for the
+// STRING organism ground truth used by Figure 14.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgsim/common/random.h"
+#include "pgsim/common/status.h"
+#include "pgsim/graph/graph.h"
+#include "pgsim/prob/probabilistic_graph.h"
+
+namespace pgsim {
+
+/// How each neighbor-edge-set JPT is constructed from per-edge marginals.
+enum class JptRule {
+  kPaperMax,    ///< the Section 6 rule: weight = max_i Pr(x_i), normalized
+  kIndependent, ///< product of marginals (no correlation)
+  kComonotone,  ///< lambda * (all-present/all-absent) + (1-lambda) * product
+};
+
+/// Generator parameters (defaults are laptop-scale; the paper-scale values
+/// are in comments).
+struct SyntheticOptions {
+  size_t num_graphs = 100;        ///< paper: 5000
+  uint32_t avg_vertices = 28;     ///< paper: 385
+  double edge_factor = 1.55;      ///< |E| ~ factor * |V|; paper: 612/385
+  uint32_t num_vertex_labels = 20;///< COG-ish label alphabet
+  uint32_t num_edge_labels = 1;   ///< PPI edges are unlabeled
+  double mean_edge_prob = 0.383;  ///< paper's reported average
+  double beta_concentration = 6.0;///< Beta(a,b) sharpness around the mean
+  uint32_t max_ne_size = 3;       ///< neighbor-edge-set arity cap
+  JptRule jpt_rule = JptRule::kPaperMax;
+  double comonotone_lambda = 0.6; ///< used by kComonotone
+  /// Fraction of adjacent ne-set pairs extended to overlap by one shared
+  /// edge (> 0 exercises the kTree clique-tree model).
+  double overlap_fraction = 0.0;
+  /// Group edges at high-degree vertices first (instead of random vertex
+  /// order): hub interactions share one correlated ne set, the "neighbor
+  /// PPIs dominated by the strongest interaction" structure of Section 6.
+  bool group_hubs_first = false;
+  uint64_t seed = 1;
+};
+
+/// Generates `options.num_graphs` independent probabilistic graphs.
+Result<std::vector<ProbabilisticGraph>> GenerateDatabase(
+    const SyntheticOptions& options);
+
+/// Generates one probabilistic graph (the building block of the above).
+Result<ProbabilisticGraph> GenerateGraph(const SyntheticOptions& options,
+                                         Rng* rng);
+
+/// Builds the neighbor-edge partition and JPTs for an existing certain graph
+/// with freshly drawn edge probabilities.
+Result<ProbabilisticGraph> AttachProbabilities(const Graph& certain,
+                                               const SyntheticOptions& options,
+                                               Rng* rng);
+
+/// Organism-family database for the Figure 14 quality experiment.
+struct FamilyOptions {
+  uint32_t num_families = 8;
+  size_t graphs_per_family = 12;
+  double vertex_relabel_prob = 0.08;  ///< per-vertex label noise in a copy
+  double edge_drop_prob = 0.08;       ///< per-edge removal noise
+  double edge_add_factor = 0.05;      ///< added noise edges ~ factor * |E|
+  SyntheticOptions base;              ///< topology/probability parameters
+};
+
+/// A database with family ground truth.
+struct FamilyDatabase {
+  std::vector<ProbabilisticGraph> graphs;
+  std::vector<uint32_t> family_of;  ///< family id per graph
+  std::vector<Graph> seeds;         ///< one seed certain graph per family
+};
+
+/// Generates families: one random seed graph each, members are noisy copies.
+Result<FamilyDatabase> GenerateFamilyDatabase(const FamilyOptions& options);
+
+/// Extracts a connected `num_edges`-edge query subgraph from `source` by a
+/// random edge-BFS (the paper's "extracted from corresponding deterministic
+/// graphs randomly"). Fails if the source has fewer edges.
+Result<Graph> ExtractQuery(const Graph& source, uint32_t num_edges, Rng* rng);
+
+/// Extracts a star query: `num_edges` edges incident to one (randomly
+/// chosen, sufficiently high-degree) center vertex. Hub motifs are the
+/// paper's correlated-neighborhood scenario — all query edges typically fall
+/// into one neighbor-edge set, where the COR/IND gap is maximal.
+Result<Graph> ExtractStarQuery(const Graph& source, uint32_t num_edges,
+                               Rng* rng);
+
+/// Convenience: `count` queries of `num_edges` edges drawn from random
+/// database graphs.
+Result<std::vector<Graph>> GenerateQueries(
+    const std::vector<ProbabilisticGraph>& database, uint32_t num_edges,
+    size_t count, uint64_t seed);
+
+}  // namespace pgsim

@@ -1,0 +1,232 @@
+#include "pgsim/datasets/text_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace pgsim {
+
+namespace {
+
+std::string LabelName(const LabelTable& labels, LabelId id) {
+  // Unknown ids serialize as their number so round-tripping never fails.
+  if (id < labels.size()) return labels.Name(id);
+  return "label" + std::to_string(id);
+}
+
+Status WriteOneGraph(std::ostream& os, const ProbabilisticGraph& g,
+                     const LabelTable& labels, size_t id) {
+  os << "graph " << id << "\n";
+  const Graph& gc = g.certain();
+  for (VertexId v = 0; v < gc.NumVertices(); ++v) {
+    os << "v " << LabelName(labels, gc.VertexLabel(v)) << "\n";
+  }
+  for (const Edge& e : gc.Edges()) {
+    os << "e " << e.u << " " << e.v << " " << LabelName(labels, e.label)
+       << "\n";
+  }
+  for (const NeighborEdgeSet& ne : g.ne_sets()) {
+    os << "ne";
+    for (EdgeId e : ne.edges) os << " " << e;
+    os << "\nt";
+    char buf[32];
+    for (double p : ne.table.probs()) {
+      std::snprintf(buf, sizeof(buf), " %.17g", p);
+      os << buf;
+    }
+    os << "\n";
+  }
+  os << "end\n";
+  return Status::OK();
+}
+
+// Tokenized line reader skipping comments/blanks.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  // Next non-empty, non-comment line split on whitespace; empty at EOF.
+  std::vector<std::string> Next() {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_number_;
+      const size_t start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos || line[start] == '#') continue;
+      std::istringstream ss(line);
+      std::vector<std::string> tokens;
+      std::string token;
+      while (ss >> token) tokens.push_back(token);
+      if (!tokens.empty()) return tokens;
+    }
+    return {};
+  }
+
+  size_t line_number() const { return line_number_; }
+
+ private:
+  std::istream& is_;
+  size_t line_number_ = 0;
+};
+
+Status ParseError(const LineReader& reader, const std::string& what) {
+  return Status::InvalidArgument("text_io: line " +
+                                 std::to_string(reader.line_number()) + ": " +
+                                 what);
+}
+
+}  // namespace
+
+Status SaveDatabaseText(const std::string& path,
+                        const std::vector<ProbabilisticGraph>& db,
+                        const LabelTable& labels) {
+  std::ofstream os(path);
+  if (!os) return Status::NotFound("SaveDatabaseText: cannot open " + path);
+  os << "pgsimdb 1\n";
+  os << "# " << db.size() << " probabilistic graphs\n";
+  for (size_t i = 0; i < db.size(); ++i) {
+    PGSIM_RETURN_NOT_OK(WriteOneGraph(os, db[i], labels, i));
+  }
+  if (!os.good()) return Status::Internal("SaveDatabaseText: write failure");
+  return Status::OK();
+}
+
+Result<TextDatabase> LoadDatabaseText(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::NotFound("LoadDatabaseText: cannot open " + path);
+  LineReader reader(is);
+
+  auto header = reader.Next();
+  if (header.size() != 2 || header[0] != "pgsimdb" || header[1] != "1") {
+    return ParseError(reader, "expected header 'pgsimdb 1'");
+  }
+
+  TextDatabase out;
+  std::vector<std::string> tokens = reader.Next();
+  while (!tokens.empty()) {
+    if (tokens[0] != "graph") {
+      return ParseError(reader, "expected 'graph <id>', got '" + tokens[0] +
+                                    "'");
+    }
+    GraphBuilder builder;
+    std::vector<NeighborEdgeSet> ne_sets;
+    std::vector<EdgeId> pending_ne;  // awaiting its table line
+    for (tokens = reader.Next(); !tokens.empty() && tokens[0] != "end";
+         tokens = reader.Next()) {
+      const std::string& kind = tokens[0];
+      if (kind == "v") {
+        if (tokens.size() != 2) return ParseError(reader, "v <label>");
+        builder.AddVertex(out.labels.Intern(tokens[1]));
+      } else if (kind == "e") {
+        if (tokens.size() != 4) {
+          return ParseError(reader, "e <u> <v> <label>");
+        }
+        auto e = builder.AddEdge(
+            static_cast<VertexId>(std::stoul(tokens[1])),
+            static_cast<VertexId>(std::stoul(tokens[2])),
+            out.labels.Intern(tokens[3]));
+        if (!e.ok()) return ParseError(reader, e.status().message());
+      } else if (kind == "ne") {
+        if (!pending_ne.empty()) {
+          return ParseError(reader, "ne without a following table line");
+        }
+        if (tokens.size() < 2) return ParseError(reader, "ne <edge-id>...");
+        for (size_t i = 1; i < tokens.size(); ++i) {
+          pending_ne.push_back(static_cast<EdgeId>(std::stoul(tokens[i])));
+        }
+      } else if (kind == "t") {
+        if (pending_ne.empty()) {
+          return ParseError(reader, "table line without a preceding ne");
+        }
+        std::vector<double> weights;
+        for (size_t i = 1; i < tokens.size(); ++i) {
+          weights.push_back(std::stod(tokens[i]));
+        }
+        auto table = JointProbTable::FromWeights(std::move(weights));
+        if (!table.ok()) return ParseError(reader, table.status().message());
+        if (table->arity() != pending_ne.size()) {
+          return ParseError(reader, "table arity does not match ne size");
+        }
+        NeighborEdgeSet ne;
+        ne.edges = std::move(pending_ne);
+        pending_ne.clear();
+        ne.table = std::move(table).value();
+        ne_sets.push_back(std::move(ne));
+      } else {
+        return ParseError(reader, "unknown record '" + kind + "'");
+      }
+    }
+    if (tokens.empty()) {
+      return ParseError(reader, "unexpected EOF, missing 'end'");
+    }
+    if (!pending_ne.empty()) {
+      return ParseError(reader, "ne without a table at graph end");
+    }
+    auto graph = ProbabilisticGraph::Create(builder.Build(),
+                                            std::move(ne_sets));
+    if (!graph.ok()) return ParseError(reader, graph.status().message());
+    out.graphs.push_back(std::move(graph).value());
+    tokens = reader.Next();
+  }
+  return out;
+}
+
+Status SaveQueriesText(const std::string& path,
+                       const std::vector<Graph>& queries,
+                       const LabelTable& labels) {
+  std::ofstream os(path);
+  if (!os) return Status::NotFound("SaveQueriesText: cannot open " + path);
+  os << "pgsimq 1\n";
+  for (size_t i = 0; i < queries.size(); ++i) {
+    os << "query " << i << "\n";
+    for (VertexId v = 0; v < queries[i].NumVertices(); ++v) {
+      os << "v " << LabelName(labels, queries[i].VertexLabel(v)) << "\n";
+    }
+    for (const Edge& e : queries[i].Edges()) {
+      os << "e " << e.u << " " << e.v << " " << LabelName(labels, e.label)
+         << "\n";
+    }
+    os << "end\n";
+  }
+  if (!os.good()) return Status::Internal("SaveQueriesText: write failure");
+  return Status::OK();
+}
+
+Result<std::vector<Graph>> LoadQueriesText(const std::string& path,
+                                           LabelTable* labels) {
+  std::ifstream is(path);
+  if (!is) return Status::NotFound("LoadQueriesText: cannot open " + path);
+  LineReader reader(is);
+  auto header = reader.Next();
+  if (header.size() != 2 || header[0] != "pgsimq" || header[1] != "1") {
+    return ParseError(reader, "expected header 'pgsimq 1'");
+  }
+  std::vector<Graph> out;
+  std::vector<std::string> tokens = reader.Next();
+  while (!tokens.empty()) {
+    if (tokens[0] != "query") {
+      return ParseError(reader, "expected 'query <id>'");
+    }
+    GraphBuilder builder;
+    for (tokens = reader.Next(); !tokens.empty() && tokens[0] != "end";
+         tokens = reader.Next()) {
+      if (tokens[0] == "v" && tokens.size() == 2) {
+        builder.AddVertex(labels->Intern(tokens[1]));
+      } else if (tokens[0] == "e" && tokens.size() == 4) {
+        auto e = builder.AddEdge(
+            static_cast<VertexId>(std::stoul(tokens[1])),
+            static_cast<VertexId>(std::stoul(tokens[2])),
+            labels->Intern(tokens[3]));
+        if (!e.ok()) return ParseError(reader, e.status().message());
+      } else {
+        return ParseError(reader, "unknown record in query");
+      }
+    }
+    if (tokens.empty()) {
+      return ParseError(reader, "unexpected EOF, missing 'end'");
+    }
+    out.push_back(builder.Build());
+    tokens = reader.Next();
+  }
+  return out;
+}
+
+}  // namespace pgsim

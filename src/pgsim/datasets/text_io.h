@@ -1,0 +1,64 @@
+// Human-readable text format for probabilistic graph databases and query
+// workloads, so downstream users can feed their own data (e.g. STRING
+// exports) into pgsim without touching C++.
+//
+// Database format (# starts a comment line, blank lines ignored):
+//
+//   pgsimdb 1
+//   graph <id>
+//   v <vertex-label>                      # one per vertex, ids are 0-based
+//   e <u> <v> <edge-label>                # one per edge, ids are 0-based
+//   ne <edge-id>...                       # one neighbor edge set
+//   t <p0> <p1> ... <p_{2^k - 1}>         # its JPT, row for each assignment
+//                                         #   bit j of the row index = ne's
+//                                         #   j-th edge present
+//   end
+//   graph <id> ...
+//
+// Query workload format:
+//
+//   pgsimq 1
+//   query <id>
+//   v <vertex-label>
+//   e <u> <v> <edge-label>
+//   end
+//
+// Labels are arbitrary whitespace-free strings interned into a LabelTable
+// shared by the whole file.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pgsim/common/status.h"
+#include "pgsim/graph/label_table.h"
+#include "pgsim/prob/probabilistic_graph.h"
+
+namespace pgsim {
+
+/// A database parsed from text: graphs plus the shared label table.
+struct TextDatabase {
+  std::vector<ProbabilisticGraph> graphs;
+  LabelTable labels;
+};
+
+/// Writes `db` in the text format. `labels` must cover every label id used.
+Status SaveDatabaseText(const std::string& path,
+                        const std::vector<ProbabilisticGraph>& db,
+                        const LabelTable& labels);
+
+/// Parses a database file written by SaveDatabaseText (or by hand).
+Result<TextDatabase> LoadDatabaseText(const std::string& path);
+
+/// Writes a query workload (deterministic graphs).
+Status SaveQueriesText(const std::string& path,
+                       const std::vector<Graph>& queries,
+                       const LabelTable& labels);
+
+/// Parses a query workload; labels are interned into `labels` (must be the
+/// database's table so ids line up).
+Result<std::vector<Graph>> LoadQueriesText(const std::string& path,
+                                           LabelTable* labels);
+
+}  // namespace pgsim

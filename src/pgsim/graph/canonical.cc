@@ -1,0 +1,184 @@
+#include "pgsim/graph/canonical.h"
+
+#include <algorithm>
+#include <map>
+
+namespace pgsim {
+
+namespace {
+
+// Iterated color refinement: start from vertex labels, refine by sorted
+// multisets of (edge label, neighbor color) until stable. Returns a color id
+// per vertex where colors are ordered by their first-seen signature, which
+// makes the partition itself canonical.
+std::vector<uint32_t> RefineColors(const Graph& g) {
+  const uint32_t n = g.NumVertices();
+  std::vector<uint64_t> color(n);
+  for (VertexId v = 0; v < n; ++v) color[v] = g.VertexLabel(v);
+
+  for (uint32_t round = 0; round < n; ++round) {
+    // Signature: (own color, sorted neighbor (edge label, color) pairs).
+    std::vector<std::vector<uint64_t>> signature(n);
+    for (VertexId v = 0; v < n; ++v) {
+      auto& sig = signature[v];
+      sig.push_back(color[v]);
+      std::vector<uint64_t> nbrs;
+      for (const AdjEntry& a : g.Neighbors(v)) {
+        nbrs.push_back((uint64_t{g.EdgeLabel(a.edge)} << 32) |
+                       color[a.neighbor]);
+      }
+      std::sort(nbrs.begin(), nbrs.end());
+      sig.insert(sig.end(), nbrs.begin(), nbrs.end());
+    }
+    // Map distinct signatures to dense ids in sorted order.
+    std::map<std::vector<uint64_t>, uint64_t> ids;
+    for (VertexId v = 0; v < n; ++v) ids.emplace(signature[v], 0);
+    uint64_t next = 0;
+    for (auto& [sig, id] : ids) id = next++;
+    bool changed = false;
+    for (VertexId v = 0; v < n; ++v) {
+      const uint64_t fresh = ids[signature[v]];
+      if (fresh != color[v]) changed = true;
+      color[v] = fresh;
+    }
+    if (!changed) break;
+  }
+  std::vector<uint32_t> out(n);
+  for (VertexId v = 0; v < n; ++v) out[v] = static_cast<uint32_t>(color[v]);
+  return out;
+}
+
+// Serialization of g under the ordering `order` (canonical pos -> vertex):
+// vertex labels then the upper adjacency triangle with edge labels + 1
+// (0 = no edge).
+std::string Serialize(const Graph& g, const std::vector<VertexId>& order) {
+  std::string out;
+  const uint32_t n = g.NumVertices();
+  out.reserve(n * 4 + n * n * 2);
+  auto append32 = [&out](uint32_t x) {
+    out.push_back(static_cast<char>(x >> 24));
+    out.push_back(static_cast<char>(x >> 16));
+    out.push_back(static_cast<char>(x >> 8));
+    out.push_back(static_cast<char>(x));
+  };
+  for (uint32_t i = 0; i < n; ++i) append32(g.VertexLabel(order[i]));
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      const VertexId u = std::min(order[i], order[j]);
+      const VertexId v = std::max(order[i], order[j]);
+      const auto e = g.FindEdge(u, v);
+      append32(e.has_value() ? g.EdgeLabel(*e) + 1 : 0);
+    }
+  }
+  return out;
+}
+
+class CanonicalSearch {
+ public:
+  CanonicalSearch(const Graph& g, uint64_t max_nodes)
+      : g_(g), max_nodes_(max_nodes), colors_(RefineColors(g)) {}
+
+  Result<std::vector<VertexId>> Run() {
+    const uint32_t n = g_.NumVertices();
+    if (n == 0) return std::vector<VertexId>{};
+    used_.assign(n, false);
+    order_.clear();
+    best_order_.clear();
+    Recurse();
+    if (exhausted_) {
+      return Status::ResourceExhausted("CanonicalCode: node budget exceeded");
+    }
+    return best_order_;
+  }
+
+ private:
+  // Prefix comparison of the serialization of `order_` against the best so
+  // far: -1 smaller (new best prefix), 0 equal-so-far, +1 larger (prune).
+  // For simplicity we compare full serializations at the leaves and rely on
+  // the color-class ordering for pruning internal nodes.
+  void Recurse() {
+    if (exhausted_) return;
+    if (++nodes_ > max_nodes_) {
+      exhausted_ = true;
+      return;
+    }
+    const uint32_t n = g_.NumVertices();
+    if (order_.size() == n) {
+      std::string code = Serialize(g_, order_);
+      if (best_order_.empty() || code < best_code_) {
+        best_code_ = std::move(code);
+        best_order_ = order_;
+      }
+      return;
+    }
+    // Candidates: unused vertices of the lexicographically smallest
+    // remaining color class (the canonical ordering must list color classes
+    // in class order, which cuts the search to products of class factorials).
+    uint32_t best_color = UINT32_MAX;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!used_[v]) best_color = std::min(best_color, colors_[v]);
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (used_[v] || colors_[v] != best_color) continue;
+      used_[v] = true;
+      order_.push_back(v);
+      Recurse();
+      order_.pop_back();
+      used_[v] = false;
+      if (exhausted_) return;
+    }
+  }
+
+  const Graph& g_;
+  const uint64_t max_nodes_;
+  std::vector<uint32_t> colors_;
+  std::vector<bool> used_;
+  std::vector<VertexId> order_;
+  std::string best_code_;
+  std::vector<VertexId> best_order_;
+  uint64_t nodes_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+Result<std::vector<VertexId>> CanonicalOrder(const Graph& g,
+                                             const CanonicalOptions& options) {
+  CanonicalSearch search(g, options.max_nodes);
+  return search.Run();
+}
+
+Result<std::string> CanonicalCode(const Graph& g,
+                                  const CanonicalOptions& options) {
+  PGSIM_ASSIGN_OR_RETURN(const std::vector<VertexId> order,
+                         CanonicalOrder(g, options));
+  return Serialize(g, order);
+}
+
+Result<Graph> Canonicalize(const Graph& g, const CanonicalOptions& options) {
+  PGSIM_ASSIGN_OR_RETURN(const std::vector<VertexId> order,
+                         CanonicalOrder(g, options));
+  std::vector<VertexId> position(g.NumVertices());
+  for (uint32_t pos = 0; pos < order.size(); ++pos) position[order[pos]] = pos;
+  GraphBuilder builder;
+  for (uint32_t pos = 0; pos < order.size(); ++pos) {
+    builder.AddVertex(g.VertexLabel(order[pos]));
+  }
+  // Edges sorted by (new u, new v) for a fully deterministic layout.
+  std::vector<Edge> edges = g.Edges();
+  for (Edge& e : edges) {
+    VertexId u = position[e.u], v = position[e.v];
+    e.u = std::min(u, v);
+    e.v = std::max(u, v);
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  for (const Edge& e : edges) {
+    auto r = builder.AddEdge(e.u, e.v, e.label);
+    (void)r;
+  }
+  return builder.Build();
+}
+
+}  // namespace pgsim

@@ -1,0 +1,161 @@
+#include "pgsim/graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pgsim {
+
+std::optional<EdgeId> Graph::FindEdge(VertexId u, VertexId v) const {
+  if (u >= NumVertices() || v >= NumVertices()) return std::nullopt;
+  const auto& adj = adjacency_[u];
+  auto it = std::lower_bound(
+      adj.begin(), adj.end(), v,
+      [](const AdjEntry& a, VertexId target) { return a.neighbor < target; });
+  if (it != adj.end() && it->neighbor == v) return it->edge;
+  return std::nullopt;
+}
+
+bool Graph::IsConnected() const {
+  uint32_t num_components = 0;
+  ConnectedComponents(&num_components);
+  return num_components <= 1;
+}
+
+std::vector<uint32_t> Graph::ConnectedComponents(
+    uint32_t* num_components) const {
+  std::vector<uint32_t> comp(NumVertices(), 0xFFFFFFFFu);
+  uint32_t next = 0;
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < NumVertices(); ++s) {
+    if (comp[s] != 0xFFFFFFFFu) continue;
+    comp[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (const AdjEntry& a : adjacency_[v]) {
+        if (comp[a.neighbor] == 0xFFFFFFFFu) {
+          comp[a.neighbor] = next;
+          stack.push_back(a.neighbor);
+        }
+      }
+    }
+    ++next;
+  }
+  if (num_components != nullptr) *num_components = next;
+  return comp;
+}
+
+std::string Graph::DebugString() const {
+  std::ostringstream os;
+  os << "Graph(" << NumVertices() << " vertices, " << NumEdges() << " edges)\n";
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    os << "  v" << v << " label=" << vertex_labels_[v] << "\n";
+  }
+  for (EdgeId e = 0; e < NumEdges(); ++e) {
+    os << "  e" << e << " (" << edges_[e].u << "," << edges_[e].v
+       << ") label=" << edges_[e].label << "\n";
+  }
+  return os.str();
+}
+
+VertexId GraphBuilder::AddVertex(LabelId label) {
+  vertex_labels_.push_back(label);
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(vertex_labels_.size() - 1);
+}
+
+Result<EdgeId> GraphBuilder::AddEdge(VertexId u, VertexId v, LabelId label) {
+  if (u >= vertex_labels_.size() || v >= vertex_labels_.size()) {
+    return Status::InvalidArgument("AddEdge: endpoint out of range");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("AddEdge: self-loops are not allowed");
+  }
+  for (const AdjEntry& a : adjacency_[u]) {
+    if (a.neighbor == v) {
+      return Status::InvalidArgument("AddEdge: parallel edge (" +
+                                     std::to_string(u) + "," +
+                                     std::to_string(v) + ")");
+    }
+  }
+  if (u > v) std::swap(u, v);
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, label});
+  adjacency_[u].push_back(AdjEntry{v, id});
+  adjacency_[v].push_back(AdjEntry{u, id});
+  return id;
+}
+
+Graph GraphBuilder::Build() {
+  Graph g;
+  g.vertex_labels_ = std::move(vertex_labels_);
+  g.edges_ = std::move(edges_);
+  g.adjacency_ = std::move(adjacency_);
+  for (auto& adj : g.adjacency_) {
+    std::sort(adj.begin(), adj.end(),
+              [](const AdjEntry& a, const AdjEntry& b) {
+                return a.neighbor < b.neighbor;
+              });
+  }
+  vertex_labels_.clear();
+  edges_.clear();
+  adjacency_.clear();
+  return g;
+}
+
+Graph EdgeInducedSubgraph(const Graph& g, const std::vector<EdgeId>& edge_ids,
+                          std::vector<VertexId>* vertex_map) {
+  std::vector<VertexId> map(g.NumVertices(), kInvalidVertex);
+  GraphBuilder builder;
+  for (EdgeId e : edge_ids) {
+    const Edge& edge = g.GetEdge(e);
+    for (VertexId endpoint : {edge.u, edge.v}) {
+      if (map[endpoint] == kInvalidVertex) {
+        map[endpoint] = builder.AddVertex(g.VertexLabel(endpoint));
+      }
+    }
+  }
+  for (EdgeId e : edge_ids) {
+    const Edge& edge = g.GetEdge(e);
+    auto r = builder.AddEdge(map[edge.u], map[edge.v], edge.label);
+    (void)r;  // Duplicate ids in edge_ids would error; callers pass sets.
+  }
+  if (vertex_map != nullptr) *vertex_map = std::move(map);
+  return builder.Build();
+}
+
+uint64_t GraphFingerprint(const Graph& g) {
+  // Two rounds of Weisfeiler–Lehman-style label refinement, then an
+  // order-independent combine. Invariant under isomorphism by construction.
+  auto mix = [](uint64_t h, uint64_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
+    return h * 0xff51afd7ed558ccdULL;
+  };
+  std::vector<uint64_t> color(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    color[v] = mix(0x12345678ULL, g.VertexLabel(v));
+  }
+  for (int round = 0; round < 2; ++round) {
+    std::vector<uint64_t> next(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      // Sum of neighbor signatures is order-independent.
+      uint64_t acc = 0;
+      for (const AdjEntry& a : g.Neighbors(v)) {
+        acc += mix(color[a.neighbor], g.EdgeLabel(a.edge) + 1);
+      }
+      next[v] = mix(color[v], acc);
+    }
+    color.swap(next);
+  }
+  uint64_t h = 0xcbf29ce484222325ULL ^ (uint64_t{g.NumVertices()} << 32 |
+                                        uint64_t{g.NumEdges()});
+  uint64_t sum = 0, xor_acc = 0;
+  for (uint64_t c : color) {
+    sum += c;
+    xor_acc ^= mix(0xabcdef, c);
+  }
+  return mix(mix(h, sum), xor_acc);
+}
+
+}  // namespace pgsim

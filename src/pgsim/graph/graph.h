@@ -1,0 +1,142 @@
+// Deterministic labeled undirected graph (paper Definition 1).
+//
+// `Graph` is immutable once built: vertices and edges get dense uint32 ids,
+// adjacency lists are sorted, and lookups like HasEdge are O(log degree).
+// All higher layers (VF2, mining, the probabilistic model, PMI) operate on
+// this one representation.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pgsim/common/status.h"
+#include "pgsim/graph/label_table.h"
+
+namespace pgsim {
+
+/// Dense vertex id within one graph.
+using VertexId = uint32_t;
+/// Dense edge id within one graph.
+using EdgeId = uint32_t;
+
+/// Sentinel for "no such vertex".
+inline constexpr VertexId kInvalidVertex = 0xFFFFFFFFu;
+/// Sentinel for "no such edge".
+inline constexpr EdgeId kInvalidEdge = 0xFFFFFFFFu;
+
+/// One undirected labeled edge.
+struct Edge {
+  VertexId u;      ///< Smaller endpoint id (normalized so u < v).
+  VertexId v;      ///< Larger endpoint id.
+  LabelId label;   ///< Interned edge label.
+};
+
+/// (neighbor, connecting edge) entry of an adjacency list.
+struct AdjEntry {
+  VertexId neighbor;
+  EdgeId edge;
+};
+
+/// Immutable labeled undirected graph. Build with GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of vertices.
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(vertex_labels_.size());
+  }
+  /// Number of edges. Definition 8's |g| is this count.
+  uint32_t NumEdges() const { return static_cast<uint32_t>(edges_.size()); }
+
+  /// Label of vertex `v`.
+  LabelId VertexLabel(VertexId v) const { return vertex_labels_[v]; }
+  /// Label of edge `e`.
+  LabelId EdgeLabel(EdgeId e) const { return edges_[e].label; }
+  /// Endpoints (u < v) and label of edge `e`.
+  const Edge& GetEdge(EdgeId e) const { return edges_[e]; }
+
+  /// Sorted adjacency list of `v`.
+  const std::vector<AdjEntry>& Neighbors(VertexId v) const {
+    return adjacency_[v];
+  }
+  /// Degree of `v`.
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(adjacency_[v].size());
+  }
+
+  /// The edge id between u and v, if present.
+  std::optional<EdgeId> FindEdge(VertexId u, VertexId v) const;
+
+  /// All edges, normalized with u < v, in id order.
+  const std::vector<Edge>& Edges() const { return edges_; }
+  /// All vertex labels, in id order.
+  const std::vector<LabelId>& VertexLabels() const { return vertex_labels_; }
+
+  /// True iff the graph is connected (the empty graph counts as connected).
+  bool IsConnected() const;
+
+  /// Connected component id per vertex, components numbered from 0.
+  std::vector<uint32_t> ConnectedComponents(uint32_t* num_components) const;
+
+  /// Human-readable dump (for logs/tests), one vertex/edge per line.
+  std::string DebugString() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<LabelId> vertex_labels_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<AdjEntry>> adjacency_;
+};
+
+/// Incremental builder producing an immutable Graph.
+///
+/// Rejects self-loops and parallel edges (probabilistic PPI/road graphs are
+/// simple graphs; Definition 1 assumes simple undirected graphs).
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Adds a vertex with the given interned label; returns its id.
+  VertexId AddVertex(LabelId label);
+
+  /// Adds an undirected edge; endpoints must exist, no self-loops or
+  /// duplicates. Returns the new edge id.
+  Result<EdgeId> AddEdge(VertexId u, VertexId v, LabelId label);
+
+  /// Number of vertices added so far.
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(vertex_labels_.size());
+  }
+  /// Number of edges added so far.
+  uint32_t NumEdges() const { return static_cast<uint32_t>(edges_.size()); }
+
+  /// Finalizes: sorts adjacency, moves data into an immutable Graph.
+  /// The builder is left empty.
+  Graph Build();
+
+ private:
+  std::vector<LabelId> vertex_labels_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<AdjEntry>> adjacency_;
+};
+
+/// The subgraph of `g` induced by `edge_ids`: keeps exactly those edges and
+/// the vertices they touch (isolated vertices are dropped, consistent with
+/// the edge-based subgraph distance of Definition 8).
+///
+/// If `vertex_map` is non-null it receives old->new vertex ids
+/// (kInvalidVertex for dropped vertices).
+Graph EdgeInducedSubgraph(const Graph& g, const std::vector<EdgeId>& edge_ids,
+                          std::vector<VertexId>* vertex_map = nullptr);
+
+/// A cheap isomorphism-invariant fingerprint: equal graphs hash equal;
+/// unequal hashes imply non-isomorphic. Used to bucket candidates before an
+/// exact isomorphism check.
+uint64_t GraphFingerprint(const Graph& g);
+
+}  // namespace pgsim

@@ -1,0 +1,93 @@
+#include "pgsim/graph/io.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace pgsim {
+
+namespace {
+
+template <typename T>
+void WriteRaw(std::ostream& os, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  os.write(buf, sizeof(T));
+}
+
+template <typename T>
+Result<T> ReadRaw(std::istream& is) {
+  char buf[sizeof(T)];
+  is.read(buf, sizeof(T));
+  if (!is.good() && !is.eof()) {
+    return Status::Internal("stream read failed");
+  }
+  if (is.gcount() != static_cast<std::streamsize>(sizeof(T))) {
+    return Status::OutOfRange("unexpected end of stream");
+  }
+  T v;
+  std::memcpy(&v, buf, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+void WriteU32(std::ostream& os, uint32_t v) { WriteRaw(os, v); }
+void WriteU64(std::ostream& os, uint64_t v) { WriteRaw(os, v); }
+void WriteDouble(std::ostream& os, double v) { WriteRaw(os, v); }
+
+void WriteString(std::ostream& os, const std::string& s) {
+  WriteU32(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Result<uint32_t> ReadU32(std::istream& is) { return ReadRaw<uint32_t>(is); }
+Result<uint64_t> ReadU64(std::istream& is) { return ReadRaw<uint64_t>(is); }
+Result<double> ReadDouble(std::istream& is) { return ReadRaw<double>(is); }
+
+Result<std::string> ReadString(std::istream& is) {
+  PGSIM_ASSIGN_OR_RETURN(const uint32_t n, ReadU32(is));
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  if (is.gcount() != static_cast<std::streamsize>(n)) {
+    return Status::OutOfRange("unexpected end of stream in string");
+  }
+  return s;
+}
+
+void WriteGraph(std::ostream& os, const Graph& g) {
+  WriteU32(os, g.NumVertices());
+  WriteU32(os, g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    WriteU32(os, g.VertexLabel(v));
+  }
+  for (const Edge& e : g.Edges()) {
+    WriteU32(os, e.u);
+    WriteU32(os, e.v);
+    WriteU32(os, e.label);
+  }
+}
+
+Result<Graph> ReadGraph(std::istream& is) {
+  PGSIM_ASSIGN_OR_RETURN(const uint32_t num_vertices, ReadU32(is));
+  PGSIM_ASSIGN_OR_RETURN(const uint32_t num_edges, ReadU32(is));
+  GraphBuilder builder;
+  for (uint32_t i = 0; i < num_vertices; ++i) {
+    PGSIM_ASSIGN_OR_RETURN(const uint32_t label, ReadU32(is));
+    builder.AddVertex(label);
+  }
+  for (uint32_t i = 0; i < num_edges; ++i) {
+    PGSIM_ASSIGN_OR_RETURN(const uint32_t u, ReadU32(is));
+    PGSIM_ASSIGN_OR_RETURN(const uint32_t v, ReadU32(is));
+    PGSIM_ASSIGN_OR_RETURN(const uint32_t label, ReadU32(is));
+    auto edge = builder.AddEdge(u, v, label);
+    if (!edge.ok()) return edge.status();
+  }
+  return builder.Build();
+}
+
+size_t GraphByteSize(const Graph& g) {
+  return 8 + 4 * size_t{g.NumVertices()} + 12 * size_t{g.NumEdges()};
+}
+
+}  // namespace pgsim

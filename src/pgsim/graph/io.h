@@ -1,0 +1,35 @@
+// Binary (de)serialization of graphs plus small stream primitives, used by
+// the PMI on-disk format and the dataset snapshot files.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "pgsim/common/status.h"
+#include "pgsim/graph/graph.h"
+
+namespace pgsim {
+
+/// Little-endian fixed-width primitives.
+void WriteU32(std::ostream& os, uint32_t v);
+void WriteU64(std::ostream& os, uint64_t v);
+void WriteDouble(std::ostream& os, double v);
+void WriteString(std::ostream& os, const std::string& s);
+
+Result<uint32_t> ReadU32(std::istream& is);
+Result<uint64_t> ReadU64(std::istream& is);
+Result<double> ReadDouble(std::istream& is);
+Result<std::string> ReadString(std::istream& is);
+
+/// Serializes a graph (vertex labels, then normalized edges).
+void WriteGraph(std::ostream& os, const Graph& g);
+
+/// Deserializes a graph written by WriteGraph.
+Result<Graph> ReadGraph(std::istream& is);
+
+/// Serialized size in bytes of a graph (for index-size accounting).
+size_t GraphByteSize(const Graph& g);
+
+}  // namespace pgsim

@@ -1,0 +1,19 @@
+#include "pgsim/graph/label_table.h"
+
+namespace pgsim {
+
+LabelId LabelTable::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const LabelId id = static_cast<LabelId>(names_.size());
+  ids_.emplace(name, id);
+  names_.push_back(name);
+  return id;
+}
+
+LabelId LabelTable::Lookup(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidLabel : it->second;
+}
+
+}  // namespace pgsim

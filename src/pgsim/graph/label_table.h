@@ -1,0 +1,44 @@
+// Label interning.
+//
+// Vertex and edge labels (e.g. COG functional annotations in PPI networks)
+// are interned into dense 32-bit ids shared across a whole database so graph
+// algorithms compare integers, never strings.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pgsim/common/status.h"
+
+namespace pgsim {
+
+/// Dense interned label id. Labels are compared by id everywhere.
+using LabelId = uint32_t;
+
+/// Sentinel for "no such label".
+inline constexpr LabelId kInvalidLabel = 0xFFFFFFFFu;
+
+/// Bidirectional string<->id interning table, shared per database.
+class LabelTable {
+ public:
+  /// Returns the id for `name`, interning it if new.
+  LabelId Intern(const std::string& name);
+
+  /// Returns the id for `name`, or kInvalidLabel if never interned.
+  LabelId Lookup(const std::string& name) const;
+
+  /// Returns the string for an id. Requires id < size().
+  const std::string& Name(LabelId id) const { return names_[id]; }
+
+  /// Number of distinct labels interned.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, LabelId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace pgsim

@@ -1,0 +1,91 @@
+#include "pgsim/graph/relaxation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "pgsim/graph/vf2.h"
+
+namespace pgsim {
+
+uint64_t CountDeletionSets(uint32_t num_edges, uint32_t delta) {
+  if (delta > num_edges) return 0;
+  delta = std::min(delta, num_edges - delta);
+  uint64_t result = 1;
+  for (uint32_t i = 1; i <= delta; ++i) {
+    const uint64_t numer = num_edges - delta + i;
+    // result * numer / i, watching for overflow.
+    if (result > UINT64_MAX / numer) return UINT64_MAX;
+    result = result * numer / i;
+  }
+  return result;
+}
+
+Result<std::vector<Graph>> GenerateRelaxedQueries(
+    const Graph& q, uint32_t delta, const RelaxationOptions& options) {
+  if (delta >= q.NumEdges()) {
+    return Status::InvalidArgument(
+        "GenerateRelaxedQueries: delta must be < |E(q)| (got delta=" +
+        std::to_string(delta) + ", |E|=" + std::to_string(q.NumEdges()) + ")");
+  }
+  const uint64_t combos = CountDeletionSets(q.NumEdges(), delta);
+  if (combos > options.max_combinations) {
+    return Status::OutOfRange(
+        "GenerateRelaxedQueries: C(|E|, delta) = " + std::to_string(combos) +
+        " exceeds max_combinations = " +
+        std::to_string(options.max_combinations));
+  }
+
+  const uint32_t m = q.NumEdges();
+  std::vector<Graph> result;
+  // fingerprint -> indices into `result`, for isomorphism dedup.
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+
+  // Enumerate all delta-subsets of edge ids (the deleted set) in
+  // lexicographic order via the classic combination-advance loop.
+  std::vector<uint32_t> deleted(delta);
+  for (uint32_t i = 0; i < delta; ++i) deleted[i] = i;
+
+  std::vector<EdgeId> kept;
+  kept.reserve(m - delta);
+  auto emit = [&]() -> Status {
+    kept.clear();
+    size_t di = 0;
+    for (EdgeId e = 0; e < m; ++e) {
+      if (di < deleted.size() && deleted[di] == e) {
+        ++di;
+      } else {
+        kept.push_back(e);
+      }
+    }
+    Graph rq = EdgeInducedSubgraph(q, kept);
+    const uint64_t fp = GraphFingerprint(rq);
+    auto& bucket = buckets[fp];
+    for (size_t idx : bucket) {
+      if (AreIsomorphic(result[idx], rq)) return Status::OK();  // duplicate
+    }
+    if (result.size() >= options.max_relaxed_graphs) {
+      return Status::ResourceExhausted(
+          "GenerateRelaxedQueries: |U| exceeds max_relaxed_graphs");
+    }
+    bucket.push_back(result.size());
+    result.push_back(std::move(rq));
+    return Status::OK();
+  };
+
+  if (delta == 0) {
+    PGSIM_RETURN_NOT_OK(emit());
+    return result;
+  }
+  for (;;) {
+    PGSIM_RETURN_NOT_OK(emit());
+    // Advance the combination.
+    int i = static_cast<int>(delta) - 1;
+    while (i >= 0 && deleted[i] == m - delta + i) --i;
+    if (i < 0) break;
+    ++deleted[i];
+    for (uint32_t j = i + 1; j < delta; ++j) deleted[j] = deleted[j - 1] + 1;
+  }
+  return result;
+}
+
+}  // namespace pgsim

@@ -1,0 +1,43 @@
+// Query relaxation (paper Section 3.1).
+//
+// For a query q and distance threshold delta, the remaining graph set
+// U = {rq1, ..., rqa} contains the pairwise non-isomorphic graphs obtained by
+// deleting exactly delta edges from q (Lemma 1: Pr(q ⊆sim g) =
+// Pr(Brq1 ∨ ... ∨ Brqa); relabelings are subsumed by deletions for
+// containment purposes, and insertions never help — footnote 4).
+//
+// Isolated vertices left behind by edge deletions are dropped: the subgraph
+// distance of Definition 8 counts edges only.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgsim/common/status.h"
+#include "pgsim/graph/graph.h"
+
+namespace pgsim {
+
+/// Limits for relaxation enumeration.
+struct RelaxationOptions {
+  /// Hard cap on C(|E(q)|, delta) enumerated deletion sets; exceeding it is
+  /// an OutOfRange error (callers should shrink delta or the query).
+  uint64_t max_combinations = 2'000'000;
+  /// Hard cap on |U| after isomorphism dedup.
+  size_t max_relaxed_graphs = 200'000;
+};
+
+/// Generates U: all graphs q-minus-(delta edges), deduplicated by graph
+/// isomorphism (fingerprint buckets + exact VF2 check).
+/// Requires delta < |E(q)| (a fully deleted query matches everything and
+/// should be short-circuited by the caller).
+Result<std::vector<Graph>> GenerateRelaxedQueries(
+    const Graph& q, uint32_t delta,
+    const RelaxationOptions& options = RelaxationOptions());
+
+/// Number of delta-subsets of q's edges (the pre-dedup |U|), saturating at
+/// UINT64_MAX on overflow.
+uint64_t CountDeletionSets(uint32_t num_edges, uint32_t delta);
+
+}  // namespace pgsim

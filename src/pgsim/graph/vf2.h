@@ -1,0 +1,64 @@
+// VF2-style subgraph isomorphism (paper Definition 5, reference [10]).
+//
+// Used pervasively: feature-vs-graph containment when building the PMI,
+// feature-vs-relaxed-query tests during probabilistic pruning (Section 3),
+// embedding enumeration for SIP bounds (Section 4.1) and for the Algorithm 5
+// sampler (Section 5).
+//
+// Semantics: *monomorphism* — an injective vertex mapping preserving vertex
+// labels, and every pattern edge must map to a target edge with equal label
+// (extra target edges are allowed; the embedding is a subgraph, not induced).
+// Disconnected patterns are supported (relaxed queries can disconnect).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pgsim/common/bitset.h"
+#include "pgsim/common/status.h"
+#include "pgsim/graph/graph.h"
+
+namespace pgsim {
+
+/// One subgraph-isomorphic image of a pattern inside a target graph.
+struct Embedding {
+  /// pattern vertex id -> target vertex id.
+  std::vector<VertexId> vertex_map;
+  /// pattern edge id -> target edge id.
+  std::vector<EdgeId> edge_map;
+};
+
+/// Enumeration knobs.
+struct Vf2Options {
+  /// Stop after this many *distinct edge-set* embeddings (0 = no cap).
+  size_t max_embeddings = 0;
+  /// If true (paper semantics), embeddings that cover the same target edge
+  /// set are reported once: Definition 5 defines the embedding as the
+  /// subgraph (V3, E3) of g, so pattern automorphisms do not multiply counts.
+  bool dedup_by_edge_set = true;
+};
+
+/// True iff `pattern` is subgraph isomorphic to `target` (q ⊆iso g).
+bool IsSubgraphIsomorphic(const Graph& pattern, const Graph& target);
+
+/// Invokes `callback` for each embedding of `pattern` in `target`;
+/// enumeration stops early when the callback returns false.
+/// Returns the number of embeddings reported.
+size_t EnumerateEmbeddings(const Graph& pattern, const Graph& target,
+                           const Vf2Options& options,
+                           const std::function<bool(const Embedding&)>& callback);
+
+/// Convenience: the distinct target-edge sets of all embeddings of `pattern`
+/// in `target`, as bitsets over target edge ids. If `truncated` is non-null
+/// it is set when `max_embeddings` stopped the enumeration early.
+std::vector<EdgeBitset> EmbeddingEdgeSets(const Graph& pattern,
+                                          const Graph& target,
+                                          size_t max_embeddings,
+                                          bool* truncated = nullptr);
+
+/// True iff g1 and g2 are isomorphic (equal sizes + monomorphism suffices).
+bool AreIsomorphic(const Graph& g1, const Graph& g2);
+
+}  // namespace pgsim

@@ -1,0 +1,241 @@
+#include "pgsim/index/pmi.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "pgsim/common/timer.h"
+#include "pgsim/graph/io.h"
+#include "pgsim/graph/vf2.h"
+
+namespace pgsim {
+
+namespace {
+constexpr uint32_t kPmiMagic = 0x504d4931;  // "PMI1"
+}  // namespace
+
+Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Build(
+    const std::vector<ProbabilisticGraph>& database,
+    const PmiBuildOptions& options) {
+  WallTimer total_timer;
+  ProbabilisticMatrixIndex index;
+
+  std::vector<Graph> certain;
+  certain.reserve(database.size());
+  for (const ProbabilisticGraph& g : database) certain.push_back(g.certain());
+
+  WallTimer mining_timer;
+  PGSIM_ASSIGN_OR_RETURN(FeatureSet mined,
+                         MineFeatures(certain, options.miner));
+  index.stats_.mining_seconds = mining_timer.Seconds();
+  index.features_ = std::move(mined.features);
+
+  // Invert support lists: features present per graph.
+  std::vector<std::vector<uint32_t>> features_of_graph(database.size());
+  for (uint32_t fi = 0; fi < index.features_.size(); ++fi) {
+    for (uint32_t gi : index.features_[fi].support) {
+      features_of_graph[gi].push_back(fi);
+    }
+  }
+
+  WallTimer bounds_timer;
+  Rng rng(options.seed);
+  index.columns_.resize(database.size());
+  for (uint32_t gi = 0; gi < database.size(); ++gi) {
+    const std::vector<uint32_t>& feature_ids = features_of_graph[gi];
+    if (feature_ids.empty()) continue;
+    std::vector<const Graph*> feature_graphs;
+    feature_graphs.reserve(feature_ids.size());
+    for (uint32_t fi : feature_ids) {
+      feature_graphs.push_back(&index.features_[fi].graph);
+    }
+    Rng graph_rng = rng.Fork();
+    const std::vector<SipBounds> bounds = ComputeSipBoundsBatch(
+        database[gi], feature_graphs, options.sip, &graph_rng);
+    auto& column = index.columns_[gi];
+    column.reserve(feature_ids.size());
+    for (size_t k = 0; k < feature_ids.size(); ++k) {
+      // Mining support says f ⊆iso gc, so embeddings must exist; guard
+      // against truncation artifacts anyway.
+      PmiEntry entry;
+      entry.feature_id = feature_ids[k];
+      entry.lower_opt = static_cast<float>(bounds[k].lower_opt);
+      entry.upper_opt = static_cast<float>(bounds[k].upper_opt);
+      entry.lower_simple = static_cast<float>(bounds[k].lower_simple);
+      entry.upper_simple = static_cast<float>(bounds[k].upper_simple);
+      column.push_back(entry);
+    }
+    std::sort(column.begin(), column.end(),
+              [](const PmiEntry& a, const PmiEntry& b) {
+                return a.feature_id < b.feature_id;
+              });
+  }
+  index.stats_.bounds_seconds = bounds_timer.Seconds();
+  index.stats_.total_seconds = total_timer.Seconds();
+  index.stats_.num_features = index.features_.size();
+  for (const auto& column : index.columns_) {
+    index.stats_.num_entries += column.size();
+  }
+  index.stats_.size_bytes = index.SizeBytes();
+  return index;
+}
+
+Result<uint32_t> ProbabilisticMatrixIndex::AddGraph(
+    const ProbabilisticGraph& graph, const SipBoundOptions& sip,
+    uint64_t seed) {
+  const uint32_t graph_id = static_cast<uint32_t>(columns_.size());
+  // Which existing features occur in the new graph's certain graph?
+  std::vector<uint32_t> feature_ids;
+  std::vector<const Graph*> feature_graphs;
+  for (uint32_t fi = 0; fi < features_.size(); ++fi) {
+    if (IsSubgraphIsomorphic(features_[fi].graph, graph.certain())) {
+      feature_ids.push_back(fi);
+      feature_graphs.push_back(&features_[fi].graph);
+    }
+  }
+  Rng rng(seed);
+  const std::vector<SipBounds> bounds =
+      ComputeSipBoundsBatch(graph, feature_graphs, sip, &rng);
+  std::vector<PmiEntry> column;
+  column.reserve(feature_ids.size());
+  for (size_t k = 0; k < feature_ids.size(); ++k) {
+    PmiEntry entry;
+    entry.feature_id = feature_ids[k];
+    entry.lower_opt = static_cast<float>(bounds[k].lower_opt);
+    entry.upper_opt = static_cast<float>(bounds[k].upper_opt);
+    entry.lower_simple = static_cast<float>(bounds[k].lower_simple);
+    entry.upper_simple = static_cast<float>(bounds[k].upper_simple);
+    column.push_back(entry);
+    features_[feature_ids[k]].support.push_back(graph_id);
+  }
+  std::sort(column.begin(), column.end(),
+            [](const PmiEntry& a, const PmiEntry& b) {
+              return a.feature_id < b.feature_id;
+            });
+  stats_.num_entries += column.size();
+  columns_.push_back(std::move(column));
+  stats_.size_bytes = SizeBytes();
+  return graph_id;
+}
+
+Status ProbabilisticMatrixIndex::RemoveGraph(uint32_t graph_id) {
+  if (graph_id >= columns_.size()) {
+    return Status::InvalidArgument("RemoveGraph: graph id out of range");
+  }
+  stats_.num_entries -= columns_[graph_id].size();
+  columns_.erase(columns_.begin() + graph_id);
+  for (Feature& f : features_) {
+    std::vector<uint32_t> updated;
+    updated.reserve(f.support.size());
+    for (uint32_t gi : f.support) {
+      if (gi == graph_id) continue;
+      updated.push_back(gi > graph_id ? gi - 1 : gi);
+    }
+    f.support = std::move(updated);
+  }
+  stats_.size_bytes = SizeBytes();
+  return Status::OK();
+}
+
+const PmiEntry* ProbabilisticMatrixIndex::Lookup(uint32_t graph_id,
+                                                 uint32_t feature_id) const {
+  const auto& column = columns_[graph_id];
+  auto it = std::lower_bound(
+      column.begin(), column.end(), feature_id,
+      [](const PmiEntry& e, uint32_t target) { return e.feature_id < target; });
+  if (it != column.end() && it->feature_id == feature_id) return &*it;
+  return nullptr;
+}
+
+size_t ProbabilisticMatrixIndex::SizeBytes() const {
+  size_t bytes = 16;  // header
+  for (const Feature& f : features_) {
+    bytes += GraphByteSize(f.graph) + 4 * f.support.size() + 24;
+  }
+  for (const auto& column : columns_) {
+    bytes += 4 + column.size() * (4 + 4 * sizeof(float));
+  }
+  return bytes;
+}
+
+Status ProbabilisticMatrixIndex::Save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::NotFound("PMI Save: cannot open " + path);
+  WriteU32(os, kPmiMagic);
+  WriteU32(os, static_cast<uint32_t>(features_.size()));
+  WriteU32(os, static_cast<uint32_t>(columns_.size()));
+  for (const Feature& f : features_) {
+    WriteGraph(os, f.graph);
+    WriteU32(os, static_cast<uint32_t>(f.support.size()));
+    for (uint32_t gi : f.support) WriteU32(os, gi);
+    WriteDouble(os, f.frequency);
+    WriteDouble(os, f.discriminative);
+    WriteU32(os, f.level);
+  }
+  for (const auto& column : columns_) {
+    WriteU32(os, static_cast<uint32_t>(column.size()));
+    for (const PmiEntry& e : column) {
+      WriteU32(os, e.feature_id);
+      WriteDouble(os, e.lower_opt);
+      WriteDouble(os, e.upper_opt);
+      WriteDouble(os, e.lower_simple);
+      WriteDouble(os, e.upper_simple);
+    }
+  }
+  if (!os.good()) return Status::Internal("PMI Save: write failure");
+  return Status::OK();
+}
+
+Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Load(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::NotFound("PMI Load: cannot open " + path);
+  PGSIM_ASSIGN_OR_RETURN(const uint32_t magic, ReadU32(is));
+  if (magic != kPmiMagic) {
+    return Status::InvalidArgument("PMI Load: bad magic in " + path);
+  }
+  PGSIM_ASSIGN_OR_RETURN(const uint32_t num_features, ReadU32(is));
+  PGSIM_ASSIGN_OR_RETURN(const uint32_t num_graphs, ReadU32(is));
+  ProbabilisticMatrixIndex index;
+  index.features_.reserve(num_features);
+  for (uint32_t fi = 0; fi < num_features; ++fi) {
+    Feature f;
+    PGSIM_ASSIGN_OR_RETURN(f.graph, ReadGraph(is));
+    PGSIM_ASSIGN_OR_RETURN(const uint32_t support_size, ReadU32(is));
+    f.support.reserve(support_size);
+    for (uint32_t i = 0; i < support_size; ++i) {
+      PGSIM_ASSIGN_OR_RETURN(const uint32_t gi, ReadU32(is));
+      f.support.push_back(gi);
+    }
+    PGSIM_ASSIGN_OR_RETURN(f.frequency, ReadDouble(is));
+    PGSIM_ASSIGN_OR_RETURN(f.discriminative, ReadDouble(is));
+    PGSIM_ASSIGN_OR_RETURN(f.level, ReadU32(is));
+    index.features_.push_back(std::move(f));
+  }
+  index.columns_.resize(num_graphs);
+  for (uint32_t gi = 0; gi < num_graphs; ++gi) {
+    PGSIM_ASSIGN_OR_RETURN(const uint32_t column_size, ReadU32(is));
+    auto& column = index.columns_[gi];
+    column.reserve(column_size);
+    for (uint32_t k = 0; k < column_size; ++k) {
+      PmiEntry e;
+      PGSIM_ASSIGN_OR_RETURN(e.feature_id, ReadU32(is));
+      PGSIM_ASSIGN_OR_RETURN(const double lo, ReadDouble(is));
+      PGSIM_ASSIGN_OR_RETURN(const double uo, ReadDouble(is));
+      PGSIM_ASSIGN_OR_RETURN(const double ls, ReadDouble(is));
+      PGSIM_ASSIGN_OR_RETURN(const double us, ReadDouble(is));
+      e.lower_opt = static_cast<float>(lo);
+      e.upper_opt = static_cast<float>(uo);
+      e.lower_simple = static_cast<float>(ls);
+      e.upper_simple = static_cast<float>(us);
+      column.push_back(e);
+    }
+  }
+  index.stats_.num_features = index.features_.size();
+  for (const auto& column : index.columns_) {
+    index.stats_.num_entries += column.size();
+  }
+  index.stats_.size_bytes = index.SizeBytes();
+  return index;
+}
+
+}  // namespace pgsim

@@ -1,0 +1,337 @@
+#include "pgsim/prob/clique_tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <unordered_set>
+
+namespace pgsim {
+
+namespace {
+
+// Union-find for Kruskal.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  bool Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+size_t SharedCount(const std::vector<uint32_t>& a,
+                   const std::vector<uint32_t>& b) {
+  size_t n = 0;
+  for (uint32_t x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<CliqueTree> CliqueTree::Build(uint32_t num_vars,
+                                     std::vector<CliqueFactor> factors) {
+  CliqueTree tree;
+  tree.num_vars_ = num_vars;
+  tree.nodes_.reserve(factors.size());
+
+  std::vector<char> covered(num_vars, 0);
+  for (auto& f : factors) {
+    std::unordered_set<uint32_t> dedup(f.vars.begin(), f.vars.end());
+    if (dedup.size() != f.vars.size()) {
+      return Status::InvalidArgument("CliqueTree: factor has duplicate vars");
+    }
+    if (f.table.arity() != f.vars.size()) {
+      return Status::InvalidArgument(
+          "CliqueTree: table arity != number of factor variables");
+    }
+    for (uint32_t v : f.vars) {
+      if (v >= num_vars) {
+        return Status::InvalidArgument("CliqueTree: variable id out of range");
+      }
+      covered[v] = 1;
+    }
+    Node node;
+    node.vars = std::move(f.vars);
+    node.table = std::move(f.table);
+    tree.nodes_.push_back(std::move(node));
+  }
+  for (uint32_t v = 0; v < num_vars; ++v) {
+    if (!covered[v]) {
+      return Status::InvalidArgument("CliqueTree: variable " +
+                                     std::to_string(v) +
+                                     " is not covered by any factor");
+    }
+  }
+
+  // Max-weight spanning forest over shared-variable counts (Kruskal).
+  const size_t n = tree.nodes_.size();
+  struct Candidate {
+    size_t a, b, weight;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const size_t w = SharedCount(tree.nodes_[i].vars, tree.nodes_[j].vars);
+      if (w > 0) candidates.push_back({i, j, w});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& x, const Candidate& y) {
+                     return x.weight > y.weight;
+                   });
+  DisjointSets dsu(n);
+  std::vector<std::vector<uint32_t>> tree_adj(n);
+  for (const Candidate& c : candidates) {
+    if (dsu.Union(c.a, c.b)) {
+      tree_adj[c.a].push_back(static_cast<uint32_t>(c.b));
+      tree_adj[c.b].push_back(static_cast<uint32_t>(c.a));
+    }
+  }
+
+  // Root each component; record parents and a parents-first order.
+  std::vector<char> visited(n, 0);
+  for (size_t s = 0; s < n; ++s) {
+    if (visited[s]) continue;
+    visited[s] = 1;
+    tree.roots_.push_back(static_cast<uint32_t>(s));
+    tree.topo_order_.push_back(static_cast<uint32_t>(s));
+    for (size_t head = tree.topo_order_.size() - 1;
+         head < tree.topo_order_.size(); ++head) {
+      const uint32_t v = tree.topo_order_[head];
+      for (uint32_t nb : tree_adj[v]) {
+        if (visited[nb]) continue;
+        visited[nb] = 1;
+        tree.nodes_[nb].parent = static_cast<int>(v);
+        tree.nodes_[v].children.push_back(nb);
+        tree.topo_order_.push_back(nb);
+      }
+    }
+  }
+
+  // Separator bit positions.
+  for (size_t i = 0; i < n; ++i) {
+    Node& node = tree.nodes_[i];
+    if (node.parent >= 0) {
+      const Node& parent = tree.nodes_[node.parent];
+      for (uint32_t pos = 0; pos < node.vars.size(); ++pos) {
+        if (std::find(parent.vars.begin(), parent.vars.end(),
+                      node.vars[pos]) != parent.vars.end()) {
+          node.sep_positions.push_back(pos);
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Node& node = tree.nodes_[i];
+    node.child_sep_positions.resize(node.children.size());
+    for (size_t ci = 0; ci < node.children.size(); ++ci) {
+      const Node& child = tree.nodes_[node.children[ci]];
+      for (uint32_t cpos : child.sep_positions) {
+        const uint32_t var = child.vars[cpos];
+        const auto it = std::find(node.vars.begin(), node.vars.end(), var);
+        node.child_sep_positions[ci].push_back(
+            static_cast<uint32_t>(it - node.vars.begin()));
+      }
+    }
+  }
+
+  // Running-intersection property: the cliques containing each variable must
+  // form a connected subtree of the spanning forest.
+  for (uint32_t v = 0; v < num_vars; ++v) {
+    std::vector<uint32_t> holders;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (std::find(tree.nodes_[i].vars.begin(), tree.nodes_[i].vars.end(),
+                    v) != tree.nodes_[i].vars.end()) {
+        holders.push_back(i);
+      }
+    }
+    if (holders.size() <= 1) continue;
+    std::unordered_set<uint32_t> holder_set(holders.begin(), holders.end());
+    std::vector<uint32_t> stack{holders[0]};
+    std::unordered_set<uint32_t> reached{holders[0]};
+    while (!stack.empty()) {
+      const uint32_t x = stack.back();
+      stack.pop_back();
+      for (uint32_t nb : tree_adj[x]) {
+        if (holder_set.count(nb) && !reached.count(nb)) {
+          reached.insert(nb);
+          stack.push_back(nb);
+        }
+      }
+    }
+    if (reached.size() != holders.size()) {
+      return Status::InvalidArgument(
+          "CliqueTree: factors violate the running-intersection property "
+          "(variable " +
+          std::to_string(v) + ")");
+    }
+  }
+
+  EdgeBitset empty(num_vars);
+  tree.z_ = tree.Partition(empty, empty);
+  if (tree.z_ <= 0.0) {
+    return Status::InvalidArgument(
+        "CliqueTree: partition function is zero (all-zero factors?)");
+  }
+  return tree;
+}
+
+double CliqueTree::NodeWeight(
+    uint32_t i, uint32_t mask, const std::vector<std::vector<double>>& messages,
+    const EdgeBitset& care, const EdgeBitset& value) const {
+  const Node& node = nodes_[i];
+  // Evidence consistency.
+  for (uint32_t pos = 0; pos < node.vars.size(); ++pos) {
+    const uint32_t var = node.vars[pos];
+    if (care.size() != 0 && care.Test(var)) {
+      const bool want = value.Test(var);
+      const bool got = (mask >> pos) & 1U;
+      if (want != got) return 0.0;
+    }
+  }
+  double w = node.table.Prob(mask);
+  for (size_t ci = 0; ci < node.children.size() && w > 0.0; ++ci) {
+    uint32_t sep_mask = 0;
+    const auto& positions = node.child_sep_positions[ci];
+    for (size_t b = 0; b < positions.size(); ++b) {
+      if ((mask >> positions[b]) & 1U) sep_mask |= (1U << b);
+    }
+    w *= messages[node.children[ci]][sep_mask];
+  }
+  return w;
+}
+
+double CliqueTree::UpwardPass(
+    const EdgeBitset& care, const EdgeBitset& value,
+    std::vector<std::vector<double>>* messages) const {
+  messages->assign(nodes_.size(), {});
+  // Children before parents.
+  for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
+    const uint32_t i = *it;
+    const Node& node = nodes_[i];
+    if (node.parent < 0) continue;
+    auto& msg = (*messages)[i];
+    msg.assign(1ULL << node.sep_positions.size(), 0.0);
+    const uint32_t table_size = 1U << node.vars.size();
+    for (uint32_t mask = 0; mask < table_size; ++mask) {
+      const double w = NodeWeight(i, mask, *messages, care, value);
+      if (w == 0.0) continue;
+      uint32_t sep_mask = 0;
+      for (size_t b = 0; b < node.sep_positions.size(); ++b) {
+        if ((mask >> node.sep_positions[b]) & 1U) sep_mask |= (1U << b);
+      }
+      msg[sep_mask] += w;
+    }
+  }
+  double z = 1.0;
+  for (uint32_t root : roots_) {
+    double component = 0.0;
+    const uint32_t table_size = 1U << nodes_[root].vars.size();
+    for (uint32_t mask = 0; mask < table_size; ++mask) {
+      component += NodeWeight(root, mask, *messages, care, value);
+    }
+    z *= component;
+  }
+  return z;
+}
+
+double CliqueTree::Partition(const EdgeBitset& care,
+                             const EdgeBitset& value) const {
+  std::vector<std::vector<double>> messages;
+  return UpwardPass(care, value, &messages);
+}
+
+double CliqueTree::WorldWeight(const EdgeBitset& world) const {
+  double w = 1.0;
+  for (const Node& node : nodes_) {
+    uint32_t mask = 0;
+    for (uint32_t pos = 0; pos < node.vars.size(); ++pos) {
+      if (world.Test(node.vars[pos])) mask |= (1U << pos);
+    }
+    w *= node.table.Prob(mask);
+    if (w == 0.0) break;
+  }
+  return w;
+}
+
+Result<EdgeBitset> CliqueTree::SampleConditioned(Rng* rng,
+                                                 const EdgeBitset& care,
+                                                 const EdgeBitset& value) const {
+  std::vector<std::vector<double>> messages;
+  const double z = UpwardPass(care, value, &messages);
+  if (z <= 0.0) {
+    return Status::FailedPrecondition(
+        "CliqueTree::SampleConditioned: evidence has zero probability");
+  }
+
+  EdgeBitset world(num_vars_);
+  EdgeBitset assigned(num_vars_);
+  // Parents first: the separator assignment of a child is fixed by the time
+  // the child is sampled (forward-filter backward-sample).
+  std::vector<double> weights;
+  for (uint32_t i : topo_order_) {
+    const Node& node = nodes_[i];
+    const uint32_t table_size = 1U << node.vars.size();
+    weights.assign(table_size, 0.0);
+    double total = 0.0;
+    for (uint32_t mask = 0; mask < table_size; ++mask) {
+      // Consistency with variables already assigned (the separator with the
+      // parent, plus any overlap handled transitively through RIP).
+      bool consistent = true;
+      for (uint32_t pos = 0; pos < node.vars.size() && consistent; ++pos) {
+        const uint32_t var = node.vars[pos];
+        if (assigned.Test(var) &&
+            world.Test(var) != (((mask >> pos) & 1U) != 0)) {
+          consistent = false;
+        }
+      }
+      if (!consistent) continue;
+      const double w = NodeWeight(i, mask, messages, care, value);
+      weights[mask] = w;
+      total += w;
+    }
+    if (total <= 0.0) {
+      return Status::Internal(
+          "CliqueTree::SampleConditioned: zero conditional mass mid-descent");
+    }
+    double target = rng->UniformDouble() * total;
+    uint32_t chosen = table_size - 1;
+    for (uint32_t mask = 0; mask < table_size; ++mask) {
+      if (weights[mask] <= 0.0) continue;
+      target -= weights[mask];
+      if (target < 0.0) {
+        chosen = mask;
+        break;
+      }
+    }
+    for (uint32_t pos = 0; pos < node.vars.size(); ++pos) {
+      const uint32_t var = node.vars[pos];
+      world.Assign(var, (chosen >> pos) & 1U);
+      assigned.Set(var);
+    }
+  }
+  return world;
+}
+
+EdgeBitset CliqueTree::Sample(Rng* rng) const {
+  EdgeBitset empty(num_vars_);
+  auto result = SampleConditioned(rng, empty, empty);
+  // Unconditioned sampling cannot fail (Z > 0 is validated at Build).
+  return std::move(result).value();
+}
+
+}  // namespace pgsim

@@ -1,0 +1,113 @@
+#include "pgsim/prob/jpt.h"
+
+#include <cmath>
+#include <string>
+
+namespace pgsim {
+
+Result<JointProbTable> JointProbTable::FromWeights(
+    std::vector<double> weights) {
+  if (weights.empty() || (weights.size() & (weights.size() - 1)) != 0) {
+    return Status::InvalidArgument(
+        "JPT weights size must be a power of two, got " +
+        std::to_string(weights.size()));
+  }
+  uint32_t arity = 0;
+  while ((1ULL << arity) < weights.size()) ++arity;
+  if (arity > kMaxArity) {
+    return Status::OutOfRange("JPT arity " + std::to_string(arity) +
+                              " exceeds kMaxArity");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument("JPT weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("JPT weights must have positive sum");
+  }
+  for (double& w : weights) w /= total;
+  JointProbTable t;
+  t.arity_ = arity;
+  t.probs_ = std::move(weights);
+  return t;
+}
+
+Result<JointProbTable> JointProbTable::Independent(
+    const std::vector<double>& edge_probs) {
+  if (edge_probs.size() > kMaxArity) {
+    return Status::OutOfRange("Independent JPT arity exceeds kMaxArity");
+  }
+  for (double p : edge_probs) {
+    if (p < 0.0 || p > 1.0 || !std::isfinite(p)) {
+      return Status::InvalidArgument("edge probability must be in [0, 1]");
+    }
+  }
+  const uint32_t arity = static_cast<uint32_t>(edge_probs.size());
+  std::vector<double> probs(1ULL << arity, 1.0);
+  for (uint32_t mask = 0; mask < probs.size(); ++mask) {
+    double p = 1.0;
+    for (uint32_t j = 0; j < arity; ++j) {
+      p *= ((mask >> j) & 1U) ? edge_probs[j] : (1.0 - edge_probs[j]);
+    }
+    probs[mask] = p;
+  }
+  JointProbTable t;
+  t.arity_ = arity;
+  t.probs_ = std::move(probs);
+  return t;
+}
+
+double JointProbTable::MarginalAllPresent(uint32_t subset_mask) const {
+  return Marginal(subset_mask, subset_mask);
+}
+
+double JointProbTable::Marginal(uint32_t care_mask,
+                                uint32_t value_mask) const {
+  double total = 0.0;
+  for (uint32_t mask = 0; mask < probs_.size(); ++mask) {
+    if ((mask & care_mask) == (value_mask & care_mask)) total += probs_[mask];
+  }
+  return total;
+}
+
+uint32_t JointProbTable::Sample(Rng* rng) const {
+  double target = rng->UniformDouble();
+  for (uint32_t mask = 0; mask < probs_.size(); ++mask) {
+    target -= probs_[mask];
+    if (target < 0.0) return mask;
+  }
+  return static_cast<uint32_t>(probs_.size() - 1);
+}
+
+Result<uint32_t> JointProbTable::SampleConditioned(Rng* rng,
+                                                   uint32_t care_mask,
+                                                   uint32_t value_mask) const {
+  const double mass = Marginal(care_mask, value_mask);
+  if (mass <= 0.0) {
+    return Status::FailedPrecondition(
+        "SampleConditioned: conditioning event has zero probability");
+  }
+  double target = rng->UniformDouble() * mass;
+  uint32_t last_valid = 0;
+  bool seen = false;
+  for (uint32_t mask = 0; mask < probs_.size(); ++mask) {
+    if ((mask & care_mask) != (value_mask & care_mask)) continue;
+    last_valid = mask;
+    seen = true;
+    target -= probs_[mask];
+    if (target < 0.0) return mask;
+  }
+  (void)seen;
+  return last_valid;  // floating-point tail underflow
+}
+
+double JointProbTable::TotalMass() const {
+  double total = 0.0;
+  for (double p : probs_) total += p;
+  return total;
+}
+
+}  // namespace pgsim

@@ -1,0 +1,66 @@
+// Joint probability tables (paper Definition 2, Figure 1).
+//
+// A JPT assigns a probability to each 0/1 assignment of the edges of one
+// neighbor-edge set. Assignments are encoded as bitmasks: bit j is the
+// existence indicator of the j-th edge of the set. Tables are dense
+// (arity <= kMaxArity) and normalized.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgsim/common/random.h"
+#include "pgsim/common/status.h"
+
+namespace pgsim {
+
+/// Dense joint distribution over up to kMaxArity binary edge variables.
+class JointProbTable {
+ public:
+  /// Largest supported neighbor-edge-set size (tables are 2^arity doubles).
+  static constexpr uint32_t kMaxArity = 16;
+
+  JointProbTable() = default;
+
+  /// Builds a table from non-negative weights (size must be a power of two,
+  /// 2^arity with arity <= kMaxArity); weights are normalized to sum to 1.
+  static Result<JointProbTable> FromWeights(std::vector<double> weights);
+
+  /// The independent-edges table: Pr(mask) = prod p_i^{b_i} (1-p_i)^{1-b_i}.
+  /// Used for the IND baseline model of the experiments (Figure 14).
+  static Result<JointProbTable> Independent(
+      const std::vector<double>& edge_probs);
+
+  /// Number of edge variables.
+  uint32_t arity() const { return arity_; }
+
+  /// Pr(assignment == mask).
+  double Prob(uint32_t mask) const { return probs_[mask]; }
+
+  /// Pr(all edges whose bits are set in `subset_mask` are present).
+  double MarginalAllPresent(uint32_t subset_mask) const;
+
+  /// Pr(assignment agrees with `value_mask` on the bits of `care_mask`).
+  double Marginal(uint32_t care_mask, uint32_t value_mask) const;
+
+  /// Samples an assignment mask from the table.
+  uint32_t Sample(Rng* rng) const;
+
+  /// Samples an assignment agreeing with `value_mask` on `care_mask` bits
+  /// (conditional distribution). Fails if the condition has zero mass.
+  Result<uint32_t> SampleConditioned(Rng* rng, uint32_t care_mask,
+                                     uint32_t value_mask) const;
+
+  /// Sum of all entries (1.0 up to rounding for a valid table).
+  double TotalMass() const;
+
+  /// Raw table access (size 2^arity).
+  const std::vector<double>& probs() const { return probs_; }
+
+ private:
+  uint32_t arity_ = 0;
+  std::vector<double> probs_;
+};
+
+}  // namespace pgsim

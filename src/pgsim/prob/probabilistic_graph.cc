@@ -1,0 +1,201 @@
+#include "pgsim/prob/probabilistic_graph.h"
+
+#include <algorithm>
+#include <string>
+
+namespace pgsim {
+
+namespace {
+
+// Definition 1: a neighbor edge set shares a common incident vertex, or is
+// exactly a triangle.
+bool IsNeighborEdgeSet(const Graph& g, const std::vector<EdgeId>& edges) {
+  if (edges.size() <= 1) return true;
+  // Common vertex?
+  const Edge& first = g.GetEdge(edges[0]);
+  for (VertexId candidate : {first.u, first.v}) {
+    bool all = true;
+    for (EdgeId e : edges) {
+      const Edge& edge = g.GetEdge(e);
+      if (edge.u != candidate && edge.v != candidate) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  // Triangle?
+  if (edges.size() == 3) {
+    std::vector<VertexId> vertices;
+    for (EdgeId e : edges) {
+      vertices.push_back(g.GetEdge(e).u);
+      vertices.push_back(g.GetEdge(e).v);
+    }
+    std::sort(vertices.begin(), vertices.end());
+    vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                   vertices.end());
+    if (vertices.size() == 3) return true;  // 3 edges on 3 vertices = triangle
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ProbabilisticGraph> ProbabilisticGraph::Create(
+    Graph certain, std::vector<NeighborEdgeSet> ne_sets,
+    const ProbGraphOptions& options) {
+  const uint32_t num_edges = certain.NumEdges();
+  std::vector<uint32_t> cover_count(num_edges, 0);
+  for (const NeighborEdgeSet& ne : ne_sets) {
+    if (ne.edges.empty()) {
+      return Status::InvalidArgument("ne set must contain at least one edge");
+    }
+    if (ne.table.arity() != ne.edges.size()) {
+      return Status::InvalidArgument(
+          "ne set JPT arity does not match its edge count");
+    }
+    for (EdgeId e : ne.edges) {
+      if (e >= num_edges) {
+        return Status::InvalidArgument("ne set references unknown edge id " +
+                                       std::to_string(e));
+      }
+      ++cover_count[e];
+    }
+    if (options.validate_neighbor_property &&
+        !IsNeighborEdgeSet(certain, ne.edges)) {
+      return Status::InvalidArgument(
+          "edge set is not a neighbor edge set (no common vertex, not a "
+          "triangle)");
+    }
+  }
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    if (cover_count[e] == 0) {
+      return Status::InvalidArgument("edge " + std::to_string(e) +
+                                     " is not covered by any ne set");
+    }
+  }
+
+  ProbabilisticGraph g;
+  g.kind_ = JointModelKind::kPartition;
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    if (cover_count[e] > 1) {
+      g.kind_ = JointModelKind::kTree;
+      break;
+    }
+  }
+
+  std::vector<CliqueFactor> factors;
+  factors.reserve(ne_sets.size());
+  for (const NeighborEdgeSet& ne : ne_sets) {
+    CliqueFactor f;
+    f.vars.assign(ne.edges.begin(), ne.edges.end());
+    f.table = ne.table;
+    factors.push_back(std::move(f));
+  }
+  PGSIM_ASSIGN_OR_RETURN(g.tree_,
+                         CliqueTree::Build(num_edges, std::move(factors)));
+  g.certain_ = std::move(certain);
+  g.ne_sets_ = std::move(ne_sets);
+  return g;
+}
+
+double ProbabilisticGraph::WorldProbability(const EdgeBitset& world) const {
+  if (kind_ == JointModelKind::kPartition) {
+    // Equation 1, literally: the product of per-ne-set JPT rows.
+    double p = 1.0;
+    for (const NeighborEdgeSet& ne : ne_sets_) {
+      uint32_t mask = 0;
+      for (size_t j = 0; j < ne.edges.size(); ++j) {
+        if (world.Test(ne.edges[j])) mask |= (1U << j);
+      }
+      p *= ne.table.Prob(mask);
+      if (p == 0.0) return 0.0;
+    }
+    return p;
+  }
+  return tree_.WorldProbability(world);
+}
+
+double ProbabilisticGraph::MarginalAllPresent(const EdgeBitset& edges) const {
+  return Probability(edges, edges);
+}
+
+double ProbabilisticGraph::Probability(const EdgeBitset& care,
+                                       const EdgeBitset& value) const {
+  if (kind_ == JointModelKind::kPartition) {
+    double p = 1.0;
+    for (const NeighborEdgeSet& ne : ne_sets_) {
+      uint32_t care_mask = 0, value_mask = 0;
+      for (size_t j = 0; j < ne.edges.size(); ++j) {
+        if (care.Test(ne.edges[j])) {
+          care_mask |= (1U << j);
+          if (value.Test(ne.edges[j])) value_mask |= (1U << j);
+        }
+      }
+      if (care_mask == 0) continue;
+      p *= ne.table.Marginal(care_mask, value_mask);
+      if (p == 0.0) return 0.0;
+    }
+    return p;
+  }
+  return tree_.Probability(care, value);
+}
+
+double ProbabilisticGraph::EdgeMarginal(EdgeId e) const {
+  EdgeBitset care(NumEdges());
+  care.Set(e);
+  return Probability(care, care);
+}
+
+EdgeBitset ProbabilisticGraph::SampleWorld(Rng* rng) const {
+  if (kind_ == JointModelKind::kPartition) {
+    EdgeBitset world(NumEdges());
+    for (const NeighborEdgeSet& ne : ne_sets_) {
+      const uint32_t mask = ne.table.Sample(rng);
+      for (size_t j = 0; j < ne.edges.size(); ++j) {
+        if ((mask >> j) & 1U) world.Set(ne.edges[j]);
+      }
+    }
+    return world;
+  }
+  return tree_.Sample(rng);
+}
+
+Result<EdgeBitset> ProbabilisticGraph::SampleWorldConditioned(
+    Rng* rng, const EdgeBitset& care, const EdgeBitset& value) const {
+  if (kind_ == JointModelKind::kPartition) {
+    EdgeBitset world(NumEdges());
+    for (const NeighborEdgeSet& ne : ne_sets_) {
+      uint32_t care_mask = 0, value_mask = 0;
+      for (size_t j = 0; j < ne.edges.size(); ++j) {
+        if (care.Test(ne.edges[j])) {
+          care_mask |= (1U << j);
+          if (value.Test(ne.edges[j])) value_mask |= (1U << j);
+        }
+      }
+      PGSIM_ASSIGN_OR_RETURN(
+          const uint32_t mask,
+          ne.table.SampleConditioned(rng, care_mask, value_mask));
+      for (size_t j = 0; j < ne.edges.size(); ++j) {
+        if ((mask >> j) & 1U) world.Set(ne.edges[j]);
+      }
+    }
+    return world;
+  }
+  return tree_.SampleConditioned(rng, care, value);
+}
+
+Result<ProbabilisticGraph> ToIndependentModel(const ProbabilisticGraph& g) {
+  std::vector<NeighborEdgeSet> singleton_sets;
+  singleton_sets.reserve(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    NeighborEdgeSet ne;
+    ne.edges = {e};
+    PGSIM_ASSIGN_OR_RETURN(ne.table,
+                           JointProbTable::Independent({g.EdgeMarginal(e)}));
+    singleton_sets.push_back(std::move(ne));
+  }
+  return ProbabilisticGraph::Create(g.certain(), std::move(singleton_sets));
+}
+
+}  // namespace pgsim

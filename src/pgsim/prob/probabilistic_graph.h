@@ -1,0 +1,114 @@
+// Probabilistic graph model (paper Definitions 1–4).
+//
+// A probabilistic graph g = (gc, XE) couples a deterministic labeled graph gc
+// with binary existence variables for its edges. Correlations are expressed
+// by joint probability tables over *neighbor edge sets* — edges incident to
+// one common vertex, or the three edges of a triangle (Definition 1).
+//
+// Two regimes are supported through one API:
+//   * kPartition — the ne sets partition E; Equation 1's plain product of
+//     JPTs is the joint distribution, literally.
+//   * kTree — ne sets may overlap (Figure 1's JPT1/JPT2 share e3); the joint
+//     is the clique-tree-normalized product (see prob/clique_tree.h). For
+//     separator-consistent tables the normalizer is 1 and Eq. 1 again holds.
+//
+// The IND baseline of the experiments (Figure 14) is a partition model with
+// singleton ne sets.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgsim/common/bitset.h"
+#include "pgsim/common/random.h"
+#include "pgsim/common/status.h"
+#include "pgsim/graph/graph.h"
+#include "pgsim/prob/clique_tree.h"
+#include "pgsim/prob/jpt.h"
+
+namespace pgsim {
+
+/// One correlated group: a neighbor edge set plus its JPT.
+struct NeighborEdgeSet {
+  /// Edge ids of gc in this set; bit j of a table mask is edges[j].
+  std::vector<EdgeId> edges;
+  /// Joint distribution over the 2^|edges| assignments.
+  JointProbTable table;
+};
+
+/// How the ne sets relate structurally (derived, not chosen, at Create).
+enum class JointModelKind {
+  kPartition,  ///< ne sets are pairwise disjoint and cover E.
+  kTree,       ///< ne sets overlap; clique-tree factorization.
+};
+
+/// Validation and construction knobs.
+struct ProbGraphOptions {
+  /// Enforce Definition 1's neighbor-edge condition on every ne set
+  /// (common incident vertex, or exactly three edges forming a triangle).
+  bool validate_neighbor_property = true;
+};
+
+/// An uncertain graph with correlated edge existence.
+class ProbabilisticGraph {
+ public:
+  ProbabilisticGraph() = default;
+
+  /// Validates the ne sets (coverage, arity, neighbor property, junction
+  /// structure) and prepares the inference engine.
+  static Result<ProbabilisticGraph> Create(
+      Graph certain, std::vector<NeighborEdgeSet> ne_sets,
+      const ProbGraphOptions& options = ProbGraphOptions());
+
+  /// The certain graph gc (all uncertainty removed; used by Theorem 1).
+  const Graph& certain() const { return certain_; }
+
+  /// The correlated groups with their JPTs.
+  const std::vector<NeighborEdgeSet>& ne_sets() const { return ne_sets_; }
+
+  /// Structural regime of this graph's ne sets.
+  JointModelKind kind() const { return kind_; }
+
+  /// Number of edges of gc (== number of existence variables).
+  uint32_t NumEdges() const { return certain_.NumEdges(); }
+
+  /// Pr(g => g'): normalized probability of the possible world whose present
+  /// edges are exactly `world` (Definition 3 / Equation 1).
+  double WorldProbability(const EdgeBitset& world) const;
+
+  /// Exact Pr(all edges in `edges` are present).
+  double MarginalAllPresent(const EdgeBitset& edges) const;
+
+  /// Exact Pr(edges in `care` take the values given by `value`).
+  double Probability(const EdgeBitset& care, const EdgeBitset& value) const;
+
+  /// Exact existence marginal of one edge.
+  double EdgeMarginal(EdgeId e) const;
+
+  /// Samples a possible world (the "Sample each neighbor edge set ne of g
+  /// according to Pr(x_ne)" step of Algorithm 3).
+  EdgeBitset SampleWorld(Rng* rng) const;
+
+  /// Samples a possible world conditioned on `care` edges taking `value`
+  /// bits; fails when the condition has zero probability.
+  Result<EdgeBitset> SampleWorldConditioned(Rng* rng, const EdgeBitset& care,
+                                            const EdgeBitset& value) const;
+
+  /// The underlying exact-inference engine (tests, advanced callers).
+  const CliqueTree& inference() const { return tree_; }
+
+ private:
+  Graph certain_;
+  std::vector<NeighborEdgeSet> ne_sets_;
+  JointModelKind kind_ = JointModelKind::kPartition;
+  CliqueTree tree_;
+};
+
+/// Builds the IND (independent-edges) counterpart of `g`: same gc, singleton
+/// ne sets carrying each edge's exact marginal under `g`'s joint. This is the
+/// "multiply probabilities of edges in each neighbor edge set" baseline the
+/// paper compares against in Figure 14.
+Result<ProbabilisticGraph> ToIndependentModel(const ProbabilisticGraph& g);
+
+}  // namespace pgsim

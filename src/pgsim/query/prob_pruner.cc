@@ -1,0 +1,154 @@
+#include "pgsim/query/prob_pruner.h"
+
+#include <algorithm>
+
+#include "pgsim/graph/vf2.h"
+
+namespace pgsim {
+
+void ProbabilisticPruner::PrepareQuery(const std::vector<Graph>& relaxed) {
+  const auto& features = pmi_->features();
+  universe_size_ = relaxed.size();
+  feature_sub_rqs_.assign(features.size(), {});
+  feature_super_rqs_.assign(features.size(), {});
+  rq_sub_features_.assign(relaxed.size(), {});
+  rq_super_features_.assign(relaxed.size(), {});
+  prepare_iso_tests_ = 0;
+
+  for (uint32_t fi = 0; fi < features.size(); ++fi) {
+    const Graph& f = features[fi].graph;
+    for (uint32_t ri = 0; ri < relaxed.size(); ++ri) {
+      const Graph& rq = relaxed[ri];
+      if (f.NumEdges() <= rq.NumEdges() && f.NumVertices() <= rq.NumVertices()) {
+        ++prepare_iso_tests_;
+        if (IsSubgraphIsomorphic(f, rq)) {
+          feature_sub_rqs_[fi].push_back(ri);
+          rq_sub_features_[ri].push_back(fi);
+        }
+      }
+      if (rq.NumEdges() <= f.NumEdges() && rq.NumVertices() <= f.NumVertices()) {
+        ++prepare_iso_tests_;
+        if (IsSubgraphIsomorphic(rq, f)) {
+          feature_super_rqs_[fi].push_back(ri);
+          rq_super_features_[ri].push_back(fi);
+        }
+      }
+    }
+  }
+}
+
+PruneDecision ProbabilisticPruner::Bounds(uint32_t graph_id, Rng* rng) const {
+  // Epsilon 2.0 can never prune (usim <= 1), -1.0 can never accept: both
+  // bounds get computed, no outcome short-circuits.
+  PruneDecision decision = EvaluateImpl(graph_id, 2.0, -1.0, rng);
+  decision.outcome = PruneOutcome::kCandidate;
+  return decision;
+}
+
+PruneDecision ProbabilisticPruner::Evaluate(uint32_t graph_id, double epsilon,
+                                            Rng* rng) const {
+  return EvaluateImpl(graph_id, epsilon, epsilon, rng);
+}
+
+PruneDecision ProbabilisticPruner::EvaluateImpl(uint32_t graph_id,
+                                                double prune_epsilon,
+                                                double accept_epsilon,
+                                                Rng* rng) const {
+  PruneDecision decision;
+  const auto upper_of = [&](uint32_t feature_id) -> double {
+    const PmiEntry* e = pmi_->Lookup(graph_id, feature_id);
+    if (e == nullptr) return 0.0;  // f not ⊆iso gc: SIP = 0 (paper's <0>)
+    return options_.sip_variant == SipVariant::kOpt ? e->upper_opt
+                                                    : e->upper_simple;
+  };
+  const auto lower_of = [&](uint32_t feature_id) -> double {
+    const PmiEntry* e = pmi_->Lookup(graph_id, feature_id);
+    if (e == nullptr) return 0.0;
+    return options_.sip_variant == SipVariant::kOpt ? e->lower_opt
+                                                    : e->lower_simple;
+  };
+
+  // ---- Pruning 1: Usim(q). ----
+  double usim = 0.0;
+  if (options_.selection == BoundSelection::kOptimized) {
+    std::vector<WeightedSet> sets;
+    sets.reserve(feature_sub_rqs_.size());
+    for (uint32_t fi = 0; fi < feature_sub_rqs_.size(); ++fi) {
+      if (feature_sub_rqs_[fi].empty()) continue;
+      WeightedSet s;
+      s.id = fi;
+      s.elements = feature_sub_rqs_[fi];
+      s.weight = upper_of(fi);
+      sets.push_back(std::move(s));
+    }
+    const SetCoverResult cover = GreedyWeightedSetCover(universe_size_, sets);
+    // Uncovered relaxed queries contribute the trivial bound Pr(Brq) <= 1.
+    usim = cover.total_weight + static_cast<double>(cover.num_uncovered);
+  } else {
+    // SSPBound: "for each rqi, we randomly find two features satisfying
+    // conditions in PMI" (Section 6) — take the better of the two picks;
+    // any single qualifying feature gives a valid per-rq bound.
+    for (uint32_t ri = 0; ri < universe_size_; ++ri) {
+      const auto& candidates = rq_sub_features_[ri];
+      if (candidates.empty()) {
+        usim += 1.0;
+        continue;
+      }
+      const uint32_t first = candidates[rng->Uniform(candidates.size())];
+      const uint32_t second = candidates[rng->Uniform(candidates.size())];
+      usim += std::min(upper_of(first), upper_of(second));
+    }
+  }
+  decision.usim = std::min(usim, 1.0);
+  if (decision.usim < prune_epsilon) {
+    decision.outcome = PruneOutcome::kPruned;
+    return decision;
+  }
+
+  // ---- Pruning 2: Lsim(q). ----
+  double lsim = 0.0;
+  if (options_.selection == BoundSelection::kOptimized) {
+    std::vector<QpWeightedSet> sets;
+    for (uint32_t fi = 0; fi < feature_super_rqs_.size(); ++fi) {
+      if (feature_super_rqs_[fi].empty()) continue;
+      const PmiEntry* e = pmi_->Lookup(graph_id, fi);
+      if (e == nullptr) continue;  // SIP = 0: contributes nothing
+      QpWeightedSet s;
+      s.id = fi;
+      s.elements = feature_super_rqs_[fi];
+      s.wl = lower_of(fi);
+      s.wu = upper_of(fi);
+      sets.push_back(std::move(s));
+    }
+    if (!sets.empty()) {
+      const LsimResult r =
+          SolveTightestLsim(universe_size_, sets, options_.lsim, rng);
+      lsim = r.lsim;
+    }
+  } else {
+    // Random f² per rq (SSPBound flavor); duplicates collapse.
+    std::vector<uint32_t> chosen;
+    for (uint32_t ri = 0; ri < universe_size_; ++ri) {
+      const auto& candidates = rq_super_features_[ri];
+      if (candidates.empty()) continue;
+      chosen.push_back(candidates[rng->Uniform(candidates.size())]);
+    }
+    std::sort(chosen.begin(), chosen.end());
+    chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+    double sum_l = 0.0, sum_u = 0.0;
+    for (uint32_t fi : chosen) {
+      sum_l += lower_of(fi);
+      sum_u += upper_of(fi);
+    }
+    lsim = std::max(0.0, sum_l - sum_u * sum_u);
+  }
+  decision.lsim = std::max(0.0, std::min(lsim, 1.0));
+  if (accept_epsilon >= 0.0 && decision.lsim >= accept_epsilon) {
+    decision.outcome = PruneOutcome::kAccepted;
+    return decision;
+  }
+  decision.outcome = PruneOutcome::kCandidate;
+  return decision;
+}
+
+}  // namespace pgsim

@@ -1,0 +1,105 @@
+// Probabilistic pruning (paper Section 3, Theorems 3–4).
+//
+// For each candidate graph g surviving structural pruning, the pruner reads
+// Dg (g's PMI column) and derives bounds of Pr(q ⊆sim g):
+//
+//   Pruning 1 (Theorem 3): Usim(q) = sum of UpperB(f¹) over a cover of
+//     U = {rq1..rqa} by features f¹ ⊆iso rq. If Usim < ε, prune g.
+//   Pruning 2 (Theorem 4): Lsim(q) = sum LowerB(f²) - (sum UpperB(f²))²
+//     over features f² ⊇iso rq. If Lsim >= ε, g is an answer outright.
+//
+// Two selection policies implement the paper's experimental variants:
+//   kOptimized — Algorithm 1 set cover for Usim, Algorithm 2 QP/rounding for
+//     Lsim (OPT-SSPBound);
+//   kRandom — one random qualifying feature per rq (SSPBound).
+// Orthogonally, SipVariant picks which PMI bound flavor feeds the weights
+// (OPT-SIPBound vs SIPBound, Figure 11).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgsim/common/random.h"
+#include "pgsim/common/status.h"
+#include "pgsim/graph/graph.h"
+#include "pgsim/index/pmi.h"
+#include "pgsim/query/quadratic_program.h"
+#include "pgsim/query/set_cover.h"
+
+namespace pgsim {
+
+/// How f¹/f² features are chosen per relaxed query.
+enum class BoundSelection {
+  kOptimized,  ///< Algorithm 1 + Algorithm 2 (OPT-SSPBound)
+  kRandom,     ///< arbitrary qualifying feature (SSPBound)
+};
+
+/// Which SIP bound flavor of the PMI entry feeds the weights.
+enum class SipVariant {
+  kOpt,     ///< max-weight-clique bounds (OPT-SIPBound)
+  kSimple,  ///< greedy bounds (SIPBound)
+};
+
+/// Pruner configuration.
+struct ProbPrunerOptions {
+  BoundSelection selection = BoundSelection::kOptimized;
+  SipVariant sip_variant = SipVariant::kOpt;
+  LsimOptions lsim;
+};
+
+/// Per-graph pruning verdict.
+enum class PruneOutcome {
+  kPruned,     ///< Usim < ε: g cannot be an answer.
+  kAccepted,   ///< Lsim >= ε: g is an answer without verification.
+  kCandidate,  ///< bounds straddle ε: verification required.
+};
+
+/// Verdict plus the bounds that produced it.
+struct PruneDecision {
+  PruneOutcome outcome = PruneOutcome::kCandidate;
+  double usim = 1.0;
+  double lsim = 0.0;
+};
+
+/// Evaluates pruning conditions against a PMI.
+class ProbabilisticPruner {
+ public:
+  ProbabilisticPruner(const ProbabilisticMatrixIndex* pmi,
+                      const ProbPrunerOptions& options)
+      : pmi_(pmi), options_(options) {}
+
+  /// Computes the query-level feature relations (f ⊆iso rq and rq ⊆iso f)
+  /// once; they are shared by every graph of the database.
+  void PrepareQuery(const std::vector<Graph>& relaxed);
+
+  /// Applies Pruning 1 and Pruning 2 to one graph column. Short-circuits:
+  /// when Pruning 1 fires, Lsim is not computed (decision.lsim stays 0).
+  PruneDecision Evaluate(uint32_t graph_id, double epsilon, Rng* rng) const;
+
+  /// Computes both bounds with no epsilon short-circuit (top-k ranking,
+  /// diagnostics). The outcome field is meaningless here.
+  PruneDecision Bounds(uint32_t graph_id, Rng* rng) const;
+
+  /// VF2 tests spent in PrepareQuery (statistics).
+  uint64_t prepare_isomorphism_tests() const { return prepare_iso_tests_; }
+
+ private:
+  PruneDecision EvaluateImpl(uint32_t graph_id, double prune_epsilon,
+                             double accept_epsilon, Rng* rng) const;
+
+  const ProbabilisticMatrixIndex* pmi_;
+  ProbPrunerOptions options_;
+  size_t universe_size_ = 0;
+  /// Per feature: rq indices with f ⊆iso rq (f usable as f¹).
+  std::vector<std::vector<uint32_t>> feature_sub_rqs_;
+  /// Per feature: rq indices with rq ⊆iso f (f usable as f²).
+  std::vector<std::vector<uint32_t>> feature_super_rqs_;
+  /// Per rq: features usable as f¹ (inverse of feature_sub_rqs_).
+  std::vector<std::vector<uint32_t>> rq_sub_features_;
+  /// Per rq: features usable as f² (inverse of feature_super_rqs_).
+  std::vector<std::vector<uint32_t>> rq_super_features_;
+  uint64_t prepare_iso_tests_ = 0;
+};
+
+}  // namespace pgsim

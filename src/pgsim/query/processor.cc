@@ -1,0 +1,143 @@
+#include "pgsim/query/processor.h"
+
+#include <algorithm>
+
+#include "pgsim/common/timer.h"
+
+namespace pgsim {
+
+Result<std::vector<uint32_t>> QueryProcessor::Query(
+    const Graph& q, const QueryOptions& options, QueryStats* stats) const {
+  WallTimer total_timer;
+  QueryStats local;
+  const auto& db = *database_;
+  local.database_size = db.size();
+
+  std::vector<uint32_t> answers;
+
+  if (options.delta >= q.NumEdges()) {
+    // dis(q, g') <= |E(q)| <= delta for every world: SSP = 1 everywhere.
+    answers.resize(db.size());
+    for (uint32_t i = 0; i < db.size(); ++i) answers[i] = i;
+    local.answers = answers.size();
+    local.total_seconds = total_timer.Seconds();
+    if (stats != nullptr) *stats = local;
+    return answers;
+  }
+
+  // ---- Relaxation: U = {rq1..rqa}. ----
+  WallTimer relax_timer;
+  PGSIM_ASSIGN_OR_RETURN(
+      const std::vector<Graph> relaxed,
+      GenerateRelaxedQueries(q, options.delta, options.relax));
+  local.num_relaxed_queries = relaxed.size();
+  local.relax_seconds = relax_timer.Seconds();
+
+  // ---- Stage 1: structural pruning (Theorem 1). ----
+  WallTimer structural_timer;
+  std::vector<uint32_t> sc_q;
+  if (options.use_structural_filter && structural_ != nullptr) {
+    sc_q = structural_->Filter(q, relaxed, options.delta,
+                               &local.structural_detail);
+  } else {
+    sc_q.resize(db.size());
+    for (uint32_t i = 0; i < db.size(); ++i) sc_q[i] = i;
+  }
+  local.structural_candidates = sc_q.size();
+  local.structural_seconds = structural_timer.Seconds();
+
+  // ---- Stage 2: probabilistic pruning (Theorems 3-4). ----
+  WallTimer prob_timer;
+  Rng rng(options.seed);
+  std::vector<uint32_t> to_verify;
+  if (options.use_probabilistic_pruning && pmi_ != nullptr) {
+    ProbabilisticPruner pruner(pmi_, options.pruner);
+    pruner.PrepareQuery(relaxed);
+    for (uint32_t gi : sc_q) {
+      const PruneDecision d = pruner.Evaluate(gi, options.epsilon, &rng);
+      switch (d.outcome) {
+        case PruneOutcome::kPruned:
+          ++local.pruned_by_upper;
+          break;
+        case PruneOutcome::kAccepted:
+          ++local.accepted_by_lower;
+          answers.push_back(gi);
+          break;
+        case PruneOutcome::kCandidate:
+          to_verify.push_back(gi);
+          break;
+      }
+    }
+  } else {
+    to_verify = sc_q;
+  }
+  local.verification_candidates = to_verify.size();
+  local.prob_seconds = prob_timer.Seconds();
+
+  // ---- Stage 3: verification (Section 5). ----
+  WallTimer verify_timer;
+  for (uint32_t gi : to_verify) {
+    Result<double> ssp =
+        options.verify_mode == QueryOptions::VerifyMode::kExact
+            ? ExactSubgraphSimilarityProbability(db[gi], relaxed,
+                                                 options.verifier)
+            : SampleSubgraphSimilarityProbability(db[gi], relaxed,
+                                                  options.verifier, &rng);
+    if (!ssp.ok()) {
+      ++local.verification_failures;
+      continue;
+    }
+    if (ssp.value() >= options.epsilon) answers.push_back(gi);
+  }
+  local.verify_seconds = verify_timer.Seconds();
+
+  std::sort(answers.begin(), answers.end());
+  local.answers = answers.size();
+  local.total_seconds = total_timer.Seconds();
+  if (stats != nullptr) *stats = local;
+  return answers;
+}
+
+Result<std::vector<uint32_t>> QueryProcessor::ExactScan(
+    const Graph& q, const QueryOptions& options, QueryStats* stats) const {
+  WallTimer total_timer;
+  QueryStats local;
+  const auto& db = *database_;
+  local.database_size = db.size();
+
+  if (options.delta >= q.NumEdges()) {
+    std::vector<uint32_t> all(db.size());
+    for (uint32_t i = 0; i < db.size(); ++i) all[i] = i;
+    local.answers = all.size();
+    local.total_seconds = total_timer.Seconds();
+    if (stats != nullptr) *stats = local;
+    return all;
+  }
+
+  WallTimer relax_timer;
+  PGSIM_ASSIGN_OR_RETURN(
+      const std::vector<Graph> relaxed,
+      GenerateRelaxedQueries(q, options.delta, options.relax));
+  local.num_relaxed_queries = relaxed.size();
+  local.relax_seconds = relax_timer.Seconds();
+
+  std::vector<uint32_t> answers;
+  WallTimer verify_timer;
+  for (uint32_t gi = 0; gi < db.size(); ++gi) {
+    ++local.verification_candidates;
+    const Result<double> ssp =
+        ExactSubgraphSimilarityProbability(db[gi], relaxed, options.verifier);
+    if (!ssp.ok()) {
+      ++local.verification_failures;
+      continue;
+    }
+    if (ssp.value() >= options.epsilon) answers.push_back(gi);
+  }
+  local.verify_seconds = verify_timer.Seconds();
+  local.answers = answers.size();
+  local.total_seconds = total_timer.Seconds();
+  if (stats != nullptr) *stats = local;
+  return answers;
+}
+
+}  // namespace pgsim

@@ -1,0 +1,85 @@
+// End-to-end T-PS query processing (paper Section 1.2):
+// structural pruning -> probabilistic pruning -> verification.
+//
+// QueryProcessor owns nothing: it composes a database, an optional PMI and
+// an optional structural filter into the three-stage pipeline and reports
+// per-stage statistics (the quantities plotted in Figures 9–13).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgsim/common/random.h"
+#include "pgsim/common/status.h"
+#include "pgsim/graph/graph.h"
+#include "pgsim/graph/relaxation.h"
+#include "pgsim/index/pmi.h"
+#include "pgsim/query/prob_pruner.h"
+#include "pgsim/query/structural_filter.h"
+#include "pgsim/query/verifier.h"
+
+namespace pgsim {
+
+/// One T-PS query's parameters and pipeline switches.
+struct QueryOptions {
+  uint32_t delta = 2;      ///< subgraph distance threshold δ
+  double epsilon = 0.5;    ///< probability threshold ε
+  RelaxationOptions relax;
+  ProbPrunerOptions pruner;
+  VerifierOptions verifier;
+  StructuralFilterOptions structural;
+  bool use_structural_filter = true;
+  bool use_probabilistic_pruning = true;
+  /// Verification engine for surviving candidates.
+  enum class VerifyMode { kSample, kExact };
+  VerifyMode verify_mode = VerifyMode::kSample;
+  uint64_t seed = 7;       ///< randomized pruning/verification seed
+};
+
+/// Per-stage counters and timings of one query run.
+struct QueryStats {
+  size_t database_size = 0;
+  size_t num_relaxed_queries = 0;
+  size_t structural_candidates = 0;    ///< |SCq|
+  size_t pruned_by_upper = 0;          ///< Pruning 1 hits
+  size_t accepted_by_lower = 0;        ///< Pruning 2 hits
+  size_t verification_candidates = 0;  ///< graphs sent to the verifier
+  size_t verification_failures = 0;    ///< verifier errors (kept as answers=no)
+  size_t answers = 0;
+  double relax_seconds = 0.0;
+  double structural_seconds = 0.0;
+  double prob_seconds = 0.0;
+  double verify_seconds = 0.0;
+  double total_seconds = 0.0;
+  StructuralFilterStats structural_detail;
+};
+
+/// Three-stage T-PS query pipeline plus the Exact-scan baseline.
+class QueryProcessor {
+ public:
+  /// `pmi` and/or `structural` may be null; the corresponding stage is then
+  /// skipped regardless of QueryOptions.
+  QueryProcessor(const std::vector<ProbabilisticGraph>* database,
+                 const ProbabilisticMatrixIndex* pmi,
+                 const StructuralFilter* structural)
+      : database_(database), pmi_(pmi), structural_(structural) {}
+
+  /// Runs the full pipeline; returns answer graph ids (sorted).
+  Result<std::vector<uint32_t>> Query(const Graph& q,
+                                      const QueryOptions& options,
+                                      QueryStats* stats = nullptr) const;
+
+  /// The paper's Exact baseline: computes the exact SSP of every database
+  /// graph, no filtering. Exponential per graph.
+  Result<std::vector<uint32_t>> ExactScan(const Graph& q,
+                                          const QueryOptions& options,
+                                          QueryStats* stats = nullptr) const;
+
+ private:
+  const std::vector<ProbabilisticGraph>* database_;
+  const ProbabilisticMatrixIndex* pmi_;
+  const StructuralFilter* structural_;
+};
+
+}  // namespace pgsim

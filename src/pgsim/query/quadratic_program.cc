@@ -1,0 +1,184 @@
+#include "pgsim/query/quadratic_program.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace pgsim {
+
+double LsimObjective(const std::vector<QpWeightedSet>& sets,
+                     const std::vector<size_t>& selection) {
+  double sum_l = 0.0, sum_u = 0.0;
+  for (size_t i : selection) {
+    sum_l += sets[i].wl;
+    sum_u += sets[i].wu;
+  }
+  return std::max(0.0, sum_l - sum_u * sum_u);
+}
+
+namespace {
+
+// Objective of the relaxed program at x (no clamping).
+double RelaxedObjective(const std::vector<QpWeightedSet>& sets,
+                        const std::vector<double>& x) {
+  double sum_l = 0.0, sum_u = 0.0;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    sum_l += x[i] * sets[i].wl;
+    sum_u += x[i] * sets[i].wu;
+  }
+  return sum_l - sum_u * sum_u;
+}
+
+// Cyclic projection sweeps onto the box [0,1]^n intersected with the cover
+// half-spaces sum_{s ∋ e} x_s >= 1 (for coverable elements only).
+void ProjectFeasible(const std::vector<std::vector<uint32_t>>& element_sets,
+                     int sweeps, std::vector<double>* x) {
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (double& v : *x) v = std::clamp(v, 0.0, 1.0);
+    bool violated = false;
+    for (const auto& members : element_sets) {
+      if (members.empty()) continue;
+      double total = 0.0;
+      for (uint32_t s : members) total += (*x)[s];
+      if (total < 1.0) {
+        violated = true;
+        const double correction =
+            (1.0 - total) / static_cast<double>(members.size());
+        for (uint32_t s : members) (*x)[s] += correction;
+      }
+    }
+    if (!violated) {
+      for (double& v : *x) v = std::clamp(v, 0.0, 1.0);
+      break;
+    }
+  }
+}
+
+bool Covers(size_t universe_size, const std::vector<QpWeightedSet>& sets,
+            const std::vector<char>& picked) {
+  std::vector<char> covered(universe_size, 0);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    if (!picked[i]) continue;
+    for (uint32_t e : sets[i].elements) {
+      if (e < universe_size) covered[e] = 1;
+    }
+  }
+  for (size_t e = 0; e < universe_size; ++e) {
+    // Elements contained in no set at all cannot count against coverage.
+    bool coverable = false;
+    for (const auto& s : sets) {
+      for (uint32_t x : s.elements) {
+        if (x == e) {
+          coverable = true;
+          break;
+        }
+      }
+      if (coverable) break;
+    }
+    if (coverable && !covered[e]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LsimResult SolveTightestLsim(size_t universe_size,
+                             const std::vector<QpWeightedSet>& sets,
+                             const LsimOptions& options, Rng* rng) {
+  LsimResult result;
+  if (sets.empty()) return result;
+  const size_t n = sets.size();
+
+  // element -> sets containing it.
+  std::vector<std::vector<uint32_t>> element_sets(universe_size);
+  for (size_t i = 0; i < n; ++i) {
+    for (uint32_t e : sets[i].elements) {
+      if (e < universe_size) {
+        element_sets[e].push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+
+  // ---- Relaxed QP: projected gradient ascent from the feasible point 1. ----
+  std::vector<double> x(n, 1.0);
+  std::vector<double> best_x = x;
+  double best_relaxed = RelaxedObjective(sets, x);
+  double sum_wu_sq = 0.0;
+  for (const auto& s : sets) sum_wu_sq += s.wu * s.wu;
+  const double lipschitz = std::max(1e-9, 2.0 * sum_wu_sq);
+  const double step = 1.0 / lipschitz;
+
+  for (int it = 0; it < options.gradient_iterations; ++it) {
+    double sum_u = 0.0;
+    for (size_t i = 0; i < n; ++i) sum_u += x[i] * sets[i].wu;
+    for (size_t i = 0; i < n; ++i) {
+      const double grad = sets[i].wl - 2.0 * sum_u * sets[i].wu;
+      x[i] += step * grad;
+    }
+    ProjectFeasible(element_sets, options.projection_sweeps, &x);
+    const double obj = RelaxedObjective(sets, x);
+    if (obj > best_relaxed) {
+      best_relaxed = obj;
+      best_x = x;
+    }
+  }
+  result.relaxed_objective = best_relaxed;
+
+  // ---- Algorithm 2: randomized rounding, 2 ln|U| rounds. ----
+  const int rounds = static_cast<int>(std::ceil(
+      options.rounding_factor *
+      std::log(static_cast<double>(std::max<size_t>(2, universe_size)))));
+  std::vector<char> picked(n, 0);
+  for (int k = 0; k < rounds; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!picked[i] && rng->Bernoulli(best_x[i])) picked[i] = 1;
+    }
+  }
+  std::vector<size_t> rounded;
+  for (size_t i = 0; i < n; ++i) {
+    if (picked[i]) rounded.push_back(i);
+  }
+
+  // ---- Deterministic fallbacks (any selection is a valid lower bound). ----
+  // Greedy: add sets in decreasing wl while the objective improves.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return sets[a].wl - sets[a].wu * sets[a].wu >
+           sets[b].wl - sets[b].wu * sets[b].wu;
+  });
+  std::vector<size_t> greedy;
+  double greedy_l = 0.0, greedy_u = 0.0;
+  for (size_t i : order) {
+    const double new_l = greedy_l + sets[i].wl;
+    const double new_u = greedy_u + sets[i].wu;
+    if (new_l - new_u * new_u > greedy_l - greedy_u * greedy_u) {
+      greedy.push_back(i);
+      greedy_l = new_l;
+      greedy_u = new_u;
+    }
+  }
+  // Best single set.
+  std::vector<size_t> single;
+  if (!order.empty()) single.push_back(order.front());
+
+  const std::vector<size_t>* best_sel = &rounded;
+  double best_value = LsimObjective(sets, rounded);
+  for (const auto* sel : {&greedy, &single}) {
+    const double value = LsimObjective(sets, *sel);
+    if (value > best_value) {
+      best_value = value;
+      best_sel = sel;
+    }
+  }
+  result.lsim = best_value;
+  for (size_t i : *best_sel) {
+    result.chosen_ids.push_back(sets[i].id);
+  }
+  std::vector<char> chosen_mask(n, 0);
+  for (size_t i : *best_sel) chosen_mask[i] = 1;
+  result.covered = Covers(universe_size, sets, chosen_mask);
+  return result;
+}
+
+}  // namespace pgsim

@@ -1,0 +1,62 @@
+// Tightest Lsim(q) via relaxed quadratic programming + randomized rounding
+// (paper Section 3.2.2, Definition 11, Equation 9, Algorithm 2, Theorem 5).
+//
+// Candidate sets s_f = {rq : rq ⊆iso f} carry pair weights
+// (wL, wU) = (LowerB(f), UpperB(f)). For a selection C,
+//
+//   Lsim(C) = sum_{C} wL - (sum_{C} wU)^2
+//
+// (the paper's double sum over ordered pairs of C) is a valid lower bound of
+// Pr(q ⊆sim g) by Theorem 4 for ANY C — coverage of U only drives tightness.
+// Equation 9's 0/1 program is relaxed to x in [0,1]^n, which makes the
+// objective concave (the quadratic term is rank-1), solved here by projected
+// gradient ascent with cyclic projections onto {box ∩ cover half-spaces},
+// then rounded by Algorithm 2: 2 ln|U| rounds picking each set with
+// probability x*_s. The returned bound is the best of the rounded selection,
+// a deterministic greedy selection, and the best single set — all valid.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pgsim/common/random.h"
+
+namespace pgsim {
+
+/// One candidate set with pair weights (wL = LowerB(f), wU = UpperB(f)).
+struct QpWeightedSet {
+  uint32_t id = 0;
+  std::vector<uint32_t> elements;
+  double wl = 0.0;
+  double wu = 0.0;
+};
+
+/// Solver knobs.
+struct LsimOptions {
+  int gradient_iterations = 120;
+  int projection_sweeps = 25;
+  /// Rounding rounds = ceil(rounding_factor * ln(max(2, |U|))) (Alg 2: 2ln|U|).
+  double rounding_factor = 2.0;
+};
+
+/// Outcome of the Lsim computation.
+struct LsimResult {
+  double lsim = 0.0;                 ///< best lower bound found (>= 0)
+  std::vector<uint32_t> chosen_ids;  ///< selection achieving it
+  bool covered = false;              ///< selection covers U?
+  double relaxed_objective = 0.0;    ///< QP(I), an upper bound on Eq. 9
+};
+
+/// Computes the tightest Lsim(q) over the candidate sets.
+LsimResult SolveTightestLsim(size_t universe_size,
+                             const std::vector<QpWeightedSet>& sets,
+                             const LsimOptions& options, Rng* rng);
+
+/// Lsim value of an explicit selection (Definition 11's objective, clamped
+/// at 0). Exposed for tests and for the random-selection SSPBound variant.
+double LsimObjective(const std::vector<QpWeightedSet>& sets,
+                     const std::vector<size_t>& selection);
+
+}  // namespace pgsim

@@ -1,0 +1,47 @@
+#include "pgsim/query/set_cover.h"
+
+#include <limits>
+
+namespace pgsim {
+
+SetCoverResult GreedyWeightedSetCover(size_t universe_size,
+                                      const std::vector<WeightedSet>& sets) {
+  SetCoverResult result;
+  std::vector<char> covered(universe_size, 0);
+  size_t num_covered = 0;
+  std::vector<char> used(sets.size(), 0);
+
+  while (num_covered < universe_size) {
+    // gamma(s) = w(s) / |s - A|; pick the minimizer (Algorithm 1 line 3-4).
+    double best_gamma = std::numeric_limits<double>::infinity();
+    size_t best_index = sets.size();
+    size_t best_new = 0;
+    for (size_t i = 0; i < sets.size(); ++i) {
+      if (used[i]) continue;
+      size_t fresh = 0;
+      for (uint32_t e : sets[i].elements) {
+        if (e < universe_size && !covered[e]) ++fresh;
+      }
+      if (fresh == 0) continue;
+      const double gamma = sets[i].weight / static_cast<double>(fresh);
+      if (gamma < best_gamma) {
+        best_gamma = gamma;
+        best_index = i;
+        best_new = fresh;
+      }
+    }
+    if (best_index == sets.size()) break;  // nothing adds coverage
+    used[best_index] = 1;
+    result.chosen_ids.push_back(sets[best_index].id);
+    result.total_weight += sets[best_index].weight;
+    num_covered += best_new;
+    for (uint32_t e : sets[best_index].elements) {
+      if (e < universe_size) covered[e] = 1;
+    }
+  }
+  result.covered = (num_covered == universe_size);
+  result.num_uncovered = static_cast<uint32_t>(universe_size - num_covered);
+  return result;
+}
+
+}  // namespace pgsim

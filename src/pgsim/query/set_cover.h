@@ -1,0 +1,37 @@
+// Tightest Usim(q) via greedy weighted set cover (paper Section 3.2.1,
+// Definition 10, Algorithm 1).
+//
+// Universe: the relaxed queries U = {rq1..rqa}. One candidate set per
+// feature f: s_f = {rq : rq ⊇iso f} with weight UpperB(f). A cover C gives
+// Usim(q) = sum of chosen weights, an upper bound of Pr(q ⊆sim g)
+// (Theorem 3); the greedy is within ln|U| of the optimum [12].
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pgsim {
+
+/// One candidate set with its weight.
+struct WeightedSet {
+  uint32_t id = 0;                  ///< caller's id (e.g. feature id)
+  std::vector<uint32_t> elements;   ///< universe element indices
+  double weight = 0.0;
+};
+
+/// Greedy cover outcome.
+struct SetCoverResult {
+  std::vector<uint32_t> chosen_ids;  ///< ids of the selected sets
+  double total_weight = 0.0;         ///< sum of selected weights
+  bool covered = false;              ///< all universe elements covered?
+  uint32_t num_uncovered = 0;        ///< elements no set contains
+};
+
+/// Algorithm 1: repeatedly picks the set minimizing weight / newly-covered
+/// count until the universe is covered or no set adds coverage.
+SetCoverResult GreedyWeightedSetCover(size_t universe_size,
+                                      const std::vector<WeightedSet>& sets);
+
+}  // namespace pgsim

@@ -1,0 +1,105 @@
+#include "pgsim/query/structural_filter.h"
+
+#include <algorithm>
+
+#include "pgsim/common/timer.h"
+#include "pgsim/graph/vf2.h"
+
+namespace pgsim {
+
+StructuralFilter StructuralFilter::Build(
+    const std::vector<Graph>& certain_db, const std::vector<Feature>& features,
+    const StructuralFilterOptions& options) {
+  StructuralFilter filter;
+  filter.options_ = options;
+  filter.graphs_.reserve(certain_db.size());
+  for (const Graph& g : certain_db) filter.graphs_.push_back(&g);
+  filter.feature_graphs_.reserve(features.size());
+  for (const Feature& f : features) filter.feature_graphs_.push_back(&f.graph);
+  filter.counts_.assign(certain_db.size(),
+                        std::vector<uint16_t>(features.size(), 0));
+  for (size_t fi = 0; fi < features.size(); ++fi) {
+    for (uint32_t gi : features[fi].support) {
+      bool truncated = false;
+      const auto embeddings =
+          EmbeddingEdgeSets(features[fi].graph, certain_db[gi],
+                            options.max_count, &truncated);
+      filter.counts_[gi][fi] =
+          truncated ? static_cast<uint16_t>(0xFFFF)
+                    : static_cast<uint16_t>(embeddings.size());
+    }
+  }
+  return filter;
+}
+
+std::vector<uint32_t> StructuralFilter::Filter(
+    const Graph& q, const std::vector<Graph>& relaxed, uint32_t delta,
+    StructuralFilterStats* stats) const {
+  WallTimer timer;
+  StructuralFilterStats local;
+
+  // Per-feature thresholds from the query: needed = count_f(q) - delta *
+  // maxPerEdge_f(q); only features with needed >= 1 can prune.
+  struct Threshold {
+    size_t feature;
+    uint32_t needed;
+  };
+  std::vector<Threshold> thresholds;
+  for (size_t fi = 0; fi < feature_graphs_.size(); ++fi) {
+    const Graph& feature = *feature_graphs_[fi];
+    if (feature.NumEdges() > q.NumEdges()) continue;
+    bool truncated = false;
+    const auto embeddings =
+        EmbeddingEdgeSets(feature, q, options_.max_query_count, &truncated);
+    ++local.isomorphism_tests;
+    if (truncated || embeddings.empty()) continue;
+    std::vector<uint32_t> per_edge(q.NumEdges(), 0);
+    for (const EdgeBitset& emb : embeddings) {
+      for (uint32_t e : emb.ToVector()) ++per_edge[e];
+    }
+    const uint32_t max_per_edge =
+        *std::max_element(per_edge.begin(), per_edge.end());
+    const uint64_t destroyed = uint64_t{delta} * max_per_edge;
+    if (embeddings.size() > destroyed) {
+      thresholds.push_back(
+          {fi, static_cast<uint32_t>(embeddings.size() - destroyed)});
+    }
+  }
+
+  std::vector<uint32_t> survivors;
+  for (uint32_t gi = 0; gi < graphs_.size(); ++gi) {
+    bool pruned = false;
+    for (const Threshold& t : thresholds) {
+      const uint16_t have = counts_[gi][t.feature];
+      if (have == 0xFFFF) continue;  // saturated: unknown, cannot prune
+      if (have < t.needed) {
+        pruned = true;
+        break;
+      }
+    }
+    if (!pruned) survivors.push_back(gi);
+  }
+  local.count_filter_survivors = survivors.size();
+
+  if (options_.exact_check) {
+    std::vector<uint32_t> exact;
+    for (uint32_t gi : survivors) {
+      bool similar = false;
+      for (const Graph& rq : relaxed) {
+        ++local.isomorphism_tests;
+        if (IsSubgraphIsomorphic(rq, *graphs_[gi])) {
+          similar = true;
+          break;
+        }
+      }
+      if (similar) exact.push_back(gi);
+    }
+    survivors = std::move(exact);
+  }
+  local.exact_survivors = survivors.size();
+  local.seconds = timer.Seconds();
+  if (stats != nullptr) *stats = local;
+  return survivors;
+}
+
+}  // namespace pgsim

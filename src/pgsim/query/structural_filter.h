@@ -1,0 +1,78 @@
+// Structural pruning (paper Theorem 1, Section 1.2, reference [38]).
+//
+// Stage 1 of the pipeline: if q is not subgraph similar to the certain graph
+// gc, then Pr(q ⊆sim g) = 0 and g can be dropped outright. Following [38]
+// (Grafil), a feature-count filter avoids pairwise similarity computation:
+//
+//   If some rq (q minus delta edges) embeds in gc, then for every feature f,
+//       count_f(gc) >= count_f(q) - delta * maxPerEdge_f(q),
+//   where count_f(.) is the number of distinct embeddings of f and
+//   maxPerEdge_f(q) bounds how many embeddings one edge deletion can destroy.
+//
+// Graphs failing the inequality for any feature are pruned (provably sound);
+// survivors are optionally checked exactly by testing rq ⊆iso gc over the
+// relaxed query set U, yielding SCq = {g : q ⊆sim gc} as in the paper.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgsim/common/status.h"
+#include "pgsim/graph/graph.h"
+#include "pgsim/mining/feature_miner.h"
+
+namespace pgsim {
+
+/// Build/query knobs.
+struct StructuralFilterOptions {
+  /// Saturating embedding-count cap per (feature, graph); saturated counts
+  /// are treated as "unknown, never prune" to stay sound.
+  uint32_t max_count = 64;
+  /// Embedding cap when counting features inside the query.
+  uint32_t max_query_count = 256;
+  /// Run the exact rq ⊆iso gc check on filter survivors (gives exactly SCq).
+  bool exact_check = true;
+};
+
+/// Per-query stage statistics.
+struct StructuralFilterStats {
+  size_t count_filter_survivors = 0;
+  size_t exact_survivors = 0;
+  uint64_t isomorphism_tests = 0;
+  double seconds = 0.0;
+};
+
+/// Precomputed per-graph feature-embedding counts + the exact checker.
+class StructuralFilter {
+ public:
+  /// Counts each feature's embeddings (saturating at options.max_count) in
+  /// every certain graph of its support.
+  static StructuralFilter Build(const std::vector<Graph>& certain_db,
+                                const std::vector<Feature>& features,
+                                const StructuralFilterOptions& options =
+                                    StructuralFilterOptions());
+
+  /// Returns SCq as database indices: graphs that pass the count filter and
+  /// (when exact_check) actually satisfy q ⊆sim gc, decided by testing the
+  /// relaxed queries `relaxed` against gc with VF2.
+  std::vector<uint32_t> Filter(const Graph& q,
+                               const std::vector<Graph>& relaxed,
+                               uint32_t delta,
+                               StructuralFilterStats* stats = nullptr) const;
+
+  /// Number of graphs indexed.
+  size_t num_graphs() const { return counts_.size(); }
+
+ private:
+  StructuralFilterOptions options_;
+  // Pointers to the caller's graphs/features — element pointers, stable
+  // under moves of this filter and of the owning containers' *objects*
+  // (callers must keep the containers alive and unmodified).
+  std::vector<const Graph*> graphs_;
+  std::vector<const Graph*> feature_graphs_;
+  // counts_[graph][feature] saturating at options_.max_count.
+  std::vector<std::vector<uint16_t>> counts_;
+};
+
+}  // namespace pgsim

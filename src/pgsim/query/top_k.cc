@@ -1,0 +1,86 @@
+#include "pgsim/query/top_k.h"
+
+#include <algorithm>
+
+namespace pgsim {
+
+Result<TopKResult> TopKQuery(const std::vector<ProbabilisticGraph>& db,
+                             const ProbabilisticMatrixIndex& pmi,
+                             const StructuralFilter* filter, const Graph& q,
+                             const TopKOptions& options) {
+  if (options.k == 0) {
+    return Status::InvalidArgument("TopKQuery: k must be positive");
+  }
+  if (options.delta >= q.NumEdges()) {
+    return Status::InvalidArgument(
+        "TopKQuery: delta must be < |E(q)| (SSP would be 1 everywhere)");
+  }
+  TopKResult result;
+  PGSIM_ASSIGN_OR_RETURN(
+      const std::vector<Graph> relaxed,
+      GenerateRelaxedQueries(q, options.delta, options.relax));
+
+  // Stage 1: structural candidates (graphs failing it have SSP = 0).
+  std::vector<uint32_t> sc_q;
+  if (filter != nullptr) {
+    sc_q = filter->Filter(q, relaxed, options.delta, nullptr);
+  } else {
+    sc_q.resize(db.size());
+    for (uint32_t i = 0; i < db.size(); ++i) sc_q[i] = i;
+  }
+  result.structural_candidates = sc_q.size();
+
+  // Stage 2: order candidates by their Usim upper bound, descending.
+  Rng rng(options.seed);
+  ProbabilisticPruner pruner(&pmi, options.pruner);
+  pruner.PrepareQuery(relaxed);
+  struct Scheduled {
+    uint32_t graph_id;
+    double usim;
+  };
+  std::vector<Scheduled> schedule;
+  schedule.reserve(sc_q.size());
+  for (uint32_t gi : sc_q) {
+    const PruneDecision d = pruner.Bounds(gi, &rng);
+    schedule.push_back({gi, d.usim});
+  }
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const Scheduled& a, const Scheduled& b) {
+                     return a.usim > b.usim;
+                   });
+
+  // Stage 3: verify in bound order with early termination — once the k-th
+  // best verified probability is at least the next upper bound, no
+  // unverified candidate can enter the top k.
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Scheduled& s = schedule[i];
+    if (result.entries.size() >= options.k) {
+      const double kth = result.entries.back().ssp;
+      if (s.usim + options.bound_slack <= kth) {
+        result.skipped_by_bound = schedule.size() - i;
+        break;
+      }
+    }
+    Result<double> ssp =
+        options.exact_verification
+            ? ExactSubgraphSimilarityProbability(db[s.graph_id], relaxed,
+                                                 options.verifier)
+            : SampleSubgraphSimilarityProbability(db[s.graph_id], relaxed,
+                                                  options.verifier, &rng);
+    ++result.verified;
+    if (!ssp.ok()) continue;
+    TopKEntry entry;
+    entry.graph_id = s.graph_id;
+    entry.ssp = ssp.value();
+    entry.usim = s.usim;
+    // Insert in descending-ssp order, trim to k.
+    auto pos = std::upper_bound(
+        result.entries.begin(), result.entries.end(), entry,
+        [](const TopKEntry& a, const TopKEntry& b) { return a.ssp > b.ssp; });
+    result.entries.insert(pos, entry);
+    if (result.entries.size() > options.k) result.entries.pop_back();
+  }
+  return result;
+}
+
+}  // namespace pgsim

@@ -1,0 +1,62 @@
+// Top-k probabilistic subgraph similarity search.
+//
+// A natural extension of the paper's threshold queries: instead of a fixed
+// probability threshold epsilon, return the k database graphs with the
+// highest Pr(q ⊆sim g). The PMI bounds drive the search: candidates are
+// verified in decreasing order of their Usim upper bound, and the scan stops
+// as soon as the next candidate's upper bound cannot beat the current k-th
+// best estimate — the standard upper-bound-ordered top-k early termination.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgsim/common/status.h"
+#include "pgsim/graph/graph.h"
+#include "pgsim/graph/relaxation.h"
+#include "pgsim/index/pmi.h"
+#include "pgsim/query/prob_pruner.h"
+#include "pgsim/query/structural_filter.h"
+#include "pgsim/query/verifier.h"
+
+namespace pgsim {
+
+/// Top-k query parameters.
+struct TopKOptions {
+  uint32_t k = 10;
+  uint32_t delta = 2;
+  RelaxationOptions relax;
+  ProbPrunerOptions pruner;
+  VerifierOptions verifier;
+  uint64_t seed = 7;
+  /// Use exact SSP instead of the Algorithm 5 sampler for ranking.
+  bool exact_verification = false;
+  /// The PMI upper bounds carry Monte-Carlo noise; early termination only
+  /// fires when usim + bound_slack <= current k-th best, trading a little
+  /// extra verification for robustness against noisy bounds.
+  double bound_slack = 0.02;
+};
+
+/// One ranked answer.
+struct TopKEntry {
+  uint32_t graph_id = 0;
+  double ssp = 0.0;     ///< estimated (or exact) similarity probability
+  double usim = 1.0;    ///< the upper bound that scheduled it
+};
+
+/// Result plus work counters.
+struct TopKResult {
+  std::vector<TopKEntry> entries;    ///< descending by ssp, size <= k
+  size_t structural_candidates = 0;
+  size_t verified = 0;               ///< candidates actually verified
+  size_t skipped_by_bound = 0;       ///< candidates cut by early termination
+};
+
+/// Runs the top-k query. `filter` may be null (no structural stage).
+Result<TopKResult> TopKQuery(const std::vector<ProbabilisticGraph>& db,
+                             const ProbabilisticMatrixIndex& pmi,
+                             const StructuralFilter* filter, const Graph& q,
+                             const TopKOptions& options);
+
+}  // namespace pgsim

@@ -1,0 +1,153 @@
+#include "pgsim/query/verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "pgsim/graph/mcs.h"
+#include "pgsim/graph/vf2.h"
+#include "pgsim/prob/possible_world.h"
+
+namespace pgsim {
+
+Result<std::vector<EdgeBitset>> CollectSimilarityEvents(
+    const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
+    const VerifierOptions& options) {
+  std::vector<EdgeBitset> events;
+  std::unordered_set<EdgeBitset, EdgeBitsetHash> seen;
+  for (const Graph& rq : relaxed) {
+    bool truncated = false;
+    const auto embeddings = EmbeddingEdgeSets(
+        rq, g.certain(), options.max_embeddings_per_rq, &truncated);
+    if (truncated) {
+      return Status::ResourceExhausted(
+          "CollectSimilarityEvents: per-rq embedding cap hit");
+    }
+    for (const EdgeBitset& emb : embeddings) {
+      if (seen.insert(emb).second) {
+        events.push_back(emb);
+        if (events.size() > options.max_total_embeddings) {
+          return Status::ResourceExhausted(
+              "CollectSimilarityEvents: total embedding cap hit");
+        }
+      }
+    }
+  }
+  return events;
+}
+
+Result<double> ExactSspFromEvents(const ProbabilisticGraph& g,
+                                  const std::vector<EdgeBitset>& events,
+                                  const VerifierOptions& options) {
+  if (events.empty()) return 0.0;
+  return ExactDnfProbability(g, events, options.exact);
+}
+
+Result<double> ExactSubgraphSimilarityProbability(
+    const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
+    const VerifierOptions& options) {
+  PGSIM_ASSIGN_OR_RETURN(const std::vector<EdgeBitset> events,
+                         CollectSimilarityEvents(g, relaxed, options));
+  return ExactSspFromEvents(g, events, options);
+}
+
+Result<double> ExactSspByWorldEnumeration(const ProbabilisticGraph& g,
+                                          const Graph& q, uint32_t delta,
+                                          uint32_t max_edges) {
+  WorldEnumOptions world_options;
+  world_options.max_edges = max_edges;
+  double total = 0.0;
+  PGSIM_RETURN_NOT_OK(EnumerateWorlds(
+      g,
+      [&](const EdgeBitset& world, double p) {
+        // Build the possible world graph: all vertices, present edges.
+        GraphBuilder builder;
+        for (VertexId v = 0; v < g.certain().NumVertices(); ++v) {
+          builder.AddVertex(g.certain().VertexLabel(v));
+        }
+        for (uint32_t e : world.ToVector()) {
+          const Edge& edge = g.certain().GetEdge(e);
+          auto r = builder.AddEdge(edge.u, edge.v, edge.label);
+          (void)r;
+        }
+        const Graph world_graph = builder.Build();
+        if (IsSubgraphSimilar(q, world_graph, delta)) total += p;
+        return true;
+      },
+      world_options));
+  return total;
+}
+
+Result<double> SampleSubgraphSimilarityProbability(
+    const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
+    const VerifierOptions& options, Rng* rng) {
+  PGSIM_ASSIGN_OR_RETURN(std::vector<EdgeBitset> events,
+                         CollectSimilarityEvents(g, relaxed, options));
+  if (events.empty()) return 0.0;
+  // Absorption shrinks the event list without changing the union.
+  events = AbsorbDnfTerms(std::move(events));
+
+  // Exact marginals Pr(Bfi) via the joint model ("junction tree" step).
+  const size_t m = events.size();
+  std::vector<double> marginals(m);
+  double v = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    marginals[i] = g.MarginalAllPresent(events[i]);
+    v += marginals[i];
+  }
+  if (v <= 0.0) return 0.0;
+
+  // Cumulative distribution for i ∝ Pr(Bfi)/V.
+  std::vector<double> cumulative(m);
+  double acc = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    acc += marginals[i];
+    cumulative[i] = acc;
+  }
+
+  // Fixed-N (Algorithm 5) or adaptive stopping (DKLR extension): adaptive
+  // runs until `target_hits` canonical hits or mc.max_samples draws.
+  const uint64_t fixed_n = options.mc.NumSamples();
+  const uint64_t target_hits =
+      options.adaptive
+          ? 1 + static_cast<uint64_t>(std::ceil(
+                    4.0 * (M_E - 2.0) *
+                    std::log(2.0 / std::clamp(options.mc.xi, 1e-9, 0.999)) /
+                    (options.mc.tau * options.mc.tau)))
+          : 0;
+  uint64_t cnt = 0;
+  uint64_t drawn = 0;
+  for (;;) {
+    if (options.adaptive) {
+      if (cnt >= target_hits || drawn >= options.mc.max_samples) break;
+    } else if (drawn >= fixed_n) {
+      break;
+    }
+    ++drawn;
+    // Line 4: choose i with probability Pr(Bfi)/V.
+    const double target = rng->UniformDouble() * v;
+    const size_t i = static_cast<size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), target) -
+        cumulative.begin());
+    const size_t idx = std::min(i, m - 1);
+    if (marginals[idx] <= 0.0) continue;
+    // Line 5: sample a world conditioned on Bf_idx = 1.
+    auto world = g.SampleWorldConditioned(rng, events[idx], events[idx]);
+    if (!world.ok()) continue;  // zero-mass condition: contributes nothing
+    // Line 6: count iff no earlier event also holds (Karp–Luby canonicity).
+    bool canonical = true;
+    for (size_t j = 0; j < idx; ++j) {
+      if (world.value().ContainsAll(events[j])) {
+        canonical = false;
+        break;
+      }
+    }
+    if (canonical) ++cnt;
+  }
+  if (drawn == 0) return 0.0;
+  const double estimate =
+      v * static_cast<double>(cnt) / static_cast<double>(drawn);
+  return std::clamp(estimate, 0.0, 1.0);
+}
+
+}  // namespace pgsim

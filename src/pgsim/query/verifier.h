@@ -1,0 +1,78 @@
+// Verification (paper Section 5): computing the Subgraph Similarity
+// Probability of a candidate graph.
+//
+// Exact: SSP = Pr(Bf1 ∨ ... ∨ Bfm) (Equation 22) over the embeddings of all
+// relaxed queries — evaluated by the exact monotone-DNF engine (exponential
+// worst case, the paper's "Exact" baseline), or, for tiny graphs, by world
+// enumeration straight from Definition 9 (tests' ground truth).
+//
+// SMP (Algorithm 5): Karp–Luby coverage sampling. m embedding events with
+// exact marginals Pr(Bfi) from the joint model, V = sum_i Pr(Bfi); each
+// round samples i ∝ Pr(Bfi)/V, then a world conditioned on Bfi = 1, and
+// counts rounds where no earlier event holds. The unbiased estimator is
+// V * Cnt / N (the paper's pseudocode prints Cnt/N with V computed on line 1
+// but unused; V * Cnt / N is the estimator its Monte-Carlo citation [26]
+// prescribes, and the one implemented here).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgsim/bounds/cond_sampler.h"
+#include "pgsim/common/random.h"
+#include "pgsim/common/status.h"
+#include "pgsim/graph/graph.h"
+#include "pgsim/prob/dnf_exact.h"
+#include "pgsim/prob/probabilistic_graph.h"
+
+namespace pgsim {
+
+/// Verification knobs.
+struct VerifierOptions {
+  /// Algorithm 5 sample count parameters: N = 4 ln(2/ξ) / τ².
+  MonteCarloParams mc;
+  /// Adaptive stopping (extension, not in the paper): instead of the fixed
+  /// N, sample until the canonical-hit count reaches
+  /// ceil(1 + 4(e-2) ln(2/ξ) / τ²) or mc.max_samples draws — the first
+  /// stage of the Dagum-Karp-Luby-Ross optimal approximation scheme. Cheap
+  /// when the SSP is large, automatically thorough when it is tiny.
+  bool adaptive = false;
+  /// Cap on embeddings enumerated per relaxed query.
+  size_t max_embeddings_per_rq = 512;
+  /// Cap on the total event count m.
+  size_t max_total_embeddings = 4096;
+  /// Exact-engine limits.
+  DnfExactOptions exact;
+};
+
+/// Collects the deduplicated embedding edge sets of every relaxed query in
+/// `relaxed` inside gc (the Bf events of Equation 22). Fails when a cap is
+/// hit (the exact engine would be unsound on a partial list; SMP callers
+/// may treat the failure as "fall back to exact bounds").
+Result<std::vector<EdgeBitset>> CollectSimilarityEvents(
+    const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
+    const VerifierOptions& options);
+
+/// Exact SSP via the monotone-DNF engine (Equation 22).
+Result<double> ExactSspFromEvents(const ProbabilisticGraph& g,
+                                  const std::vector<EdgeBitset>& events,
+                                  const VerifierOptions& options);
+
+/// Exact SSP of q against g (relaxes q internally). Exponential worst case.
+Result<double> ExactSubgraphSimilarityProbability(
+    const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
+    const VerifierOptions& options = VerifierOptions());
+
+/// Definition 9 evaluated literally by possible-world enumeration + subgraph
+/// distance per world. Tiny graphs only; tests' ground truth.
+Result<double> ExactSspByWorldEnumeration(const ProbabilisticGraph& g,
+                                          const Graph& q, uint32_t delta,
+                                          uint32_t max_edges = 18);
+
+/// Algorithm 5 (SMP). Returns the estimated SSP in [0, 1].
+Result<double> SampleSubgraphSimilarityProbability(
+    const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
+    const VerifierOptions& options, Rng* rng);
+
+}  // namespace pgsim

@@ -1,0 +1,145 @@
+// Tests for canonical forms: codes must be equal exactly for isomorphic
+// graphs (cross-checked against VF2), invariant under vertex permutation,
+// and Canonicalize must produce identical layouts.
+
+#include <gtest/gtest.h>
+
+#include "pgsim/graph/canonical.h"
+#include "pgsim/graph/vf2.h"
+#include "test_util.h"
+
+namespace pgsim {
+namespace {
+
+using ::pgsim::testing::MakeGraph;
+using ::pgsim::testing::MakePath;
+using ::pgsim::testing::MakeTriangle;
+using ::pgsim::testing::RandomGraph;
+
+Graph Permute(const Graph& g, Rng* rng) {
+  std::vector<VertexId> perm(g.NumVertices());
+  std::iota(perm.begin(), perm.end(), 0);
+  rng->Shuffle(&perm);
+  std::vector<VertexId> inverse(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) inverse[perm[v]] = v;
+  GraphBuilder builder;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    builder.AddVertex(g.VertexLabel(inverse[v]));
+  }
+  std::vector<Edge> edges = g.Edges();
+  rng->Shuffle(&edges);
+  for (const Edge& e : edges) {
+    auto r = builder.AddEdge(perm[e.u], perm[e.v], e.label);
+    (void)r;
+  }
+  return builder.Build();
+}
+
+TEST(CanonicalTest, EmptyAndSingleVertex) {
+  const Graph empty;
+  auto code = CanonicalCode(empty);
+  ASSERT_TRUE(code.ok());
+  EXPECT_TRUE(code->empty());
+  const Graph single = MakeGraph({3}, {});
+  auto code2 = CanonicalCode(single);
+  ASSERT_TRUE(code2.ok());
+  EXPECT_FALSE(code2->empty());
+}
+
+TEST(CanonicalTest, InvariantUnderPermutation) {
+  Rng rng(2001);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = RandomGraph(&rng, 3 + rng.Uniform(6), rng.Uniform(5),
+                                1 + rng.Uniform(3));
+    const Graph h = Permute(g, &rng);
+    auto cg = CanonicalCode(g);
+    auto ch = CanonicalCode(h);
+    ASSERT_TRUE(cg.ok());
+    ASSERT_TRUE(ch.ok());
+    EXPECT_EQ(*cg, *ch) << "trial " << trial;
+  }
+}
+
+TEST(CanonicalTest, EqualCodesIffIsomorphic) {
+  // Pairwise-compare a pool of random small graphs: code equality must
+  // exactly match VF2-based isomorphism.
+  Rng rng(2003);
+  std::vector<Graph> pool;
+  for (int i = 0; i < 16; ++i) {
+    pool.push_back(RandomGraph(&rng, 4 + rng.Uniform(3), rng.Uniform(4), 2));
+  }
+  std::vector<std::string> codes;
+  for (const Graph& g : pool) {
+    auto code = CanonicalCode(g);
+    ASSERT_TRUE(code.ok());
+    codes.push_back(std::move(code).value());
+  }
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      EXPECT_EQ(codes[i] == codes[j], AreIsomorphic(pool[i], pool[j]))
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(CanonicalTest, DistinguishesLabelPlacement) {
+  // Same topology, different label positions relative to structure.
+  const Graph a = MakeGraph({1, 2, 2}, {{0, 1, 0}, {1, 2, 0}});  // 1 at end
+  const Graph b = MakeGraph({2, 1, 2}, {{0, 1, 0}, {1, 2, 0}});  // 1 in middle
+  auto ca = CanonicalCode(a);
+  auto cb = CanonicalCode(b);
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cb.ok());
+  EXPECT_NE(*ca, *cb);
+}
+
+TEST(CanonicalTest, DistinguishesEdgeLabels) {
+  const Graph a = MakeGraph({0, 0}, {{0, 1, 1}});
+  const Graph b = MakeGraph({0, 0}, {{0, 1, 2}});
+  EXPECT_NE(CanonicalCode(a).value(), CanonicalCode(b).value());
+}
+
+TEST(CanonicalTest, CanonicalizeGivesIdenticalLayout) {
+  Rng rng(2007);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = RandomGraph(&rng, 6, 3, 2);
+    const Graph h = Permute(g, &rng);
+    auto canon_g = Canonicalize(g);
+    auto canon_h = Canonicalize(h);
+    ASSERT_TRUE(canon_g.ok());
+    ASSERT_TRUE(canon_h.ok());
+    ASSERT_EQ(canon_g->NumVertices(), canon_h->NumVertices());
+    ASSERT_EQ(canon_g->NumEdges(), canon_h->NumEdges());
+    for (VertexId v = 0; v < canon_g->NumVertices(); ++v) {
+      EXPECT_EQ(canon_g->VertexLabel(v), canon_h->VertexLabel(v));
+    }
+    for (EdgeId e = 0; e < canon_g->NumEdges(); ++e) {
+      EXPECT_EQ(canon_g->GetEdge(e).u, canon_h->GetEdge(e).u);
+      EXPECT_EQ(canon_g->GetEdge(e).v, canon_h->GetEdge(e).v);
+      EXPECT_EQ(canon_g->GetEdge(e).label, canon_h->GetEdge(e).label);
+    }
+    EXPECT_TRUE(AreIsomorphic(g, *canon_g));
+  }
+}
+
+TEST(CanonicalTest, BudgetExhaustionSurfaces) {
+  // A 9-vertex unlabeled clique-free regular-ish graph with a 1-node budget.
+  Rng rng(2011);
+  const Graph g = RandomGraph(&rng, 9, 6, 1);
+  CanonicalOptions options;
+  options.max_nodes = 1;
+  auto code = CanonicalCode(g, options);
+  ASSERT_FALSE(code.ok());
+  EXPECT_EQ(code.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CanonicalTest, PathAndTriangleAreStable) {
+  // Regression anchors: canonical codes must be deterministic run-to-run.
+  EXPECT_EQ(CanonicalCode(MakePath(3)).value(),
+            CanonicalCode(MakePath(3)).value());
+  EXPECT_NE(CanonicalCode(MakePath(4)).value(),
+            CanonicalCode(MakeTriangle(0, 0, 0)).value());
+}
+
+}  // namespace
+}  // namespace pgsim

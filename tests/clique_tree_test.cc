@@ -1,0 +1,224 @@
+// Tests for the clique-tree inference engine: partition functions, exact
+// marginals against brute-force enumeration, RIP validation, and conditional
+// sampling.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pgsim/common/random.h"
+#include "pgsim/prob/clique_tree.h"
+
+namespace pgsim {
+namespace {
+
+CliqueFactor MakeFactor(std::vector<uint32_t> vars,
+                        std::vector<double> weights) {
+  CliqueFactor f;
+  f.vars = std::move(vars);
+  f.table = JointProbTable::FromWeights(std::move(weights)).value();
+  return f;
+}
+
+// Brute-force joint: prod of factors over all assignments.
+double BruteZ(uint32_t num_vars, const std::vector<CliqueFactor>& factors,
+              uint32_t care_mask = 0, uint32_t value_mask = 0) {
+  double z = 0.0;
+  for (uint32_t assignment = 0; assignment < (1U << num_vars); ++assignment) {
+    if ((assignment & care_mask) != (value_mask & care_mask)) continue;
+    double w = 1.0;
+    for (const auto& f : factors) {
+      uint32_t local = 0;
+      for (size_t j = 0; j < f.vars.size(); ++j) {
+        if ((assignment >> f.vars[j]) & 1U) local |= (1U << j);
+      }
+      w *= f.table.Prob(local);
+    }
+    z += w;
+  }
+  return z;
+}
+
+EdgeBitset MaskToBitset(uint32_t num_vars, uint32_t mask) {
+  EdgeBitset b(num_vars);
+  for (uint32_t i = 0; i < num_vars; ++i) {
+    if ((mask >> i) & 1U) b.Set(i);
+  }
+  return b;
+}
+
+TEST(CliqueTreeTest, DisjointFactorsHaveUnitZ) {
+  auto tree = CliqueTree::Build(
+      4, {MakeFactor({0, 1}, {1, 1, 1, 1}), MakeFactor({2, 3}, {1, 2, 3, 4})});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_NEAR(tree->Z(), 1.0, 1e-12);
+}
+
+TEST(CliqueTreeTest, RejectsUncoveredVariable) {
+  auto tree = CliqueTree::Build(3, {MakeFactor({0, 1}, {1, 1, 1, 1})});
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CliqueTreeTest, RejectsDuplicateVarsInFactor) {
+  auto tree = CliqueTree::Build(2, {MakeFactor({0, 0}, {1, 1, 1, 1}),
+                                    MakeFactor({1}, {1, 1})});
+  EXPECT_FALSE(tree.ok());
+}
+
+TEST(CliqueTreeTest, RejectsArityMismatch) {
+  CliqueFactor f;
+  f.vars = {0, 1};
+  f.table = JointProbTable::FromWeights({0.5, 0.5}).value();  // arity 1
+  auto tree = CliqueTree::Build(2, {std::move(f)});
+  EXPECT_FALSE(tree.ok());
+}
+
+TEST(CliqueTreeTest, RejectsRipViolation) {
+  // Three factors sharing variables in a cycle that cannot satisfy RIP:
+  // {0,1}, {1,2}, {2,0} — the spanning tree keeps only two of the three
+  // links, and the dropped pair's shared variable spans disconnected nodes.
+  auto tree = CliqueTree::Build(
+      3, {MakeFactor({0, 1}, {1, 1, 1, 1}), MakeFactor({1, 2}, {1, 1, 1, 1}),
+          MakeFactor({2, 0}, {1, 1, 1, 1})});
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CliqueTreeTest, ChainMarginalsMatchBruteForce) {
+  // Paper-style chain: {e0,e1,e2} and {e2,e3,e4} share e2 (Figure 1's 002).
+  Rng rng(61);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<double> w1(8), w2(8);
+    for (auto& w : w1) w = 0.05 + rng.UniformDouble();
+    for (auto& w : w2) w = 0.05 + rng.UniformDouble();
+    std::vector<CliqueFactor> factors{MakeFactor({0, 1, 2}, w1),
+                                      MakeFactor({2, 3, 4}, w2)};
+    auto tree = CliqueTree::Build(5, factors);
+    ASSERT_TRUE(tree.ok());
+    const double z = BruteZ(5, factors);
+    EXPECT_NEAR(tree->Z(), z, 1e-9);
+    // Check several conditional events.
+    for (uint32_t care : {0b00001u, 0b10100u, 0b11111u, 0b01010u}) {
+      for (uint32_t value : {care, 0u, care & 0b10101u}) {
+        const double expected = BruteZ(5, factors, care, value) / z;
+        const double actual = tree->Probability(MaskToBitset(5, care),
+                                                MaskToBitset(5, value));
+        EXPECT_NEAR(actual, expected, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(CliqueTreeTest, DeepChainAndStarStructures) {
+  Rng rng(67);
+  // Chain of four 2-var factors: {0,1},{1,2},{2,3},{3,4}.
+  {
+    std::vector<CliqueFactor> factors;
+    for (uint32_t i = 0; i < 4; ++i) {
+      std::vector<double> w(4);
+      for (auto& x : w) x = 0.1 + rng.UniformDouble();
+      factors.push_back(MakeFactor({i, i + 1}, w));
+    }
+    auto tree = CliqueTree::Build(5, factors);
+    ASSERT_TRUE(tree.ok());
+    EXPECT_NEAR(tree->Z(), BruteZ(5, factors), 1e-9);
+  }
+  // Star: center factor {0,1,2} with leaves {0,3} and {1,4}.
+  {
+    std::vector<double> w0(8), w1(4), w2(4);
+    for (auto& x : w0) x = 0.1 + rng.UniformDouble();
+    for (auto& x : w1) x = 0.1 + rng.UniformDouble();
+    for (auto& x : w2) x = 0.1 + rng.UniformDouble();
+    std::vector<CliqueFactor> factors{MakeFactor({0, 1, 2}, w0),
+                                      MakeFactor({0, 3}, w1),
+                                      MakeFactor({1, 4}, w2)};
+    auto tree = CliqueTree::Build(5, factors);
+    ASSERT_TRUE(tree.ok());
+    EXPECT_NEAR(tree->Z(), BruteZ(5, factors), 1e-9);
+    const uint32_t care = 0b11000, value = 0b01000;
+    EXPECT_NEAR(tree->Probability(MaskToBitset(5, care),
+                                  MaskToBitset(5, value)),
+                BruteZ(5, factors, care, value) / BruteZ(5, factors), 1e-9);
+  }
+}
+
+TEST(CliqueTreeTest, WorldWeightMatchesFactorProduct) {
+  std::vector<CliqueFactor> factors{MakeFactor({0, 1}, {1, 2, 3, 4}),
+                                    MakeFactor({1, 2}, {4, 3, 2, 1})};
+  auto tree = CliqueTree::Build(3, factors);
+  ASSERT_TRUE(tree.ok());
+  for (uint32_t world = 0; world < 8; ++world) {
+    const double expected = BruteZ(3, factors, 0b111, world);
+    EXPECT_NEAR(tree->WorldWeight(MaskToBitset(3, world)), expected, 1e-12);
+    EXPECT_NEAR(tree->WorldProbability(MaskToBitset(3, world)),
+                expected / tree->Z(), 1e-12);
+  }
+}
+
+TEST(CliqueTreeTest, SamplingMatchesJoint) {
+  Rng rng(71);
+  std::vector<double> w1(8), w2(8);
+  for (auto& w : w1) w = 0.05 + rng.UniformDouble();
+  for (auto& w : w2) w = 0.05 + rng.UniformDouble();
+  std::vector<CliqueFactor> factors{MakeFactor({0, 1, 2}, w1),
+                                    MakeFactor({2, 3, 4}, w2)};
+  auto tree = CliqueTree::Build(5, factors);
+  ASSERT_TRUE(tree.ok());
+  std::vector<int> counts(32, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    const EdgeBitset world = tree->Sample(&rng);
+    uint32_t mask = 0;
+    for (uint32_t v = 0; v < 5; ++v) {
+      if (world.Test(v)) mask |= (1U << v);
+    }
+    ++counts[mask];
+  }
+  for (uint32_t mask = 0; mask < 32; ++mask) {
+    const double expected = tree->WorldProbability(MaskToBitset(5, mask));
+    EXPECT_NEAR(counts[mask] / static_cast<double>(n), expected, 0.01);
+  }
+}
+
+TEST(CliqueTreeTest, ConditionalSamplingRespectsEvidence) {
+  Rng rng(73);
+  std::vector<double> w1(8), w2(8);
+  for (auto& w : w1) w = 0.05 + rng.UniformDouble();
+  for (auto& w : w2) w = 0.05 + rng.UniformDouble();
+  auto tree = CliqueTree::Build(5, {MakeFactor({0, 1, 2}, w1),
+                                    MakeFactor({2, 3, 4}, w2)});
+  ASSERT_TRUE(tree.ok());
+  // Evidence: var 2 present, var 4 absent.
+  EdgeBitset care = MaskToBitset(5, 0b10100);
+  EdgeBitset value = MaskToBitset(5, 0b00100);
+  int count_v0 = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    auto world = tree->SampleConditioned(&rng, care, value);
+    ASSERT_TRUE(world.ok());
+    ASSERT_TRUE(world->Test(2));
+    ASSERT_FALSE(world->Test(4));
+    if (world->Test(0)) ++count_v0;
+  }
+  // Compare against the exact conditional Pr(v0 | evidence).
+  EdgeBitset care_all = MaskToBitset(5, 0b10101);
+  EdgeBitset value_v0 = MaskToBitset(5, 0b00101);
+  const double expected = tree->Partition(care_all, value_v0) /
+                          tree->Partition(care, value);
+  EXPECT_NEAR(count_v0 / static_cast<double>(n), expected, 0.015);
+}
+
+TEST(CliqueTreeTest, ConditionalSamplingFailsOnZeroMassEvidence) {
+  // Factor forbids var0 = 1.
+  auto tree = CliqueTree::Build(1, {MakeFactor({0}, {1.0, 0.0})});
+  ASSERT_TRUE(tree.ok());
+  Rng rng(79);
+  EdgeBitset care(1), value(1);
+  care.Set(0);
+  value.Set(0);
+  EXPECT_FALSE(tree->SampleConditioned(&rng, care, value).ok());
+}
+
+}  // namespace
+}  // namespace pgsim

@@ -1,0 +1,250 @@
+// Tests for pgsim/common: Status/Result, the deterministic PRNG, and the
+// EdgeBitset set algebra.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pgsim/common/bitset.h"
+#include "pgsim/common/random.h"
+#include "pgsim/common/status.h"
+
+namespace pgsim {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad delta");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad delta");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad delta");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kResourceExhausted,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kUnimplemented}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOut) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+Result<int> Doubler(Result<int> in) {
+  PGSIM_ASSIGN_OR_RETURN(const int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  EXPECT_FALSE(Doubler(Status::Internal("x")).ok());
+}
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true, any_diff_seed_differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next(), vb = b.Next(), vc = c.Next();
+    all_equal &= (va == vb);
+    any_diff_seed_differs |= (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed_differs);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, DiscreteMatchesWeights) {
+  Rng rng(13);
+  std::vector<double> weights{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Discrete(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, BetaMeanApproximatesAlphaOverSum) {
+  Rng rng(17);
+  const double a = 0.383 * 6, b = (1 - 0.383) * 6;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Beta(a, b);
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.383, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  double sum = 0.0, sq = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.Fork();
+  // The child stream should differ from the parent's continuation.
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) differs |= (a.Next() != child.Next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(29);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(EdgeBitsetTest, SetResetTestCount) {
+  EdgeBitset b(130);
+  EXPECT_TRUE(b.Empty());
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(EdgeBitsetTest, SetAlgebra) {
+  EdgeBitset a = EdgeBitset::FromIndices(100, {1, 5, 70});
+  EdgeBitset b = EdgeBitset::FromIndices(100, {5, 70, 99});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.DisjointWith(b));
+  EXPECT_FALSE(a.ContainsAll(b));
+
+  EdgeBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.Count(), 4u);
+  EXPECT_TRUE(u.ContainsAll(a));
+  EXPECT_TRUE(u.ContainsAll(b));
+
+  EdgeBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.ToVector(), (std::vector<uint32_t>{5, 70}));
+
+  EdgeBitset d = a;
+  d.Subtract(b);
+  EXPECT_EQ(d.ToVector(), (std::vector<uint32_t>{1}));
+}
+
+TEST(EdgeBitsetTest, DisjointSets) {
+  EdgeBitset a = EdgeBitset::FromIndices(64, {0, 1});
+  EdgeBitset b = EdgeBitset::FromIndices(64, {2, 3});
+  EXPECT_TRUE(a.DisjointWith(b));
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(EdgeBitsetTest, ToVectorRoundTrip) {
+  const std::vector<uint32_t> indices{0, 3, 63, 64, 65, 127};
+  EdgeBitset b = EdgeBitset::FromIndices(128, indices);
+  EXPECT_EQ(b.ToVector(), indices);
+}
+
+TEST(EdgeBitsetTest, EqualityAndHash) {
+  EdgeBitset a = EdgeBitset::FromIndices(80, {1, 2, 3});
+  EdgeBitset b = EdgeBitset::FromIndices(80, {1, 2, 3});
+  EdgeBitset c = EdgeBitset::FromIndices(80, {1, 2, 4});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+}
+
+TEST(EdgeBitsetTest, ClearEmptiesAllWords) {
+  EdgeBitset a = EdgeBitset::FromIndices(200, {0, 100, 199});
+  a.Clear();
+  EXPECT_TRUE(a.Empty());
+  EXPECT_EQ(a.Count(), 0u);
+}
+
+}  // namespace
+}  // namespace pgsim

@@ -1,0 +1,158 @@
+// Tests for the feature miner (Algorithm 4): support exactness, level-1
+// completeness, threshold effects, and the disjoint-embedding rule.
+
+#include <gtest/gtest.h>
+
+#include "pgsim/graph/vf2.h"
+#include "pgsim/mining/feature_miner.h"
+#include "test_util.h"
+
+namespace pgsim {
+namespace {
+
+using ::pgsim::testing::MakeGraph;
+using ::pgsim::testing::MakePath;
+using ::pgsim::testing::MakeTriangle;
+using ::pgsim::testing::RandomGraph;
+
+TEST(GreedyDisjointTest, CountsDisjointFamilies) {
+  std::vector<EdgeBitset> embeddings{
+      EdgeBitset::FromIndices(8, {0, 1}), EdgeBitset::FromIndices(8, {1, 2}),
+      EdgeBitset::FromIndices(8, {3, 4}), EdgeBitset::FromIndices(8, {4, 5})};
+  // Greedy picks {0,1}, skips {1,2}, picks {3,4}, skips {4,5}.
+  EXPECT_EQ(GreedyDisjointCount(embeddings), 2u);
+  EXPECT_EQ(GreedyDisjointCount({}), 0u);
+}
+
+TEST(FeatureMinerTest, RejectsEmptyDatabase) {
+  EXPECT_FALSE(MineFeatures({}).ok());
+}
+
+TEST(FeatureMinerTest, SingleEdgeFeaturesAlwaysPresent) {
+  // DB with two distinct edge patterns: (0)-(1) and (0)-(2).
+  const std::vector<Graph> db{MakeGraph({0, 1}, {{0, 1, 0}}),
+                              MakeGraph({0, 2}, {{0, 1, 0}}),
+                              MakeGraph({0, 1, 2}, {{0, 1, 0}, {0, 2, 0}})};
+  FeatureMinerOptions options;
+  options.beta = 0.99;  // high frequency bar must NOT evict level-1 features
+  auto mined = MineFeatures(db, options);
+  ASSERT_TRUE(mined.ok());
+  size_t single_edge = 0;
+  for (const Feature& f : mined->features) {
+    if (f.graph.NumEdges() == 1) ++single_edge;
+  }
+  EXPECT_EQ(single_edge, 2u);  // the two distinct labeled edges
+}
+
+TEST(FeatureMinerTest, SupportListsAreExact) {
+  const std::vector<Graph> db{MakePath(3), MakeTriangle(0, 0, 0),
+                              MakeGraph({1, 1}, {{0, 1, 0}})};
+  auto mined = MineFeatures(db);
+  ASSERT_TRUE(mined.ok());
+  for (const Feature& f : mined->features) {
+    for (uint32_t gi = 0; gi < db.size(); ++gi) {
+      const bool in_support =
+          std::find(f.support.begin(), f.support.end(), gi) !=
+          f.support.end();
+      EXPECT_EQ(in_support, IsSubgraphIsomorphic(f.graph, db[gi]))
+          << "feature with " << f.graph.NumEdges() << " edges vs graph "
+          << gi;
+    }
+  }
+}
+
+TEST(FeatureMinerTest, GrowsMultiEdgeFeatures) {
+  // Ten copies of the same triangle-rich graph: the 2-edge path (all labels
+  // 0) is frequent in every graph and should be mined at level 2.
+  std::vector<Graph> db;
+  Rng rng(801);
+  for (int i = 0; i < 10; ++i) db.push_back(RandomGraph(&rng, 6, 4, 1));
+  FeatureMinerOptions options;
+  options.alpha = 0.0;   // no disjointness requirement
+  options.beta = 0.5;
+  options.gamma = -1.0;  // disable the discriminative filter
+  options.max_vertices = 3;
+  auto mined = MineFeatures(db, options);
+  ASSERT_TRUE(mined.ok());
+  bool has_multi_edge = false;
+  for (const Feature& f : mined->features) {
+    if (f.graph.NumEdges() >= 2) has_multi_edge = true;
+  }
+  EXPECT_TRUE(has_multi_edge);
+}
+
+TEST(FeatureMinerTest, FeaturesAreUniqueUpToIsomorphism) {
+  std::vector<Graph> db;
+  Rng rng(803);
+  for (int i = 0; i < 8; ++i) db.push_back(RandomGraph(&rng, 6, 4, 2));
+  FeatureMinerOptions options;
+  options.alpha = 0.0;
+  options.beta = 0.3;
+  options.gamma = -1.0;
+  auto mined = MineFeatures(db, options);
+  ASSERT_TRUE(mined.ok());
+  for (size_t i = 0; i < mined->features.size(); ++i) {
+    for (size_t j = i + 1; j < mined->features.size(); ++j) {
+      EXPECT_FALSE(AreIsomorphic(mined->features[i].graph,
+                                 mined->features[j].graph))
+          << "features " << i << " and " << j << " are isomorphic";
+    }
+  }
+}
+
+TEST(FeatureMinerTest, HigherBetaYieldsFewerMultiEdgeFeatures) {
+  std::vector<Graph> db;
+  Rng rng(807);
+  for (int i = 0; i < 12; ++i) db.push_back(RandomGraph(&rng, 7, 4, 2));
+  FeatureMinerOptions low, high;
+  low.alpha = high.alpha = 0.0;
+  low.gamma = high.gamma = -1.0;
+  low.beta = 0.1;
+  high.beta = 0.9;
+  auto mined_low = MineFeatures(db, low);
+  auto mined_high = MineFeatures(db, high);
+  ASSERT_TRUE(mined_low.ok());
+  ASSERT_TRUE(mined_high.ok());
+  auto multi = [](const FeatureSet& fs) {
+    size_t n = 0;
+    for (const Feature& f : fs.features) n += f.graph.NumEdges() >= 2;
+    return n;
+  };
+  EXPECT_GE(multi(*mined_low), multi(*mined_high));
+}
+
+TEST(FeatureMinerTest, MaxVerticesCapsFeatureSize) {
+  std::vector<Graph> db;
+  Rng rng(809);
+  for (int i = 0; i < 8; ++i) db.push_back(RandomGraph(&rng, 8, 6, 1));
+  FeatureMinerOptions options;
+  options.alpha = 0.0;
+  options.beta = 0.2;
+  options.gamma = -1.0;
+  options.max_vertices = 3;
+  auto mined = MineFeatures(db, options);
+  ASSERT_TRUE(mined.ok());
+  for (const Feature& f : mined->features) {
+    EXPECT_LE(f.graph.NumVertices(), 3u);
+  }
+}
+
+TEST(FeatureMinerTest, TotalBudgetRespected) {
+  std::vector<Graph> db;
+  Rng rng(811);
+  for (int i = 0; i < 10; ++i) db.push_back(RandomGraph(&rng, 8, 6, 3));
+  FeatureMinerOptions options;
+  options.alpha = 0.0;
+  options.beta = 0.1;
+  options.gamma = -1.0;
+  options.max_features_total = 20;
+  auto mined = MineFeatures(db, options);
+  ASSERT_TRUE(mined.ok());
+  // Level-1 features are unconditional; growth must stop at the budget.
+  size_t multi_edge = 0;
+  for (const Feature& f : mined->features) multi_edge += f.graph.NumEdges() > 1;
+  EXPECT_LE(mined->features.size(), options.max_features_total + 40);
+}
+
+}  // namespace
+}  // namespace pgsim

@@ -1,0 +1,207 @@
+// Tests for the graph core: builder validation, adjacency, subgraphs,
+// components, fingerprints, and binary I/O.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "pgsim/graph/graph.h"
+#include "pgsim/graph/io.h"
+#include "pgsim/graph/label_table.h"
+#include "test_util.h"
+
+namespace pgsim {
+namespace {
+
+using ::pgsim::testing::MakeGraph;
+using ::pgsim::testing::MakePath;
+using ::pgsim::testing::RandomGraph;
+
+TEST(LabelTableTest, InternIsIdempotent) {
+  LabelTable table;
+  const LabelId a = table.Intern("protein_kinase");
+  const LabelId b = table.Intern("transporter");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("protein_kinase"), a);
+  EXPECT_EQ(table.Name(a), "protein_kinase");
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.Lookup("nope"), kInvalidLabel);
+  EXPECT_EQ(table.Lookup("transporter"), b);
+}
+
+TEST(GraphBuilderTest, BuildsNormalizedEdges) {
+  GraphBuilder builder;
+  const VertexId a = builder.AddVertex(1);
+  const VertexId b = builder.AddVertex(2);
+  auto e = builder.AddEdge(b, a, 7);  // reversed endpoints
+  ASSERT_TRUE(e.ok());
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.GetEdge(0).u, a);  // normalized u < v
+  EXPECT_EQ(g.GetEdge(0).v, b);
+  EXPECT_EQ(g.EdgeLabel(0), 7u);
+  EXPECT_EQ(g.VertexLabel(a), 1u);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder builder;
+  const VertexId a = builder.AddVertex(0);
+  auto e = builder.AddEdge(a, a, 0);
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsParallelEdge) {
+  GraphBuilder builder;
+  const VertexId a = builder.AddVertex(0);
+  const VertexId b = builder.AddVertex(0);
+  ASSERT_TRUE(builder.AddEdge(a, b, 0).ok());
+  EXPECT_FALSE(builder.AddEdge(a, b, 1).ok());
+  EXPECT_FALSE(builder.AddEdge(b, a, 0).ok());
+}
+
+TEST(GraphBuilderTest, RejectsUnknownEndpoint) {
+  GraphBuilder builder;
+  builder.AddVertex(0);
+  EXPECT_FALSE(builder.AddEdge(0, 5, 0).ok());
+}
+
+TEST(GraphTest, FindEdgeBothDirections) {
+  const Graph g = MakePath(4);
+  EXPECT_TRUE(g.FindEdge(0, 1).has_value());
+  EXPECT_TRUE(g.FindEdge(1, 0).has_value());
+  EXPECT_FALSE(g.FindEdge(0, 2).has_value());
+  EXPECT_FALSE(g.FindEdge(0, 99).has_value());
+}
+
+TEST(GraphTest, AdjacencySortedAndDegrees) {
+  const Graph g = MakeGraph({0, 0, 0, 0},
+                            {{0, 3, 0}, {0, 1, 0}, {0, 2, 0}, {2, 3, 0}});
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.Degree(1), 1u);
+  const auto& adj = g.Neighbors(0);
+  for (size_t i = 1; i < adj.size(); ++i) {
+    EXPECT_LT(adj[i - 1].neighbor, adj[i].neighbor);
+  }
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  // Two components: a path 0-1-2 and an isolated edge 3-4, plus vertex 5.
+  const Graph g = MakeGraph({0, 0, 0, 0, 0, 0},
+                            {{0, 1, 0}, {1, 2, 0}, {3, 4, 0}});
+  uint32_t n = 0;
+  const auto comp = g.ConnectedComponents(&n);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_FALSE(g.IsConnected());
+  EXPECT_TRUE(MakePath(5).IsConnected());
+}
+
+TEST(GraphTest, EdgeInducedSubgraphDropsIsolatedVertices) {
+  const Graph g = MakePath(5);  // edges 0:(0,1) 1:(1,2) 2:(2,3) 3:(3,4)
+  std::vector<VertexId> map;
+  const Graph sub = EdgeInducedSubgraph(g, {0, 3}, &map);
+  EXPECT_EQ(sub.NumEdges(), 2u);
+  EXPECT_EQ(sub.NumVertices(), 4u);  // vertex 2 dropped
+  EXPECT_EQ(map[2], kInvalidVertex);
+  EXPECT_NE(map[0], kInvalidVertex);
+  EXPECT_FALSE(sub.IsConnected());
+}
+
+TEST(GraphTest, EdgeInducedSubgraphPreservesLabels) {
+  const Graph g = MakeGraph({5, 6, 7}, {{0, 1, 9}, {1, 2, 8}});
+  const Graph sub = EdgeInducedSubgraph(g, {1});
+  ASSERT_EQ(sub.NumEdges(), 1u);
+  EXPECT_EQ(sub.EdgeLabel(0), 8u);
+  // The two kept vertices carry labels 6 and 7 (in some order).
+  std::vector<LabelId> labels{sub.VertexLabel(0), sub.VertexLabel(1)};
+  std::sort(labels.begin(), labels.end());
+  EXPECT_EQ(labels, (std::vector<LabelId>{6, 7}));
+}
+
+TEST(GraphFingerprintTest, InvariantUnderVertexPermutation) {
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = RandomGraph(&rng, 7, 4, 3);
+    // Random permutation of vertex ids.
+    std::vector<VertexId> perm(g.NumVertices());
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.Shuffle(&perm);
+    GraphBuilder builder;
+    std::vector<VertexId> inverse(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) inverse[perm[v]] = v;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      builder.AddVertex(g.VertexLabel(inverse[v]));
+    }
+    for (const Edge& e : g.Edges()) {
+      auto r = builder.AddEdge(perm[e.u], perm[e.v], e.label);
+      (void)r;
+    }
+    const Graph permuted = builder.Build();
+    EXPECT_EQ(GraphFingerprint(g), GraphFingerprint(permuted));
+  }
+}
+
+TEST(GraphFingerprintTest, DistinguishesLabels) {
+  const Graph a = MakeGraph({0, 1}, {{0, 1, 0}});
+  const Graph b = MakeGraph({0, 2}, {{0, 1, 0}});
+  const Graph c = MakeGraph({0, 1}, {{0, 1, 3}});
+  EXPECT_NE(GraphFingerprint(a), GraphFingerprint(b));
+  EXPECT_NE(GraphFingerprint(a), GraphFingerprint(c));
+}
+
+TEST(GraphIoTest, PrimitivesRoundTrip) {
+  std::stringstream ss;
+  WriteU32(ss, 0xdeadbeef);
+  WriteU64(ss, 0x123456789abcdef0ULL);
+  WriteDouble(ss, 0.383);
+  WriteString(ss, "pgsim");
+  EXPECT_EQ(ReadU32(ss).value(), 0xdeadbeefu);
+  EXPECT_EQ(ReadU64(ss).value(), 0x123456789abcdef0ULL);
+  EXPECT_DOUBLE_EQ(ReadDouble(ss).value(), 0.383);
+  EXPECT_EQ(ReadString(ss).value(), "pgsim");
+}
+
+TEST(GraphIoTest, ReadPastEndFails) {
+  std::stringstream ss;
+  WriteU32(ss, 1);
+  ASSERT_TRUE(ReadU32(ss).ok());
+  EXPECT_FALSE(ReadU32(ss).ok());
+}
+
+TEST(GraphIoTest, GraphRoundTrip) {
+  Rng rng(37);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = RandomGraph(&rng, 8, 5, 4);
+    std::stringstream ss;
+    WriteGraph(ss, g);
+    auto back = ReadGraph(ss);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->NumVertices(), g.NumVertices());
+    EXPECT_EQ(back->NumEdges(), g.NumEdges());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_EQ(back->VertexLabel(v), g.VertexLabel(v));
+    }
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      EXPECT_EQ(back->GetEdge(e).u, g.GetEdge(e).u);
+      EXPECT_EQ(back->GetEdge(e).v, g.GetEdge(e).v);
+      EXPECT_EQ(back->GetEdge(e).label, g.GetEdge(e).label);
+    }
+  }
+}
+
+TEST(GraphIoTest, ByteSizeMatchesSerializedLength) {
+  Rng rng(41);
+  const Graph g = RandomGraph(&rng, 6, 3, 2);
+  std::stringstream ss;
+  WriteGraph(ss, g);
+  EXPECT_EQ(ss.str().size(), GraphByteSize(g));
+}
+
+}  // namespace
+}  // namespace pgsim

@@ -1,0 +1,121 @@
+// Tests for joint probability tables (Definition 2).
+
+#include <gtest/gtest.h>
+
+#include "pgsim/common/random.h"
+#include "pgsim/prob/jpt.h"
+
+namespace pgsim {
+namespace {
+
+TEST(JptTest, FromWeightsNormalizes) {
+  auto t = JointProbTable::FromWeights({1.0, 1.0, 2.0, 4.0});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->arity(), 2u);
+  EXPECT_DOUBLE_EQ(t->Prob(0), 0.125);
+  EXPECT_DOUBLE_EQ(t->Prob(3), 0.5);
+  EXPECT_NEAR(t->TotalMass(), 1.0, 1e-12);
+}
+
+TEST(JptTest, RejectsBadWeights) {
+  EXPECT_FALSE(JointProbTable::FromWeights({}).ok());
+  EXPECT_FALSE(JointProbTable::FromWeights({1.0, 2.0, 3.0}).ok());  // not 2^k
+  EXPECT_FALSE(JointProbTable::FromWeights({-1.0, 2.0}).ok());
+  EXPECT_FALSE(JointProbTable::FromWeights({0.0, 0.0}).ok());  // zero sum
+}
+
+TEST(JptTest, RejectsExcessiveArity) {
+  std::vector<double> weights(1ULL << 17, 1.0);
+  EXPECT_FALSE(JointProbTable::FromWeights(weights).ok());
+}
+
+TEST(JptTest, IndependentTableMatchesProducts) {
+  auto t = JointProbTable::Independent({0.3, 0.6});
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(t->Prob(0b00), 0.7 * 0.4, 1e-12);
+  EXPECT_NEAR(t->Prob(0b01), 0.3 * 0.4, 1e-12);
+  EXPECT_NEAR(t->Prob(0b10), 0.7 * 0.6, 1e-12);
+  EXPECT_NEAR(t->Prob(0b11), 0.3 * 0.6, 1e-12);
+}
+
+TEST(JptTest, IndependentRejectsBadProbability) {
+  EXPECT_FALSE(JointProbTable::Independent({1.2}).ok());
+  EXPECT_FALSE(JointProbTable::Independent({-0.1}).ok());
+}
+
+TEST(JptTest, MarginalAllPresent) {
+  auto t = JointProbTable::Independent({0.5, 0.5, 0.5});
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(t->MarginalAllPresent(0b101), 0.25, 1e-12);
+  EXPECT_NEAR(t->MarginalAllPresent(0b111), 0.125, 1e-12);
+  EXPECT_NEAR(t->MarginalAllPresent(0), 1.0, 1e-12);
+}
+
+TEST(JptTest, GeneralMarginal) {
+  // Correlated table over 2 edges: mass only on 00 and 11.
+  auto t = JointProbTable::FromWeights({0.4, 0.0, 0.0, 0.6});
+  ASSERT_TRUE(t.ok());
+  // Pr(e0 = 1) = 0.6, Pr(e0 = 1, e1 = 0) = 0.
+  EXPECT_NEAR(t->Marginal(0b01, 0b01), 0.6, 1e-12);
+  EXPECT_NEAR(t->Marginal(0b11, 0b01), 0.0, 1e-12);
+  EXPECT_NEAR(t->Marginal(0b11, 0b00), 0.4, 1e-12);
+}
+
+TEST(JptTest, SampleMatchesDistribution) {
+  auto t = JointProbTable::FromWeights({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(t.ok());
+  Rng rng(51);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[t->Sample(&rng)];
+  for (uint32_t mask = 0; mask < 4; ++mask) {
+    EXPECT_NEAR(counts[mask] / static_cast<double>(n), t->Prob(mask), 0.015);
+  }
+}
+
+TEST(JptTest, SampleConditionedRespectsEvidence) {
+  auto t = JointProbTable::FromWeights({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(t.ok());
+  Rng rng(53);
+  // Condition on bit 0 = 1: only masks 0b01 and 0b11 allowed, renormalized.
+  int count11 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto mask = t->SampleConditioned(&rng, 0b01, 0b01);
+    ASSERT_TRUE(mask.ok());
+    ASSERT_TRUE((*mask & 0b01) == 0b01);
+    if (*mask == 0b11) ++count11;
+  }
+  EXPECT_NEAR(count11 / static_cast<double>(n), 4.0 / 6.0, 0.02);
+}
+
+TEST(JptTest, SampleConditionedFailsOnZeroMass) {
+  auto t = JointProbTable::FromWeights({1.0, 0.0, 1.0, 0.0});
+  ASSERT_TRUE(t.ok());
+  Rng rng(55);
+  // bit 0 = 1 has zero probability.
+  EXPECT_FALSE(t->SampleConditioned(&rng, 0b01, 0b01).ok());
+}
+
+TEST(JptTest, PaperFigure1Table) {
+  // Graph 001's JPT from Figure 1: 8 assignments over {e1, e2, e3}.
+  // Order there is (e1, e2, e3) with "1 1 1 -> 0.2" first; encode e1 as
+  // bit 0. The table is already normalized (sums to 1).
+  std::vector<double> probs(8);
+  probs[0b111] = 0.2;
+  probs[0b011] = 0.2;  // e1=1 e2=1 e3=0 -> bits e1|e2
+  probs[0b101] = 0.1;
+  probs[0b001] = 0.1;
+  probs[0b110] = 0.1;
+  probs[0b010] = 0.1;
+  probs[0b100] = 0.1;
+  probs[0b000] = 0.1;
+  auto t = JointProbTable::FromWeights(probs);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(t->TotalMass(), 1.0, 1e-12);
+  // Pr(e1 = 1) = 0.2 + 0.2 + 0.1 + 0.1 = 0.6.
+  EXPECT_NEAR(t->Marginal(0b001, 0b001), 0.6, 1e-12);
+}
+
+}  // namespace
+}  // namespace pgsim

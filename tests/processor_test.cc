@@ -1,0 +1,192 @@
+// End-to-end tests of the T-PS pipeline: the full PMI pipeline (with exact
+// verification) must return exactly the Exact-scan answers — the
+// filter-and-verify framework is an optimization, never a semantics change.
+
+#include <gtest/gtest.h>
+
+#include "pgsim/datasets/synthetic.h"
+#include "pgsim/index/pmi.h"
+#include "pgsim/query/processor.h"
+#include "pgsim/query/structural_filter.h"
+
+namespace pgsim {
+namespace {
+
+struct Pipeline {
+  std::vector<ProbabilisticGraph> db;
+  std::vector<Graph> certain;
+  ProbabilisticMatrixIndex pmi;
+  StructuralFilter filter;
+};
+
+Pipeline MakePipeline(uint64_t seed, size_t num_graphs = 12) {
+  SyntheticOptions options;
+  options.num_graphs = num_graphs;
+  options.avg_vertices = 8;
+  options.edge_factor = 1.3;
+  options.num_vertex_labels = 3;
+  options.seed = seed;
+  Pipeline p;
+  p.db = GenerateDatabase(options).value();
+  for (const auto& g : p.db) p.certain.push_back(g.certain());
+  PmiBuildOptions build;
+  build.miner.alpha = 0.0;
+  build.miner.beta = 0.2;
+  build.miner.gamma = -1.0;
+  build.miner.max_vertices = 3;
+  build.sip.mc.min_samples = 6000;
+  build.sip.mc.max_samples = 6000;
+  p.pmi = ProbabilisticMatrixIndex::Build(p.db, build).value();
+  p.filter = StructuralFilter::Build(p.certain, p.pmi.features());
+  return p;
+}
+
+class PipelineAgreementTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(PipelineAgreementTest, PmiPipelineMatchesExactScan) {
+  const auto [seed, epsilon] = GetParam();
+  Pipeline p = MakePipeline(seed);
+  const QueryProcessor processor(&p.db, &p.pmi, &p.filter);
+
+  Rng rng(seed + 5);
+  QueryOptions options;
+  options.delta = 1;
+  options.epsilon = epsilon;
+  options.verify_mode = QueryOptions::VerifyMode::kExact;
+  for (int trial = 0; trial < 3; ++trial) {
+    auto q = ExtractQuery(p.certain[rng.Uniform(p.certain.size())], 4, &rng);
+    ASSERT_TRUE(q.ok());
+    QueryStats pipeline_stats, exact_stats;
+    auto pipeline = processor.Query(*q, options, &pipeline_stats);
+    auto exact = processor.ExactScan(*q, options, &exact_stats);
+    ASSERT_TRUE(pipeline.ok());
+    ASSERT_TRUE(exact.ok());
+    // The probabilistic bounds carry Monte-Carlo noise; graphs whose exact
+    // SSP is within the noise band of epsilon may legitimately differ.
+    // Compare against the exact answer set with a tolerance band.
+    std::vector<uint32_t> sym_diff;
+    std::set_symmetric_difference(pipeline->begin(), pipeline->end(),
+                                  exact->begin(), exact->end(),
+                                  std::back_inserter(sym_diff));
+    auto relaxed = GenerateRelaxedQueries(*q, options.delta);
+    ASSERT_TRUE(relaxed.ok());
+    for (uint32_t gi : sym_diff) {
+      auto ssp = ExactSubgraphSimilarityProbability(p.db[gi], *relaxed);
+      ASSERT_TRUE(ssp.ok());
+      EXPECT_NEAR(*ssp, epsilon, 0.12)
+          << "graph " << gi
+          << " disagreed though far from the threshold; seed=" << seed;
+    }
+    EXPECT_EQ(pipeline_stats.database_size, p.db.size());
+    EXPECT_LE(pipeline_stats.structural_candidates, p.db.size());
+    EXPECT_LE(pipeline_stats.verification_candidates,
+              pipeline_stats.structural_candidates);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineAgreementTest,
+    ::testing::Combine(::testing::Values(1501ULL, 1507ULL),
+                       ::testing::Values(0.3, 0.5, 0.7)));
+
+TEST(ProcessorTest, DeltaBeyondQuerySizeReturnsEverything) {
+  Pipeline p = MakePipeline(1511, 6);
+  const QueryProcessor processor(&p.db, &p.pmi, &p.filter);
+  Rng rng(43);
+  auto q = ExtractQuery(p.certain[0], 3, &rng);
+  ASSERT_TRUE(q.ok());
+  QueryOptions options;
+  options.delta = 3;  // == |E(q)|
+  options.epsilon = 0.9;
+  auto answers = processor.Query(*q, options);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), p.db.size());
+}
+
+TEST(ProcessorTest, SampledVerificationCloseToExact) {
+  Pipeline p = MakePipeline(1513);
+  const QueryProcessor processor(&p.db, &p.pmi, &p.filter);
+  Rng rng(47);
+  QueryOptions exact_options;
+  exact_options.delta = 1;
+  exact_options.epsilon = 0.5;
+  exact_options.verify_mode = QueryOptions::VerifyMode::kExact;
+  QueryOptions smp_options = exact_options;
+  smp_options.verify_mode = QueryOptions::VerifyMode::kSample;
+  smp_options.verifier.mc.min_samples = 20000;
+  smp_options.verifier.mc.max_samples = 20000;
+
+  auto q = ExtractQuery(p.certain[1], 4, &rng);
+  ASSERT_TRUE(q.ok());
+  auto exact = processor.Query(*q, exact_options);
+  auto smp = processor.Query(*q, smp_options);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(smp.ok());
+  // Any disagreement must involve graphs whose SSP is near epsilon.
+  std::vector<uint32_t> sym_diff;
+  std::set_symmetric_difference(exact->begin(), exact->end(), smp->begin(),
+                                smp->end(), std::back_inserter(sym_diff));
+  auto relaxed = GenerateRelaxedQueries(*q, 1);
+  ASSERT_TRUE(relaxed.ok());
+  for (uint32_t gi : sym_diff) {
+    auto ssp = ExactSubgraphSimilarityProbability(p.db[gi], *relaxed);
+    ASSERT_TRUE(ssp.ok());
+    EXPECT_NEAR(*ssp, 0.5, 0.1) << "graph " << gi;
+  }
+}
+
+TEST(ProcessorTest, PipelineWithoutIndexStillCorrect) {
+  Pipeline p = MakePipeline(1517, 8);
+  // No PMI, no structural filter: everything goes to the verifier.
+  const QueryProcessor bare(&p.db, nullptr, nullptr);
+  const QueryProcessor full(&p.db, &p.pmi, &p.filter);
+  Rng rng(53);
+  QueryOptions options;
+  options.delta = 1;
+  options.epsilon = 0.4;
+  options.verify_mode = QueryOptions::VerifyMode::kExact;
+  auto q = ExtractQuery(p.certain[2], 4, &rng);
+  ASSERT_TRUE(q.ok());
+  QueryStats bare_stats;
+  auto bare_answers = bare.Query(*q, options, &bare_stats);
+  auto full_answers = full.Query(*q, options);
+  ASSERT_TRUE(bare_answers.ok());
+  ASSERT_TRUE(full_answers.ok());
+  EXPECT_EQ(bare_stats.verification_candidates, p.db.size());
+  // Bare pipeline is exact; the full one may differ only near the threshold.
+  auto relaxed = GenerateRelaxedQueries(*q, 1);
+  ASSERT_TRUE(relaxed.ok());
+  std::vector<uint32_t> sym_diff;
+  std::set_symmetric_difference(bare_answers->begin(), bare_answers->end(),
+                                full_answers->begin(), full_answers->end(),
+                                std::back_inserter(sym_diff));
+  for (uint32_t gi : sym_diff) {
+    auto ssp = ExactSubgraphSimilarityProbability(p.db[gi], *relaxed);
+    ASSERT_TRUE(ssp.ok());
+    EXPECT_NEAR(*ssp, 0.4, 0.12) << "graph " << gi;
+  }
+}
+
+TEST(ProcessorTest, StatsTimingsArePopulated) {
+  Pipeline p = MakePipeline(1523, 8);
+  const QueryProcessor processor(&p.db, &p.pmi, &p.filter);
+  Rng rng(59);
+  auto q = ExtractQuery(p.certain[0], 4, &rng);
+  ASSERT_TRUE(q.ok());
+  QueryOptions options;
+  options.delta = 1;
+  QueryStats stats;
+  auto answers = processor.Query(*q, options, &stats);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_GT(stats.num_relaxed_queries, 0u);
+  EXPECT_GE(stats.total_seconds,
+            stats.structural_seconds + stats.prob_seconds - 1e-9);
+  EXPECT_EQ(stats.answers, answers->size());
+  EXPECT_EQ(stats.structural_candidates,
+            stats.pruned_by_upper + stats.accepted_by_lower +
+                stats.verification_candidates);
+}
+
+}  // namespace
+}  // namespace pgsim
