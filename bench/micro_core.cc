@@ -14,6 +14,7 @@
 #include "pgsim/graph/vf2.h"
 #include "pgsim/prob/dnf_exact.h"
 #include "pgsim/index/pmi.h"
+#include "pgsim/query/processor.h"
 #include "pgsim/query/quadratic_program.h"
 #include "pgsim/query/set_cover.h"
 #include "pgsim/query/top_k.h"
@@ -290,6 +291,121 @@ void BM_TopK_Query(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TopK_Query);
+
+// ---- Adjacency layout ablation: flat CSR scan vs the pre-refactor ----
+// ---- vector-of-vectors layout rebuilt from the same graph.          ----
+
+Graph MakeScanGraph() {
+  SyntheticOptions options;
+  options.num_graphs = 1;
+  options.avg_vertices = 2000;
+  options.edge_factor = 4.0;
+  options.num_vertex_labels = 8;
+  options.seed = 61;
+  Rng rng(61);
+  return GenerateGraph(options, &rng).value().certain();
+}
+
+void BM_Adjacency_ScanCsr(benchmark::State& state) {
+  const Graph g = MakeScanGraph();
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      for (const AdjEntry& a : g.Neighbors(v)) {
+        acc += a.neighbor + g.EdgeLabel(a.edge);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 2 * g.NumEdges());
+}
+BENCHMARK(BM_Adjacency_ScanCsr);
+
+void BM_Adjacency_ScanNestedVectors(benchmark::State& state) {
+  // The seed repo's layout: one heap-allocated vector per vertex.
+  const Graph g = MakeScanGraph();
+  std::vector<std::vector<AdjEntry>> nested(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto adj = g.Neighbors(v);
+    nested[v].assign(adj.begin(), adj.end());
+  }
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      for (const AdjEntry& a : nested[v]) {
+        acc += a.neighbor + g.EdgeLabel(a.edge);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 2 * g.NumEdges());
+}
+BENCHMARK(BM_Adjacency_ScanNestedVectors);
+
+// ---- Batch throughput: QueryBatch at 1, 4, and hardware threads. ----
+
+struct BatchFixture {
+  std::vector<ProbabilisticGraph> db;
+  ProbabilisticMatrixIndex pmi;
+  std::vector<Graph> certain;
+  StructuralFilter filter;
+  std::vector<Graph> queries;
+};
+
+const BatchFixture& GetBatchFixture() {
+  static const BatchFixture* fixture = [] {
+    auto* f = new BatchFixture();
+    SyntheticOptions dataset;
+    dataset.num_graphs = 60;
+    dataset.avg_vertices = 12;
+    dataset.num_vertex_labels = 5;
+    dataset.seed = 67;
+    f->db = GenerateDatabase(dataset).value();
+    PmiBuildOptions build;
+    build.miner.beta = 0.2;
+    build.miner.gamma = -1.0;
+    build.miner.max_vertices = 3;
+    build.sip.mc.min_samples = 300;
+    build.sip.mc.max_samples = 300;
+    f->pmi = ProbabilisticMatrixIndex::Build(f->db, build).value();
+    for (const auto& g : f->db) f->certain.push_back(g.certain());
+    f->filter = StructuralFilter::Build(f->certain, f->pmi.features());
+    Rng qrng(68);
+    for (int i = 0; i < 24; ++i) {
+      const auto& source = f->db[qrng.Uniform(f->db.size())].certain();
+      f->queries.push_back(ExtractQuery(source, 5, &qrng).value());
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_QueryBatch_Throughput(benchmark::State& state) {
+  const BatchFixture& f = GetBatchFixture();
+  const QueryProcessor processor(&f.db, &f.pmi, &f.filter);
+  QueryOptions options;
+  options.delta = 1;
+  options.verifier.mc.min_samples = 500;
+  options.verifier.mc.max_samples = 500;
+  BatchOptions batch;
+  batch.num_threads = static_cast<uint32_t>(state.range(0));
+  size_t answers = 0;
+  for (auto _ : state) {
+    BatchStats stats;
+    const auto results =
+        processor.QueryBatch(f.queries, options, batch, &stats);
+    answers += stats.total_answers;
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * f.queries.size());
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_QueryBatch_Throughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(0)  // 0 = all hardware threads
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -4,7 +4,7 @@
 //   pgsim_cli generate --out=db.txt [--graphs=N] [--vertices=N] [--seed=N]
 //   pgsim_cli index    --db=db.txt --out=index.pmi
 //   pgsim_cli query    --db=db.txt --queries=q.txt [--index=index.pmi]
-//                      [--delta=N] [--epsilon=F]
+//                      [--delta=N] [--epsilon=F] [--threads=N] [--chunk=N]
 //   pgsim_cli topk     --db=db.txt --queries=q.txt [--index=index.pmi]
 //                      [--delta=N] [--k=N]
 //   pgsim_cli sample-queries --db=db.txt --out=q.txt [--count=N] [--size=N]
@@ -163,24 +163,42 @@ int CmdQuery(int argc, char** argv) {
   QueryOptions options;
   options.delta = FlagInt(argc, argv, "delta", 1);
   options.epsilon = FlagDouble(argc, argv, "epsilon", 0.5);
+  BatchOptions batch;
+  // Clamp: negative flag values would wrap through the uint32 fields.
+  const int64_t threads = FlagInt(argc, argv, "threads", 1);
+  const int64_t chunk = FlagInt(argc, argv, "chunk", 4);
+  batch.num_threads = threads < 0 ? 1 : static_cast<uint32_t>(threads);
+  batch.chunk_size = chunk < 1 ? 1 : static_cast<uint32_t>(chunk);
   const QueryProcessor processor(&setup->db.graphs, &setup->pmi,
                                  &setup->filter);
+  BatchStats batch_stats;
+  const auto results =
+      processor.QueryBatch(setup->queries, options, batch, &batch_stats);
   std::printf("%-7s %-8s %-10s %-9s %-9s %-8s\n", "query", "|SCq|",
               "verified", "answers", "ids", "time_ms");
-  for (size_t qi = 0; qi < setup->queries.size(); ++qi) {
-    QueryStats stats;
-    auto answers = processor.Query(setup->queries[qi], options, &stats);
-    if (!answers.ok()) {
-      std::printf("q%-6zu %s\n", qi, answers.status().ToString().c_str());
+  for (size_t qi = 0; qi < results.size(); ++qi) {
+    const BatchQueryResult& r = results[qi];
+    if (!r.status.ok()) {
+      std::printf("q%-6zu %s\n", qi, r.status.ToString().c_str());
       continue;
     }
     std::string ids;
-    for (uint32_t gi : answers.value()) ids += std::to_string(gi) + " ";
+    for (uint32_t gi : r.answers) ids += std::to_string(gi) + " ";
     std::printf("q%-6zu %-8zu %-10zu %-9zu %-9s %-8.1f\n", qi,
-                stats.structural_candidates, stats.verification_candidates,
-                answers->size(), ids.empty() ? "-" : ids.c_str(),
-                stats.total_seconds * 1e3);
+                r.stats.structural_candidates,
+                r.stats.verification_candidates, r.answers.size(),
+                ids.empty() ? "-" : ids.c_str(),
+                r.stats.total_seconds * 1e3);
   }
+  std::printf(
+      "batch: %zu queries, %zu answers, %zu failed | %u thread(s) | "
+      "wall %.1f ms, cpu %.1f ms, %.1f queries/s\n",
+      batch_stats.num_queries, batch_stats.total_answers,
+      batch_stats.failed_queries, batch_stats.threads_used,
+      batch_stats.wall_seconds * 1e3, batch_stats.sum_query_seconds * 1e3,
+      batch_stats.wall_seconds > 0.0
+          ? batch_stats.num_queries / batch_stats.wall_seconds
+          : 0.0);
   return 0;
 }
 

@@ -1,0 +1,42 @@
+// Minimal contiguous read-only view, the C++17 stand-in for std::span.
+//
+// Graph::Neighbors returns one of these over the flat CSR adjacency array:
+// two words, trivially copyable, no ownership. Only the read-only surface
+// the codebase needs is provided.
+
+#pragma once
+
+#include <cstddef>
+
+namespace pgsim {
+
+/// Non-owning view of `size` consecutive `T`s starting at `data`.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  constexpr const T& front() const { return data_[0]; }
+  constexpr const T& back() const { return data_[size_ - 1]; }
+
+  /// The view [offset, offset+count), clamped to the span's bounds; count
+  /// defaults to "rest of the span".
+  constexpr Span subspan(size_t offset, size_t count = size_t(-1)) const {
+    if (offset > size_) offset = size_;
+    const size_t rest = size_ - offset;
+    return Span(data_ + offset, count < rest ? count : rest);
+  }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace pgsim

@@ -1,0 +1,124 @@
+// Fixed-size worker pool with chunked parallel-for.
+//
+// QueryProcessor::QueryBatch fans query batches across one of these; the
+// chunked claim loop (an atomic cursor advanced `chunk` items at a time)
+// follows the Galois/Pangolin-style chunked work distribution: large enough
+// chunks to amortize the atomic, small enough to balance skewed per-query
+// cost. Header-only; uses only std::thread primitives.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pgsim {
+
+/// Fixed pool of worker threads. Tasks run in submission order per worker;
+/// Wait() blocks until every submitted task has finished.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 means DefaultThreads()).
+  explicit ThreadPool(uint32_t num_threads = 0) {
+    if (num_threads == 0) num_threads = DefaultThreads();
+    workers_.reserve(num_threads);
+    for (uint32_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  /// Number of worker threads.
+  uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
+
+  /// Enqueues a task for any worker.
+  void Submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++pending_;
+      queue_.push(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until all tasks submitted so far have completed.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  /// Chunked parallel-for over [0, n): workers repeatedly claim the next
+  /// `chunk` indices and call fn(worker_rank, begin, end) with worker_rank in
+  /// [0, size()). Blocks until the whole range is processed. Per-rank state
+  /// (e.g. one QueryContext per rank) is safe: a rank never runs twice
+  /// concurrently.
+  void ParallelFor(size_t n, size_t chunk,
+                   const std::function<void(uint32_t, size_t, size_t)>& fn) {
+    if (n == 0) return;
+    if (chunk == 0) chunk = 1;
+    auto cursor = std::make_shared<std::atomic<size_t>>(0);
+    for (uint32_t rank = 0; rank < size(); ++rank) {
+      Submit([cursor, n, chunk, rank, &fn] {
+        for (;;) {
+          const size_t begin = cursor->fetch_add(chunk);
+          if (begin >= n) return;
+          const size_t end = begin + chunk < n ? begin + chunk : n;
+          fn(rank, begin, end);
+        }
+      });
+    }
+    Wait();
+  }
+
+  /// Hardware concurrency, at least 1.
+  static uint32_t DefaultThreads() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1u : static_cast<uint32_t>(hc);
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ and drained
+        task = std::move(queue_.front());
+        queue_.pop();
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (--pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pgsim

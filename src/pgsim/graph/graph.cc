@@ -7,7 +7,7 @@ namespace pgsim {
 
 std::optional<EdgeId> Graph::FindEdge(VertexId u, VertexId v) const {
   if (u >= NumVertices() || v >= NumVertices()) return std::nullopt;
-  const auto& adj = adjacency_[u];
+  const Span<AdjEntry> adj = Neighbors(u);
   auto it = std::lower_bound(
       adj.begin(), adj.end(), v,
       [](const AdjEntry& a, VertexId target) { return a.neighbor < target; });
@@ -33,7 +33,7 @@ std::vector<uint32_t> Graph::ConnectedComponents(
     while (!stack.empty()) {
       const VertexId v = stack.back();
       stack.pop_back();
-      for (const AdjEntry& a : adjacency_[v]) {
+      for (const AdjEntry& a : Neighbors(v)) {
         if (comp[a.neighbor] == 0xFFFFFFFFu) {
           comp[a.neighbor] = next;
           stack.push_back(a.neighbor);
@@ -61,7 +61,6 @@ std::string Graph::DebugString() const {
 
 VertexId GraphBuilder::AddVertex(LabelId label) {
   vertex_labels_.push_back(label);
-  adjacency_.emplace_back();
   return static_cast<VertexId>(vertex_labels_.size() - 1);
 }
 
@@ -72,18 +71,15 @@ Result<EdgeId> GraphBuilder::AddEdge(VertexId u, VertexId v, LabelId label) {
   if (u == v) {
     return Status::InvalidArgument("AddEdge: self-loops are not allowed");
   }
-  for (const AdjEntry& a : adjacency_[u]) {
-    if (a.neighbor == v) {
-      return Status::InvalidArgument("AddEdge: parallel edge (" +
-                                     std::to_string(u) + "," +
-                                     std::to_string(v) + ")");
-    }
-  }
   if (u > v) std::swap(u, v);
+  const uint64_t key = (uint64_t{u} << 32) | v;
+  if (!edge_keys_.insert(key).second) {
+    return Status::InvalidArgument("AddEdge: parallel edge (" +
+                                   std::to_string(u) + "," +
+                                   std::to_string(v) + ")");
+  }
   const EdgeId id = static_cast<EdgeId>(edges_.size());
   edges_.push_back(Edge{u, v, label});
-  adjacency_[u].push_back(AdjEntry{v, id});
-  adjacency_[v].push_back(AdjEntry{u, id});
   return id;
 }
 
@@ -91,16 +87,34 @@ Graph GraphBuilder::Build() {
   Graph g;
   g.vertex_labels_ = std::move(vertex_labels_);
   g.edges_ = std::move(edges_);
-  g.adjacency_ = std::move(adjacency_);
-  for (auto& adj : g.adjacency_) {
-    std::sort(adj.begin(), adj.end(),
+
+  // Counting sort of the 2m half-edges into the flat CSR arrays.
+  const size_t n = g.vertex_labels_.size();
+  g.adj_offsets_.assign(n + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.adj_offsets_[e.u + 1];
+    ++g.adj_offsets_[e.v + 1];
+  }
+  for (size_t v = 1; v <= n; ++v) g.adj_offsets_[v] += g.adj_offsets_[v - 1];
+  g.adj_entries_.resize(2 * g.edges_.size());
+  std::vector<uint32_t> cursor(g.adj_offsets_.begin(),
+                               g.adj_offsets_.begin() + n);
+  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
+    const Edge& e = g.edges_[id];
+    g.adj_entries_[cursor[e.u]++] = AdjEntry{e.v, id};
+    g.adj_entries_[cursor[e.v]++] = AdjEntry{e.u, id};
+  }
+  for (size_t v = 0; v < n; ++v) {
+    std::sort(g.adj_entries_.begin() + g.adj_offsets_[v],
+              g.adj_entries_.begin() + g.adj_offsets_[v + 1],
               [](const AdjEntry& a, const AdjEntry& b) {
                 return a.neighbor < b.neighbor;
               });
   }
+
   vertex_labels_.clear();
   edges_.clear();
-  adjacency_.clear();
+  edge_keys_.clear();
   return g;
 }
 

@@ -1,7 +1,11 @@
 // Deterministic labeled undirected graph (paper Definition 1).
 //
-// `Graph` is immutable once built: vertices and edges get dense uint32 ids,
-// adjacency lists are sorted, and lookups like HasEdge are O(log degree).
+// `Graph` is immutable once built: vertices and edges get dense uint32 ids
+// and adjacency lives in one flat CSR layout — `adj_offsets_` (n+1 prefix
+// sums) indexing into `adj_entries_` (2m entries, sorted by neighbor within
+// each vertex's segment). `Neighbors(v)` is a contiguous Span view, so the
+// VF2/MCS inner loops scan cache-line-adjacent memory instead of chasing
+// per-vertex vector allocations. Lookups like FindEdge are O(log degree).
 // All higher layers (VF2, mining, the probabilistic model, PMI) operate on
 // this one representation.
 
@@ -10,8 +14,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "pgsim/common/span.h"
 #include "pgsim/common/status.h"
 #include "pgsim/graph/label_table.h"
 
@@ -59,14 +65,20 @@ class Graph {
   /// Endpoints (u < v) and label of edge `e`.
   const Edge& GetEdge(EdgeId e) const { return edges_[e]; }
 
-  /// Sorted adjacency list of `v`.
-  const std::vector<AdjEntry>& Neighbors(VertexId v) const {
-    return adjacency_[v];
+  /// Sorted adjacency of `v`: a contiguous view into the CSR entry array.
+  Span<AdjEntry> Neighbors(VertexId v) const {
+    return Span<AdjEntry>(adj_entries_.data() + adj_offsets_[v],
+                          adj_offsets_[v + 1] - adj_offsets_[v]);
   }
   /// Degree of `v`.
   uint32_t Degree(VertexId v) const {
-    return static_cast<uint32_t>(adjacency_[v].size());
+    return adj_offsets_[v + 1] - adj_offsets_[v];
   }
+
+  /// CSR offset array (size NumVertices()+1, offsets[n] == 2*NumEdges()).
+  const std::vector<uint32_t>& AdjOffsets() const { return adj_offsets_; }
+  /// CSR entry array (size 2*NumEdges(), segment-sorted by neighbor).
+  const std::vector<AdjEntry>& AdjEntries() const { return adj_entries_; }
 
   /// The edge id between u and v, if present.
   std::optional<EdgeId> FindEdge(VertexId u, VertexId v) const;
@@ -90,7 +102,11 @@ class Graph {
 
   std::vector<LabelId> vertex_labels_;
   std::vector<Edge> edges_;
-  std::vector<std::vector<AdjEntry>> adjacency_;
+  // CSR adjacency: entries of vertex v live at
+  // adj_entries_[adj_offsets_[v] .. adj_offsets_[v+1]), sorted by neighbor.
+  // Size NumVertices()+1 always, so the empty graph holds a single 0.
+  std::vector<uint32_t> adj_offsets_ = {0};
+  std::vector<AdjEntry> adj_entries_;
 };
 
 /// Incremental builder producing an immutable Graph.
@@ -115,14 +131,17 @@ class GraphBuilder {
   /// Number of edges added so far.
   uint32_t NumEdges() const { return static_cast<uint32_t>(edges_.size()); }
 
-  /// Finalizes: sorts adjacency, moves data into an immutable Graph.
+  /// Finalizes: counting-sorts edges into the flat CSR arrays, sorts each
+  /// vertex's segment by neighbor, and moves data into an immutable Graph.
   /// The builder is left empty.
   Graph Build();
 
  private:
   std::vector<LabelId> vertex_labels_;
   std::vector<Edge> edges_;
-  std::vector<std::vector<AdjEntry>> adjacency_;
+  // Normalized (u << 32 | v) keys of present edges, for O(1) duplicate
+  // rejection in AddEdge without per-vertex adjacency vectors.
+  std::unordered_set<uint64_t> edge_keys_;
 };
 
 /// The subgraph of `g` induced by `edge_ids`: keeps exactly those edges and

@@ -22,6 +22,15 @@ uint64_t CountDeletionSets(uint32_t num_edges, uint32_t delta) {
 
 Result<std::vector<Graph>> GenerateRelaxedQueries(
     const Graph& q, uint32_t delta, const RelaxationOptions& options) {
+  std::vector<Graph> result;
+  PGSIM_RETURN_NOT_OK(GenerateRelaxedQueriesInto(q, delta, options, &result));
+  return result;
+}
+
+Status GenerateRelaxedQueriesInto(const Graph& q, uint32_t delta,
+                                  const RelaxationOptions& options,
+                                  std::vector<Graph>* out) {
+  out->clear();
   if (delta >= q.NumEdges()) {
     return Status::InvalidArgument(
         "GenerateRelaxedQueries: delta must be < |E(q)| (got delta=" +
@@ -36,7 +45,7 @@ Result<std::vector<Graph>> GenerateRelaxedQueries(
   }
 
   const uint32_t m = q.NumEdges();
-  std::vector<Graph> result;
+  std::vector<Graph>& result = *out;
   // fingerprint -> indices into `result`, for isomorphism dedup.
   std::unordered_map<uint64_t, std::vector<size_t>> buckets;
 
@@ -74,7 +83,7 @@ Result<std::vector<Graph>> GenerateRelaxedQueries(
 
   if (delta == 0) {
     PGSIM_RETURN_NOT_OK(emit());
-    return result;
+    return Status::OK();
   }
   for (;;) {
     PGSIM_RETURN_NOT_OK(emit());
@@ -85,7 +94,7 @@ Result<std::vector<Graph>> GenerateRelaxedQueries(
     ++deleted[i];
     for (uint32_t j = i + 1; j < delta; ++j) deleted[j] = deleted[j - 1] + 1;
   }
-  return result;
+  return Status::OK();
 }
 
 }  // namespace pgsim

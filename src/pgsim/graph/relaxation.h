@@ -36,6 +36,13 @@ Result<std::vector<Graph>> GenerateRelaxedQueries(
     const Graph& q, uint32_t delta,
     const RelaxationOptions& options = RelaxationOptions());
 
+/// Scratch-reusing variant: clears `*out` (keeping its capacity) and fills it
+/// with U. Steady-state query loops (QueryContext) call this to avoid
+/// reallocating the outer vector per query.
+Status GenerateRelaxedQueriesInto(const Graph& q, uint32_t delta,
+                                  const RelaxationOptions& options,
+                                  std::vector<Graph>* out);
+
 /// Number of delta-subsets of q's edges (the pre-dedup |U|), saturating at
 /// UINT64_MAX on overflow.
 uint64_t CountDeletionSets(uint32_t num_edges, uint32_t delta);

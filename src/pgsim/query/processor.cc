@@ -1,19 +1,29 @@
 #include "pgsim/query/processor.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "pgsim/common/thread_pool.h"
 #include "pgsim/common/timer.h"
 
 namespace pgsim {
 
 Result<std::vector<uint32_t>> QueryProcessor::Query(
     const Graph& q, const QueryOptions& options, QueryStats* stats) const {
+  QueryContext ctx;
+  return Query(q, options, &ctx, stats);
+}
+
+Result<std::vector<uint32_t>> QueryProcessor::Query(
+    const Graph& q, const QueryOptions& options, QueryContext* ctx,
+    QueryStats* stats) const {
   WallTimer total_timer;
   QueryStats local;
   const auto& db = *database_;
   local.database_size = db.size();
+  ctx->Reset(options.seed);
 
-  std::vector<uint32_t> answers;
+  std::vector<uint32_t>& answers = ctx->answers;
 
   if (options.delta >= q.NumEdges()) {
     // dis(q, g') <= |E(q)| <= delta for every world: SSP = 1 everywhere.
@@ -27,18 +37,18 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
 
   // ---- Relaxation: U = {rq1..rqa}. ----
   WallTimer relax_timer;
-  PGSIM_ASSIGN_OR_RETURN(
-      const std::vector<Graph> relaxed,
-      GenerateRelaxedQueries(q, options.delta, options.relax));
+  std::vector<Graph>& relaxed = ctx->relaxed;
+  PGSIM_RETURN_NOT_OK(
+      GenerateRelaxedQueriesInto(q, options.delta, options.relax, &relaxed));
   local.num_relaxed_queries = relaxed.size();
   local.relax_seconds = relax_timer.Seconds();
 
   // ---- Stage 1: structural pruning (Theorem 1). ----
   WallTimer structural_timer;
-  std::vector<uint32_t> sc_q;
+  std::vector<uint32_t>& sc_q = ctx->structural_candidates;
   if (options.use_structural_filter && structural_ != nullptr) {
-    sc_q = structural_->Filter(q, relaxed, options.delta,
-                               &local.structural_detail);
+    structural_->Filter(q, relaxed, options.delta, &sc_q, &ctx->filter_scratch,
+                        &local.structural_detail);
   } else {
     sc_q.resize(db.size());
     for (uint32_t i = 0; i < db.size(); ++i) sc_q[i] = i;
@@ -48,8 +58,8 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
 
   // ---- Stage 2: probabilistic pruning (Theorems 3-4). ----
   WallTimer prob_timer;
-  Rng rng(options.seed);
-  std::vector<uint32_t> to_verify;
+  Rng& rng = ctx->rng;
+  std::vector<uint32_t>& to_verify = ctx->to_verify;
   if (options.use_probabilistic_pruning && pmi_ != nullptr) {
     ProbabilisticPruner pruner(pmi_, options.pruner);
     pruner.PrepareQuery(relaxed);
@@ -96,6 +106,72 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
   local.total_seconds = total_timer.Seconds();
   if (stats != nullptr) *stats = local;
   return answers;
+}
+
+std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
+    const std::vector<Graph>& queries, const QueryOptions& options,
+    const BatchOptions& batch, BatchStats* batch_stats) const {
+  WallTimer wall_timer;
+  const uint32_t num_threads =
+      batch.pool != nullptr ? batch.pool->size()
+      : batch.num_threads == 0 ? ThreadPool::DefaultThreads()
+                               : batch.num_threads;
+  std::vector<BatchQueryResult> results(queries.size());
+
+  // Each slot is written by exactly one worker; each worker reruns the
+  // pipeline from options.seed, so answers match sequential Query exactly.
+  auto run_one = [&](QueryContext* ctx, size_t qi) {
+    BatchQueryResult& slot = results[qi];
+    auto answers = Query(queries[qi], options, ctx, &slot.stats);
+    if (answers.ok()) {
+      slot.answers = std::move(answers).value();
+    } else {
+      slot.status = answers.status();
+    }
+  };
+
+  uint32_t threads_used = num_threads;
+  if (batch.pool == nullptr && (num_threads <= 1 || queries.size() <= 1)) {
+    threads_used = 1;
+    QueryContext ctx;
+    for (size_t qi = 0; qi < queries.size(); ++qi) run_one(&ctx, qi);
+  } else {
+    // Use the caller's pool when provided; otherwise spawn a transient one.
+    std::unique_ptr<ThreadPool> owned;
+    ThreadPool* pool = batch.pool;
+    if (pool == nullptr) {
+      owned = std::make_unique<ThreadPool>(num_threads);
+      pool = owned.get();
+    }
+    std::vector<QueryContext> contexts(pool->size());
+    pool->ParallelFor(queries.size(), batch.chunk_size,
+                      [&](uint32_t rank, size_t begin, size_t end) {
+                        for (size_t qi = begin; qi < end; ++qi) {
+                          run_one(&contexts[rank], qi);
+                        }
+                      });
+  }
+
+  if (batch_stats != nullptr) {
+    BatchStats agg;
+    agg.num_queries = queries.size();
+    agg.threads_used = threads_used;
+    for (const BatchQueryResult& r : results) {
+      if (!r.status.ok()) {
+        ++agg.failed_queries;
+        continue;
+      }
+      agg.total_answers += r.answers.size();
+      agg.structural_candidates += r.stats.structural_candidates;
+      agg.pruned_by_upper += r.stats.pruned_by_upper;
+      agg.accepted_by_lower += r.stats.accepted_by_lower;
+      agg.verification_candidates += r.stats.verification_candidates;
+      agg.sum_query_seconds += r.stats.total_seconds;
+    }
+    agg.wall_seconds = wall_timer.Seconds();
+    *batch_stats = agg;
+  }
+  return results;
 }
 
 Result<std::vector<uint32_t>> QueryProcessor::ExactScan(

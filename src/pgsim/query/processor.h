@@ -3,7 +3,11 @@
 //
 // QueryProcessor owns nothing: it composes a database, an optional PMI and
 // an optional structural filter into the three-stage pipeline and reports
-// per-stage statistics (the quantities plotted in Figures 9–13).
+// per-stage statistics (the quantities plotted in Figures 9–13). Queries can
+// run one at a time (Query, optionally with a caller-owned QueryContext for
+// allocation reuse) or as a batch fanned across a thread pool in chunks
+// (QueryBatch), with identical answers either way: each query is seeded
+// independently from QueryOptions::seed.
 
 #pragma once
 
@@ -16,10 +20,13 @@
 #include "pgsim/graph/relaxation.h"
 #include "pgsim/index/pmi.h"
 #include "pgsim/query/prob_pruner.h"
+#include "pgsim/query/query_context.h"
 #include "pgsim/query/structural_filter.h"
 #include "pgsim/query/verifier.h"
 
 namespace pgsim {
+
+class ThreadPool;
 
 /// One T-PS query's parameters and pipeline switches.
 struct QueryOptions {
@@ -55,6 +62,42 @@ struct QueryStats {
   StructuralFilterStats structural_detail;
 };
 
+/// Batch execution knobs.
+struct BatchOptions {
+  /// Worker threads; 0 means ThreadPool::DefaultThreads(). 1 runs the batch
+  /// inline on the calling thread (no pool). Ignored when `pool` is set.
+  uint32_t num_threads = 0;
+  /// Queries claimed per atomic grab; balances atomic traffic against skewed
+  /// per-query cost.
+  uint32_t chunk_size = 4;
+  /// Caller-owned pool to run on (not owned; must outlive the call). Server
+  /// loops issuing many batches set this to avoid per-batch thread spawns;
+  /// when null, QueryBatch builds a transient pool of `num_threads`.
+  ThreadPool* pool = nullptr;
+};
+
+/// Aggregated counters over one QueryBatch call.
+struct BatchStats {
+  size_t num_queries = 0;
+  size_t failed_queries = 0;          ///< queries whose pipeline errored
+  size_t total_answers = 0;
+  size_t structural_candidates = 0;   ///< summed |SCq|
+  size_t pruned_by_upper = 0;
+  size_t accepted_by_lower = 0;
+  size_t verification_candidates = 0;
+  uint32_t threads_used = 0;          ///< threads that actually ran (1 when
+                                      ///< the inline fallback was taken)
+  double wall_seconds = 0.0;          ///< batch wall clock
+  double sum_query_seconds = 0.0;     ///< summed per-query total_seconds
+};
+
+/// One query's slot in a QueryBatch result, in input order.
+struct BatchQueryResult {
+  Status status = Status::OK();
+  std::vector<uint32_t> answers;      ///< valid iff status.ok(); sorted
+  QueryStats stats;
+};
+
 /// Three-stage T-PS query pipeline plus the Exact-scan baseline.
 class QueryProcessor {
  public:
@@ -69,6 +112,22 @@ class QueryProcessor {
   Result<std::vector<uint32_t>> Query(const Graph& q,
                                       const QueryOptions& options,
                                       QueryStats* stats = nullptr) const;
+
+  /// As above, drawing all scratch from `*ctx` (reset internally). Repeated
+  /// calls with the same context reuse its capacity.
+  Result<std::vector<uint32_t>> Query(const Graph& q,
+                                      const QueryOptions& options,
+                                      QueryContext* ctx,
+                                      QueryStats* stats = nullptr) const;
+
+  /// Runs `queries` across a thread pool in chunks, one QueryContext per
+  /// worker. Results are in input order and bit-identical to sequential
+  /// Query(queries[i], options) calls: every query reruns the pipeline from
+  /// the same options.seed regardless of which worker claims it.
+  std::vector<BatchQueryResult> QueryBatch(
+      const std::vector<Graph>& queries, const QueryOptions& options,
+      const BatchOptions& batch = BatchOptions(),
+      BatchStats* batch_stats = nullptr) const;
 
   /// The paper's Exact baseline: computes the exact SSP of every database
   /// graph, no filtering. Exponential per graph.

@@ -1,0 +1,45 @@
+// Per-thread reusable query scratch.
+//
+// A QueryContext owns every container the three-stage T-PS pipeline fills
+// per query (relaxed query set, candidate lists, filter temporaries, RNG).
+// QueryProcessor::Query clears them between runs instead of reallocating, so
+// a steady-state query loop performs near-zero heap allocation in the
+// processor itself; QueryBatch keeps one context per worker rank. A context
+// must not be shared by two queries running concurrently.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgsim/common/random.h"
+#include "pgsim/graph/graph.h"
+#include "pgsim/query/structural_filter.h"
+
+namespace pgsim {
+
+/// Reusable scratch threaded through QueryProcessor's pipeline stages.
+struct QueryContext {
+  Rng rng;
+  /// Relaxation output U = {rq1..rqa}.
+  std::vector<Graph> relaxed;
+  /// Stage 1 output SCq.
+  std::vector<uint32_t> structural_candidates;
+  /// Stage 2 output: candidates needing verification.
+  std::vector<uint32_t> to_verify;
+  /// Accumulated answer ids.
+  std::vector<uint32_t> answers;
+  /// Stage 1 temporaries.
+  StructuralFilterScratch filter_scratch;
+
+  /// Reseeds the RNG and clears (capacity-preserving) all per-query state.
+  void Reset(uint64_t seed) {
+    rng = Rng(seed);
+    relaxed.clear();
+    structural_candidates.clear();
+    to_verify.clear();
+    answers.clear();
+  }
+};
+
+}  // namespace pgsim

@@ -35,16 +35,23 @@ StructuralFilter StructuralFilter::Build(
 std::vector<uint32_t> StructuralFilter::Filter(
     const Graph& q, const std::vector<Graph>& relaxed, uint32_t delta,
     StructuralFilterStats* stats) const {
+  std::vector<uint32_t> survivors;
+  StructuralFilterScratch scratch;
+  Filter(q, relaxed, delta, &survivors, &scratch, stats);
+  return survivors;
+}
+
+void StructuralFilter::Filter(const Graph& q, const std::vector<Graph>& relaxed,
+                              uint32_t delta, std::vector<uint32_t>* survivors,
+                              StructuralFilterScratch* scratch,
+                              StructuralFilterStats* stats) const {
   WallTimer timer;
   StructuralFilterStats local;
 
   // Per-feature thresholds from the query: needed = count_f(q) - delta *
   // maxPerEdge_f(q); only features with needed >= 1 can prune.
-  struct Threshold {
-    size_t feature;
-    uint32_t needed;
-  };
-  std::vector<Threshold> thresholds;
+  auto& thresholds = scratch->thresholds;
+  thresholds.clear();
   for (size_t fi = 0; fi < feature_graphs_.size(); ++fi) {
     const Graph& feature = *feature_graphs_[fi];
     if (feature.NumEdges() > q.NumEdges()) continue;
@@ -53,7 +60,8 @@ std::vector<uint32_t> StructuralFilter::Filter(
         EmbeddingEdgeSets(feature, q, options_.max_query_count, &truncated);
     ++local.isomorphism_tests;
     if (truncated || embeddings.empty()) continue;
-    std::vector<uint32_t> per_edge(q.NumEdges(), 0);
+    auto& per_edge = scratch->per_edge;
+    per_edge.assign(q.NumEdges(), 0);
     for (const EdgeBitset& emb : embeddings) {
       for (uint32_t e : emb.ToVector()) ++per_edge[e];
     }
@@ -61,29 +69,30 @@ std::vector<uint32_t> StructuralFilter::Filter(
         *std::max_element(per_edge.begin(), per_edge.end());
     const uint64_t destroyed = uint64_t{delta} * max_per_edge;
     if (embeddings.size() > destroyed) {
-      thresholds.push_back(
-          {fi, static_cast<uint32_t>(embeddings.size() - destroyed)});
+      thresholds.emplace_back(
+          fi, static_cast<uint32_t>(embeddings.size() - destroyed));
     }
   }
 
-  std::vector<uint32_t> survivors;
+  survivors->clear();
   for (uint32_t gi = 0; gi < graphs_.size(); ++gi) {
     bool pruned = false;
-    for (const Threshold& t : thresholds) {
-      const uint16_t have = counts_[gi][t.feature];
+    for (const auto& [feature, needed] : thresholds) {
+      const uint16_t have = counts_[gi][feature];
       if (have == 0xFFFF) continue;  // saturated: unknown, cannot prune
-      if (have < t.needed) {
+      if (have < needed) {
         pruned = true;
         break;
       }
     }
-    if (!pruned) survivors.push_back(gi);
+    if (!pruned) survivors->push_back(gi);
   }
-  local.count_filter_survivors = survivors.size();
+  local.count_filter_survivors = survivors->size();
 
   if (options_.exact_check) {
-    std::vector<uint32_t> exact;
-    for (uint32_t gi : survivors) {
+    auto& exact = scratch->exact;
+    exact.clear();
+    for (uint32_t gi : *survivors) {
       bool similar = false;
       for (const Graph& rq : relaxed) {
         ++local.isomorphism_tests;
@@ -94,12 +103,11 @@ std::vector<uint32_t> StructuralFilter::Filter(
       }
       if (similar) exact.push_back(gi);
     }
-    survivors = std::move(exact);
+    survivors->swap(exact);
   }
-  local.exact_survivors = survivors.size();
+  local.exact_survivors = survivors->size();
   local.seconds = timer.Seconds();
   if (stats != nullptr) *stats = local;
-  return survivors;
 }
 
 }  // namespace pgsim

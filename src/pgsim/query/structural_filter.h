@@ -43,6 +43,18 @@ struct StructuralFilterStats {
   double seconds = 0.0;
 };
 
+/// Reusable per-thread scratch for Filter: vector capacities survive across
+/// queries so a steady-state filter pass allocates nothing. Owned by
+/// QueryContext; a default-constructed one works standalone too.
+struct StructuralFilterScratch {
+  /// (feature index, required count) pruning thresholds for this query.
+  std::vector<std::pair<size_t, uint32_t>> thresholds;
+  /// Per-query-edge embedding-hit counts.
+  std::vector<uint32_t> per_edge;
+  /// Survivors of the exact rq ⊆iso gc check.
+  std::vector<uint32_t> exact;
+};
+
 /// Precomputed per-graph feature-embedding counts + the exact checker.
 class StructuralFilter {
  public:
@@ -60,6 +72,13 @@ class StructuralFilter {
                                const std::vector<Graph>& relaxed,
                                uint32_t delta,
                                StructuralFilterStats* stats = nullptr) const;
+
+  /// Scratch-reusing variant: clears `*survivors` (keeping capacity) and
+  /// fills it with SCq, drawing temporaries from `*scratch`.
+  void Filter(const Graph& q, const std::vector<Graph>& relaxed,
+              uint32_t delta, std::vector<uint32_t>* survivors,
+              StructuralFilterScratch* scratch,
+              StructuralFilterStats* stats = nullptr) const;
 
   /// Number of graphs indexed.
   size_t num_graphs() const { return counts_.size(); }

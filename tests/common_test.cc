@@ -8,6 +8,7 @@
 
 #include "pgsim/common/bitset.h"
 #include "pgsim/common/random.h"
+#include "pgsim/common/span.h"
 #include "pgsim/common/status.h"
 
 namespace pgsim {
@@ -244,6 +245,40 @@ TEST(EdgeBitsetTest, ClearEmptiesAllWords) {
   a.Clear();
   EXPECT_TRUE(a.Empty());
   EXPECT_EQ(a.Count(), 0u);
+}
+
+TEST(SpanTest, EmptyByDefault) {
+  Span<int> s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.begin(), s.end());
+}
+
+TEST(SpanTest, ViewsContiguousStorage) {
+  const std::vector<int> data = {3, 1, 4, 1, 5, 9};
+  const Span<int> s(data.data(), data.size());
+  EXPECT_EQ(s.size(), data.size());
+  EXPECT_EQ(s.front(), 3);
+  EXPECT_EQ(s.back(), 9);
+  EXPECT_EQ(s[2], 4);
+  size_t i = 0;
+  for (int x : s) EXPECT_EQ(x, data[i++]);
+  EXPECT_EQ(i, data.size());
+}
+
+TEST(SpanTest, SubspanClampsToLength) {
+  const std::vector<int> data = {0, 1, 2, 3, 4};
+  const Span<int> s(data.data(), data.size());
+  const Span<int> mid = s.subspan(1, 3);
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.front(), 1);
+  EXPECT_EQ(mid.back(), 3);
+  const Span<int> tail = s.subspan(3);
+  EXPECT_EQ(tail.size(), 2u);
+  const Span<int> over = s.subspan(4, 100);
+  EXPECT_EQ(over.size(), 1u);
+  const Span<int> past = s.subspan(99);  // offset beyond the end clamps
+  EXPECT_TRUE(past.empty());
 }
 
 }  // namespace

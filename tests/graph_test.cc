@@ -203,5 +203,88 @@ TEST(GraphIoTest, ByteSizeMatchesSerializedLength) {
   EXPECT_EQ(ss.str().size(), GraphByteSize(g));
 }
 
+// ---- CSR layout invariants. ----
+
+void CheckCsrInvariants(const Graph& g) {
+  const auto& offsets = g.AdjOffsets();
+  const auto& entries = g.AdjEntries();
+  ASSERT_EQ(offsets.size(), g.NumVertices() + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), 2 * g.NumEdges());
+  EXPECT_EQ(entries.size(), 2 * g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    // Offsets are monotone and agree with Degree/Neighbors.
+    ASSERT_LE(offsets[v], offsets[v + 1]);
+    const auto adj = g.Neighbors(v);
+    EXPECT_EQ(adj.size(), g.Degree(v));
+    EXPECT_EQ(adj.data(), entries.data() + offsets[v]);
+    // Strictly sorted neighbor views (simple graph: no duplicates).
+    for (size_t i = 1; i < adj.size(); ++i) {
+      EXPECT_LT(adj[i - 1].neighbor, adj[i].neighbor);
+    }
+    // Every entry names a real reverse edge.
+    for (const AdjEntry& a : adj) {
+      const Edge& e = g.GetEdge(a.edge);
+      EXPECT_TRUE((e.u == v && e.v == a.neighbor) ||
+                  (e.v == v && e.u == a.neighbor));
+    }
+  }
+}
+
+TEST(GraphCsrTest, InvariantsHoldOnRandomGraphs) {
+  Rng rng(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = RandomGraph(&rng, 2 + rng.Uniform(20), rng.Uniform(12), 3);
+    CheckCsrInvariants(g);
+  }
+}
+
+TEST(GraphCsrTest, InvariantsHoldOnDegenerateGraphs) {
+  CheckCsrInvariants(Graph());  // empty
+  GraphBuilder isolated;
+  isolated.AddVertex(0);
+  isolated.AddVertex(1);
+  isolated.AddVertex(2);
+  const Graph g = isolated.Build();  // vertices, no edges
+  CheckCsrInvariants(g);
+  EXPECT_EQ(g.Degree(1), 0u);
+  EXPECT_TRUE(g.Neighbors(1).empty());
+}
+
+TEST(GraphCsrTest, RoundTripsBuilderInput) {
+  // Every builder edge must appear in both endpoints' neighbor views with
+  // the correct edge id, and nowhere else (entry count == 2m).
+  GraphBuilder builder;
+  for (int i = 0; i < 6; ++i) builder.AddVertex(static_cast<LabelId>(i % 2));
+  const std::vector<std::pair<VertexId, VertexId>> input = {
+      {5, 0}, {1, 4}, {0, 3}, {2, 5}, {0, 1}, {3, 4}};
+  for (size_t i = 0; i < input.size(); ++i) {
+    ASSERT_TRUE(
+        builder.AddEdge(input[i].first, input[i].second, LabelId(i)).ok());
+  }
+  const Graph g = builder.Build();
+  CheckCsrInvariants(g);
+  ASSERT_EQ(g.NumEdges(), input.size());
+  for (EdgeId id = 0; id < input.size(); ++id) {
+    VertexId u = input[id].first, v = input[id].second;
+    if (u > v) std::swap(u, v);
+    EXPECT_EQ(g.GetEdge(id).u, u);
+    EXPECT_EQ(g.GetEdge(id).v, v);
+    EXPECT_EQ(g.EdgeLabel(id), id);
+    ASSERT_TRUE(g.FindEdge(u, v).has_value());
+    EXPECT_EQ(*g.FindEdge(u, v), id);
+    EXPECT_EQ(*g.FindEdge(v, u), id);
+    bool u_sees_v = false, v_sees_u = false;
+    for (const AdjEntry& a : g.Neighbors(u)) {
+      if (a.neighbor == v && a.edge == id) u_sees_v = true;
+    }
+    for (const AdjEntry& a : g.Neighbors(v)) {
+      if (a.neighbor == u && a.edge == id) v_sees_u = true;
+    }
+    EXPECT_TRUE(u_sees_v);
+    EXPECT_TRUE(v_sees_u);
+  }
+}
+
 }  // namespace
 }  // namespace pgsim
