@@ -407,6 +407,99 @@ BENCHMARK(BM_QueryBatch_Throughput)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// ---- Cold start: the full offline pipeline (mine -> PMI -> filter) at ----
+// ---- 1, 4, and hardware threads. The built index is bit-identical at  ----
+// ---- every thread count (parallel_build_test), so this isolates pure  ----
+// ---- build speedup.                                                   ----
+
+const std::vector<ProbabilisticGraph>& GetColdStartDatabase() {
+  static const std::vector<ProbabilisticGraph>* db = [] {
+    SyntheticOptions dataset;
+    dataset.num_graphs = 40;
+    dataset.avg_vertices = 14;
+    dataset.num_vertex_labels = 5;
+    dataset.seed = 71;
+    return new std::vector<ProbabilisticGraph>(
+        GenerateDatabase(dataset).value());
+  }();
+  return *db;
+}
+
+void BM_ColdStart_IndexBuild(benchmark::State& state) {
+  const auto& db = GetColdStartDatabase();
+  std::vector<Graph> certain;
+  for (const auto& g : db) certain.push_back(g.certain());
+  PmiBuildOptions build;
+  build.miner.beta = 0.2;
+  build.miner.gamma = -1.0;
+  build.miner.max_vertices = 4;
+  build.sip.mc.min_samples = 300;
+  build.sip.mc.max_samples = 300;
+  build.num_threads = static_cast<uint32_t>(state.range(0));
+  StructuralFilterOptions filter_options;
+  filter_options.num_threads = build.num_threads;
+  double mining_seconds = 0.0, bounds_seconds = 0.0;
+  for (auto _ : state) {
+    const auto pmi = ProbabilisticMatrixIndex::Build(db, build).value();
+    const auto filter =
+        StructuralFilter::Build(certain, pmi.features(), filter_options);
+    mining_seconds += pmi.stats().mining_seconds;
+    bounds_seconds += pmi.stats().bounds_seconds;
+    benchmark::DoNotOptimize(filter.num_graphs());
+  }
+  state.counters["mining_s"] = mining_seconds / state.iterations();
+  state.counters["bounds_s"] = bounds_seconds / state.iterations();
+}
+BENCHMARK(BM_ColdStart_IndexBuild)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(0)  // 0 = all hardware threads
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---- Batch cache: a workload-shaped batch (each query duplicated 4x,  ----
+// ---- as repeated user queries are) with the relaxation/feature-count  ----
+// ---- cache on vs off. Answers are bit-identical either way.           ----
+
+void BM_QueryBatch_RelaxationCache(benchmark::State& state) {
+  const BatchFixture& f = GetBatchFixture();
+  const QueryProcessor processor(&f.db, &f.pmi, &f.filter);
+  // 8-edge queries at delta=2 make the cached stages (C(8,2) deletion sets
+  // with VF2 dedup + per-feature embedding counting) the dominant per-query
+  // cost; light verification sampling keeps the uncachable tail small so
+  // the measurement isolates what the cache can save.
+  Rng qrng(69);
+  std::vector<Graph> repeated;
+  while (repeated.size() < 96) {
+    const auto& source = f.db[qrng.Uniform(f.db.size())].certain();
+    auto q = ExtractQuery(source, 8, &qrng);
+    if (!q.ok()) continue;
+    for (int copy = 0; copy < 4; ++copy) repeated.push_back(*q);
+  }
+  QueryOptions options;
+  options.delta = 2;
+  options.verifier.mc.min_samples = 50;
+  options.verifier.mc.max_samples = 50;
+  BatchOptions batch;
+  batch.num_threads = 1;
+  batch.enable_cache = state.range(0) != 0;
+  size_t hits = 0;
+  for (auto _ : state) {
+    BatchStats stats;
+    const auto results =
+        processor.QueryBatch(repeated, options, batch, &stats);
+    hits += stats.relax_cache_hits;
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * repeated.size());
+  state.counters["relax_hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_QueryBatch_RelaxationCache)
+    ->Arg(0)  // cache off (cold path baseline)
+    ->Arg(1)  // cache on
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -2,9 +2,14 @@
 // T-PS / top-k queries against text-format databases without writing C++.
 //
 //   pgsim_cli generate --out=db.txt [--graphs=N] [--vertices=N] [--seed=N]
-//   pgsim_cli index    --db=db.txt --out=index.pmi
+//   pgsim_cli index    --db=db.txt --out=index.pmi [--build-threads=N]
 //   pgsim_cli query    --db=db.txt --queries=q.txt [--index=index.pmi]
 //                      [--delta=N] [--epsilon=F] [--threads=N] [--chunk=N]
+//                      [--build-threads=N] [--cache=0|1]
+//
+// --build-threads parallelizes the offline phase (feature mining, PMI bound
+// columns, structural-filter counts) on a thread pool; 0 (default) uses all
+// hardware threads and the built index is bit-identical at any setting.
 //   pgsim_cli topk     --db=db.txt --queries=q.txt [--index=index.pmi]
 //                      [--delta=N] [--k=N]
 //   pgsim_cli sample-queries --db=db.txt --out=q.txt [--count=N] [--size=N]
@@ -101,6 +106,13 @@ int CmdSampleQueries(int argc, char** argv) {
   return 0;
 }
 
+// Shared --build-threads handling: 0 = all hardware threads (the
+// PmiBuildOptions default); negative values are clamped to 1.
+uint32_t BuildThreadsFlag(int argc, char** argv) {
+  const int64_t threads = FlagInt(argc, argv, "build-threads", 0);
+  return threads < 0 ? 1u : static_cast<uint32_t>(threads);
+}
+
 int CmdIndex(int argc, char** argv) {
   const std::string db_path = FlagStr(argc, argv, "db", "pgsim_db.txt");
   const std::string out = FlagStr(argc, argv, "out", "pgsim_index.pmi");
@@ -110,16 +122,18 @@ int CmdIndex(int argc, char** argv) {
   build.miner.beta = FlagDouble(argc, argv, "beta", 0.15);
   build.miner.gamma = FlagDouble(argc, argv, "gamma", -1.0);
   build.miner.max_vertices = FlagInt(argc, argv, "maxL", 4);
+  build.num_threads = BuildThreadsFlag(argc, argv);
   auto pmi = ProbabilisticMatrixIndex::Build(db->graphs, build);
   if (!pmi.ok()) return Fail(pmi.status());
   Status s = pmi->Save(out);
   if (!s.ok()) return Fail(s);
   std::printf(
       "indexed %u graphs: %zu features, %zu entries, %.1f KB -> %s "
-      "(%.2f s)\n",
+      "(%.2f s = %.2f mining + %.2f bounds, %u thread(s))\n",
       pmi->num_graphs(), pmi->stats().num_features, pmi->stats().num_entries,
       pmi->stats().size_bytes / 1024.0, out.c_str(),
-      pmi->stats().total_seconds);
+      pmi->stats().total_seconds, pmi->stats().mining_seconds,
+      pmi->stats().bounds_seconds, pmi->stats().build_threads);
   return 0;
 }
 
@@ -136,9 +150,11 @@ Result<LoadedSetup> LoadSetup(int argc, char** argv) {
   PGSIM_ASSIGN_OR_RETURN(
       s.db, LoadDatabaseText(FlagStr(argc, argv, "db", "pgsim_db.txt")));
   const std::string index_path = FlagStr(argc, argv, "index", "");
+  const uint32_t build_threads = BuildThreadsFlag(argc, argv);
   if (index_path.empty()) {
     PmiBuildOptions build;
     build.miner.gamma = -1.0;
+    build.num_threads = build_threads;
     PGSIM_ASSIGN_OR_RETURN(s.pmi,
                            ProbabilisticMatrixIndex::Build(s.db.graphs, build));
   } else {
@@ -149,7 +165,10 @@ Result<LoadedSetup> LoadSetup(int argc, char** argv) {
     }
   }
   for (const auto& g : s.db.graphs) s.certain.push_back(g.certain());
-  s.filter = StructuralFilter::Build(s.certain, s.pmi.features());
+  StructuralFilterOptions filter_options;
+  filter_options.num_threads = build_threads;
+  s.filter = StructuralFilter::Build(s.certain, s.pmi.features(),
+                                     filter_options);
   PGSIM_ASSIGN_OR_RETURN(
       s.queries,
       LoadQueriesText(FlagStr(argc, argv, "queries", "pgsim_queries.txt"),
@@ -169,6 +188,7 @@ int CmdQuery(int argc, char** argv) {
   const int64_t chunk = FlagInt(argc, argv, "chunk", 4);
   batch.num_threads = threads < 0 ? 1 : static_cast<uint32_t>(threads);
   batch.chunk_size = chunk < 1 ? 1 : static_cast<uint32_t>(chunk);
+  batch.enable_cache = FlagInt(argc, argv, "cache", 1) != 0;
   const QueryProcessor processor(&setup->db.graphs, &setup->pmi,
                                  &setup->filter);
   BatchStats batch_stats;
@@ -199,6 +219,18 @@ int CmdQuery(int argc, char** argv) {
       batch_stats.wall_seconds > 0.0
           ? batch_stats.num_queries / batch_stats.wall_seconds
           : 0.0);
+  if (batch.enable_cache) {
+    std::printf(
+        "cache: relax %zu/%zu hits, counts %zu/%zu hits, pruner %zu/%zu "
+        "hits, %zu uncacheable (%.1f ms probing)\n",
+        batch_stats.relax_cache_hits,
+        batch_stats.relax_cache_hits + batch_stats.relax_cache_misses,
+        batch_stats.counts_cache_hits,
+        batch_stats.counts_cache_hits + batch_stats.counts_cache_misses,
+        batch_stats.prepared_cache_hits,
+        batch_stats.prepared_cache_hits + batch_stats.prepared_cache_misses,
+        batch_stats.cache_uncacheable, batch_stats.cache_seconds * 1e3);
+  }
   return 0;
 }
 

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -93,6 +94,14 @@ class ThreadPool {
     return hc == 0 ? 1u : static_cast<uint32_t>(hc);
   }
 
+  /// Resolves a (num_threads, pool) option pair the way every build/query
+  /// entry point does: a caller-owned pool wins; otherwise 0 means
+  /// DefaultThreads(). Returns the effective thread count.
+  static uint32_t ResolveThreads(uint32_t num_threads, const ThreadPool* pool) {
+    if (pool != nullptr) return pool->size();
+    return num_threads == 0 ? DefaultThreads() : num_threads;
+  }
+
  private:
   void WorkerLoop() {
     for (;;) {
@@ -120,5 +129,47 @@ class ThreadPool {
   size_t pending_ = 0;
   bool stop_ = false;
 };
+
+/// Resolves an options-style (num_threads, pool) pair into a usable pool:
+/// borrows `pool` when given, spawns an owned transient pool when
+/// num_threads resolves above 1, and stays null — the ForEachIndex inline
+/// path — otherwise. The single spawn point for every offline builder.
+class ScopedPool {
+ public:
+  ScopedPool(uint32_t num_threads, ThreadPool* pool)
+      : threads_(ThreadPool::ResolveThreads(num_threads, pool)), pool_(pool) {
+    if (pool_ == nullptr && threads_ > 1) {
+      owned_ = std::make_unique<ThreadPool>(threads_);
+      pool_ = owned_.get();
+    }
+  }
+
+  /// The pool to run on; null means "execute inline".
+  ThreadPool* get() const { return pool_; }
+  /// The effective worker count (1 for inline execution).
+  uint32_t threads() const { return threads_; }
+
+ private:
+  uint32_t threads_;
+  ThreadPool* pool_;
+  std::unique_ptr<ThreadPool> owned_;
+};
+
+/// Runs fn(i) for every i in [0, n), inline on the calling thread when
+/// `pool` is null (or trivial), else chunked across the pool. The offline
+/// index builders use this so that their 1-thread path is genuinely
+/// sequential while the N-thread path fans the same per-index work items
+/// out; determinism is the caller's contract — fn(i) must write only
+/// state owned by item i.
+inline void ForEachIndex(ThreadPool* pool, size_t n, size_t chunk,
+                         const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(n, chunk, [&fn](uint32_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
 
 }  // namespace pgsim

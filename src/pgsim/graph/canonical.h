@@ -50,4 +50,12 @@ Result<Graph> Canonicalize(const Graph& g,
                            const CanonicalOptions& options =
                                CanonicalOptions());
 
+/// Byte-exact structural key of `g` AS LABELED: equal keys <=> identical
+/// vertex-label sequences and identical (u, v, label) edge lists. Unlike
+/// CanonicalCode this is O(|V| + |E|) and distinguishes isomorphic graphs
+/// with different vertex orders — the batch query cache pairs the two
+/// (canonical code for class identity, exact key to detect true duplicates
+/// whose derived artifacts can be reused verbatim).
+std::string GraphExactKey(const Graph& g);
+
 }  // namespace pgsim

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <fstream>
+#include <memory>
 
+#include "pgsim/common/thread_pool.h"
 #include "pgsim/common/timer.h"
 #include "pgsim/graph/io.h"
 #include "pgsim/graph/vf2.h"
@@ -19,13 +21,27 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Build(
   WallTimer total_timer;
   ProbabilisticMatrixIndex index;
 
+  // One pool serves the whole offline pipeline: candidate mining fan-out,
+  // then the per-graph bound columns. 1 thread builds fully inline; the
+  // index is bit-identical at every thread count (see parallel_build_test).
+  const ScopedPool scoped_pool(options.num_threads, options.pool);
+  ThreadPool* pool = scoped_pool.get();
+  index.stats_.build_threads = scoped_pool.threads();
+
   std::vector<Graph> certain;
   certain.reserve(database.size());
   for (const ProbabilisticGraph& g : database) certain.push_back(g.certain());
 
   WallTimer mining_timer;
+  FeatureMinerOptions miner_options = options.miner;
+  if (miner_options.pool == nullptr && miner_options.num_threads == 0) {
+    // Inherit the build pool only when the miner's own threading was left
+    // at the default; an explicit miner.num_threads wins.
+    miner_options.pool = pool;
+    miner_options.num_threads = scoped_pool.threads();
+  }
   PGSIM_ASSIGN_OR_RETURN(FeatureSet mined,
-                         MineFeatures(certain, options.miner));
+                         MineFeatures(certain, miner_options));
   index.stats_.mining_seconds = mining_timer.Seconds();
   index.features_ = std::move(mined.features);
 
@@ -38,19 +54,25 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Build(
   }
 
   WallTimer bounds_timer;
+  // Fork one RNG per non-empty column sequentially, in graph order — the
+  // exact fork sequence of a sequential build — then fill columns in
+  // parallel. Each task touches only its own column/RNG slot.
   Rng rng(options.seed);
   index.columns_.resize(database.size());
+  std::vector<Rng> column_rngs(database.size(), Rng(0));
   for (uint32_t gi = 0; gi < database.size(); ++gi) {
+    if (!features_of_graph[gi].empty()) column_rngs[gi] = rng.Fork();
+  }
+  ForEachIndex(pool, database.size(), 1, [&](size_t gi) {
     const std::vector<uint32_t>& feature_ids = features_of_graph[gi];
-    if (feature_ids.empty()) continue;
+    if (feature_ids.empty()) return;
     std::vector<const Graph*> feature_graphs;
     feature_graphs.reserve(feature_ids.size());
     for (uint32_t fi : feature_ids) {
       feature_graphs.push_back(&index.features_[fi].graph);
     }
-    Rng graph_rng = rng.Fork();
     const std::vector<SipBounds> bounds = ComputeSipBoundsBatch(
-        database[gi], feature_graphs, options.sip, &graph_rng);
+        database[gi], feature_graphs, options.sip, &column_rngs[gi]);
     auto& column = index.columns_[gi];
     column.reserve(feature_ids.size());
     for (size_t k = 0; k < feature_ids.size(); ++k) {
@@ -68,7 +90,7 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Build(
               [](const PmiEntry& a, const PmiEntry& b) {
                 return a.feature_id < b.feature_id;
               });
-  }
+  });
   index.stats_.bounds_seconds = bounds_timer.Seconds();
   index.stats_.total_seconds = total_timer.Seconds();
   index.stats_.num_features = index.features_.size();

@@ -38,6 +38,17 @@ struct PmiBuildOptions {
   FeatureMinerOptions miner;
   SipBoundOptions sip;
   uint64_t seed = 42;  ///< Seed for the Algorithm 3 samplers.
+  /// Worker threads for the whole offline pipeline (feature mining + the
+  /// per-graph SIP bound columns); 0 means ThreadPool::DefaultThreads(),
+  /// 1 builds fully inline. The build pool is forwarded to the miner only
+  /// when miner.num_threads and miner.pool are both left at their defaults;
+  /// an explicit miner setting wins. The built index is bit-identical at
+  /// every thread count: per-graph RNGs are forked sequentially up front
+  /// and every parallel phase merges per-item slots in input order.
+  uint32_t num_threads = 0;
+  /// Caller-owned pool to build on (not owned; must outlive the call).
+  /// Overrides num_threads.
+  ThreadPool* pool = nullptr;
 };
 
 /// Build-time statistics (Figure 12(c)/(d) report these).
@@ -47,7 +58,8 @@ struct PmiStats {
   double total_seconds = 0.0;
   size_t num_features = 0;
   size_t num_entries = 0;
-  size_t size_bytes = 0;  ///< serialized index size
+  size_t size_bytes = 0;       ///< serialized index size
+  uint32_t build_threads = 1;  ///< effective worker count of Build()
 };
 
 /// The feature-by-graph matrix of SIP bounds.

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "pgsim/common/thread_pool.h"
 #include "pgsim/common/timer.h"
 #include "pgsim/graph/vf2.h"
 
@@ -150,11 +151,6 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
               return ga.EdgeLabel(0) < gb.EdgeLabel(0);
             });
 
-  PatternPool pool;
-  for (const Feature& f : out.features) {
-    pool.Insert(f.graph, GraphFingerprint(f.graph));
-  }
-
   // ---- Levels 2+: pattern growth by one edge. ----
   // `frontier` holds pointers into `out.features`; reserve enough capacity
   // up front that no push_back below ever reallocates.
@@ -166,81 +162,129 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
   emb_options.max_embeddings = options.max_growth_embeddings;
   emb_options.dedup_by_edge_set = true;
 
+  // Worker resolution: each level fans its per-parent enumeration and
+  // per-candidate scoring across the pool and merges slots in input order,
+  // so the mined feature set is bit-identical at every thread count.
+  const ScopedPool scoped_pool(options.num_threads, options.pool);
+  ThreadPool* workers = scoped_pool.get();
+
   for (uint32_t level = 2; !frontier.empty(); ++level) {
     if (out.features.size() >= options.max_features_total) break;
-    // Generate candidate extensions from occurrences.
+
+    // Phase A: parents enumerate their extension candidates independently
+    // (dedup within the parent; its slot is all it writes), in fixed-size
+    // waves. Waves bound peak memory — at most kParentWave parents hold
+    // un-merged candidate lists — and let enumeration stop at the level cap
+    // with at most one wave of overshoot, while staying thread-count
+    // independent: the wave size is a constant, and the cap decision is
+    // taken only at wave boundaries after an in-order merge.
+    struct ParentCandidates {
+      std::vector<Candidate> candidates;
+      uint64_t embeddings_examined = 0;
+    };
+    constexpr size_t kParentWave = 32;
     std::vector<Candidate> candidates;
     PatternPool level_pool;
-    for (const Feature* parent : frontier) {
-      if (candidates.size() >= options.max_candidates_per_level) break;
-      const Graph& pg = parent->graph;
-      size_t graphs_used = 0;
-      for (uint32_t gi : parent->support) {
-        if (graphs_used++ >= options.max_growth_graphs) break;
-        const Graph& data = database[gi];
-        EnumerateEmbeddings(
-            pg, data, emb_options, [&](const Embedding& emb) {
-              ++out.candidates_examined;
-              // Reverse map: data vertex -> pattern vertex.
-              std::unordered_map<VertexId, VertexId> reverse;
-              for (VertexId pv = 0; pv < pg.NumVertices(); ++pv) {
-                reverse[emb.vertex_map[pv]] = pv;
-              }
-              std::unordered_set<EdgeId> used_edges(emb.edge_map.begin(),
-                                                    emb.edge_map.end());
-              for (VertexId pv = 0; pv < pg.NumVertices(); ++pv) {
-                const VertexId dv = emb.vertex_map[pv];
-                for (const AdjEntry& a : data.Neighbors(dv)) {
-                  if (used_edges.count(a.edge)) continue;
-                  const auto it = reverse.find(a.neighbor);
-                  Graph extended;
-                  if (it != reverse.end()) {
-                    // Closing edge between two mapped vertices; skip if the
-                    // pattern already has it (shouldn't: edge not used).
-                    if (pv > it->second) continue;  // emit once per pair
-                    if (pg.FindEdge(std::min(pv, it->second),
-                                    std::max(pv, it->second))
-                            .has_value()) {
-                      continue;
+    for (size_t wave_begin = 0;
+         wave_begin < frontier.size() &&
+         candidates.size() < options.max_candidates_per_level;
+         wave_begin += kParentWave) {
+      const size_t wave_size =
+          std::min(kParentWave, frontier.size() - wave_begin);
+      std::vector<ParentCandidates> per_parent(wave_size);
+      ForEachIndex(workers, wave_size, 1, [&](size_t wi) {
+        const Feature* parent = frontier[wave_begin + wi];
+        ParentCandidates& slot = per_parent[wi];
+        PatternPool parent_pool;
+        const Graph& pg = parent->graph;
+        size_t graphs_used = 0;
+        for (uint32_t gi : parent->support) {
+          if (graphs_used++ >= options.max_growth_graphs) break;
+          const Graph& data = database[gi];
+          EnumerateEmbeddings(
+              pg, data, emb_options, [&](const Embedding& emb) {
+                ++slot.embeddings_examined;
+                // Reverse map: data vertex -> pattern vertex.
+                std::unordered_map<VertexId, VertexId> reverse;
+                for (VertexId pv = 0; pv < pg.NumVertices(); ++pv) {
+                  reverse[emb.vertex_map[pv]] = pv;
+                }
+                std::unordered_set<EdgeId> used_edges(emb.edge_map.begin(),
+                                                      emb.edge_map.end());
+                for (VertexId pv = 0; pv < pg.NumVertices(); ++pv) {
+                  const VertexId dv = emb.vertex_map[pv];
+                  for (const AdjEntry& a : data.Neighbors(dv)) {
+                    if (used_edges.count(a.edge)) continue;
+                    const auto it = reverse.find(a.neighbor);
+                    Graph extended;
+                    if (it != reverse.end()) {
+                      // Closing edge between two mapped vertices; skip if the
+                      // pattern already has it (shouldn't: edge not used).
+                      if (pv > it->second) continue;  // emit once per pair
+                      if (pg.FindEdge(std::min(pv, it->second),
+                                      std::max(pv, it->second))
+                              .has_value()) {
+                        continue;
+                      }
+                      extended = ExtendPattern(pg, pv, it->second, 0,
+                                               data.EdgeLabel(a.edge));
+                    } else {
+                      if (pg.NumVertices() + 1 > options.max_vertices) continue;
+                      extended = ExtendPattern(
+                          pg, pv, kInvalidVertex,
+                          data.VertexLabel(a.neighbor), data.EdgeLabel(a.edge));
                     }
-                    extended = ExtendPattern(pg, pv, it->second, 0,
-                                             data.EdgeLabel(a.edge));
-                  } else {
-                    if (pg.NumVertices() + 1 > options.max_vertices) continue;
-                    extended = ExtendPattern(
-                        pg, pv, kInvalidVertex,
-                        data.VertexLabel(a.neighbor), data.EdgeLabel(a.edge));
-                  }
-                  const uint64_t fp = GraphFingerprint(extended);
-                  if (level_pool.Insert(extended, fp)) {
-                    Candidate cand;
-                    cand.graph = std::move(extended);
-                    cand.fingerprint = fp;
-                    cand.parent_support = parent->support;
-                    candidates.push_back(std::move(cand));
+                    const uint64_t fp = GraphFingerprint(extended);
+                    if (parent_pool.Insert(extended, fp)) {
+                      Candidate cand;
+                      cand.graph = std::move(extended);
+                      cand.fingerprint = fp;
+                      cand.parent_support = parent->support;
+                      slot.candidates.push_back(std::move(cand));
+                    }
                   }
                 }
-              }
-              return candidates.size() < options.max_candidates_per_level;
-            });
-        if (candidates.size() >= options.max_candidates_per_level) break;
+                return slot.candidates.size() <
+                       options.max_candidates_per_level;
+              });
+          if (slot.candidates.size() >= options.max_candidates_per_level) {
+            break;
+          }
+        }
+      });
+
+      // Merge the wave in parent order with cross-parent dedup and the
+      // level cap: the candidate sequence matches what one thread
+      // enumerating parent-by-parent would produce.
+      for (ParentCandidates& slot : per_parent) {
+        out.candidates_examined += slot.embeddings_examined;
+        for (Candidate& cand : slot.candidates) {
+          if (candidates.size() >= options.max_candidates_per_level) break;
+          if (level_pool.Insert(cand.graph, cand.fingerprint)) {
+            candidates.push_back(std::move(cand));
+          }
+        }
       }
     }
     if (candidates.empty()) break;
 
-    // Filter candidates: frequency (with the alpha disjointness rule) and
-    // discriminative score.
-    std::vector<Feature> accepted;
-    for (Candidate& cand : candidates) {
-      if (out.features.size() + accepted.size() >=
-          options.max_features_total) {
-        break;
-      }
+    // Phase B: score every candidate — support with the alpha disjointness
+    // rule, frequency, discriminative score — in parallel. out.features only
+    // holds *previous* levels during this phase, so reads are stable.
+    struct ScoredCandidate {
+      bool pass = false;
+      Feature feature;
+      uint64_t isomorphism_tests = 0;
+    };
+    std::vector<ScoredCandidate> scored(candidates.size());
+    ForEachIndex(workers, candidates.size(), 1, [&](size_t ci) {
+      Candidate& cand = candidates[ci];
+      ScoredCandidate& slot = scored[ci];
       // Support and alpha-qualified support.
       std::vector<uint32_t> support;
       size_t alpha_qualified = 0;
       for (uint32_t gi : cand.parent_support) {
-        ++out.isomorphism_tests;
+        ++slot.isomorphism_tests;
         bool truncated = false;
         const std::vector<EdgeBitset> embeddings =
             EmbeddingEdgeSets(cand.graph, database[gi],
@@ -255,7 +299,7 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
       }
       const double frq =
           static_cast<double>(alpha_qualified) / database.size();
-      if (frq < options.beta) continue;
+      if (frq < options.beta) return;
 
       // dis(f): 1 - |Df| / |∩ Df'| over proper subfeatures already in F.
       size_t intersection_size = database.size();
@@ -264,7 +308,7 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
         bool first = true;
         for (const Feature& prior : out.features) {
           if (prior.graph.NumEdges() >= cand.graph.NumEdges()) continue;
-          ++out.isomorphism_tests;
+          ++slot.isomorphism_tests;
           if (!IsSubgraphIsomorphic(prior.graph, cand.graph)) continue;
           if (first) {
             intersection = prior.support;
@@ -284,15 +328,25 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
           intersection_size == 0
               ? 1.0
               : 1.0 - static_cast<double>(support.size()) / intersection_size;
-      if (dis <= options.gamma) continue;
+      if (dis <= options.gamma) return;
 
-      Feature f;
-      f.graph = std::move(cand.graph);
-      f.support = std::move(support);
-      f.frequency = frq;
-      f.discriminative = dis;
-      f.level = f.graph.NumEdges();
-      accepted.push_back(std::move(f));
+      slot.feature.graph = std::move(cand.graph);
+      slot.feature.support = std::move(support);
+      slot.feature.frequency = frq;
+      slot.feature.discriminative = dis;
+      slot.feature.level = slot.feature.graph.NumEdges();
+      slot.pass = true;
+    });
+
+    std::vector<Feature> accepted;
+    for (ScoredCandidate& slot : scored) {
+      out.isomorphism_tests += slot.isomorphism_tests;
+      if (!slot.pass) continue;
+      if (out.features.size() + accepted.size() >=
+          options.max_features_total) {
+        continue;  // budget spent; keep draining counters deterministically
+      }
+      accepted.push_back(std::move(slot.feature));
     }
 
     // Beam: keep the most frequent features of this level.
@@ -306,7 +360,6 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
 
     frontier.clear();
     for (Feature& f : accepted) {
-      pool.Insert(f.graph, GraphFingerprint(f.graph));
       out.features.push_back(std::move(f));
       frontier.push_back(&out.features.back());
     }

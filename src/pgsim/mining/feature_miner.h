@@ -34,6 +34,8 @@
 
 namespace pgsim {
 
+class ThreadPool;
+
 /// Mining thresholds and caps. Defaults mirror the paper's defaults
 /// (alpha = beta = gamma = 0.15) at laptop scale.
 struct FeatureMinerOptions {
@@ -53,6 +55,14 @@ struct FeatureMinerOptions {
   size_t max_growth_graphs = 24;
   /// Embeddings sampled per supporting graph when generating extensions.
   size_t max_growth_embeddings = 8;
+  /// Worker threads for candidate enumeration and per-candidate evaluation;
+  /// 0 means ThreadPool::DefaultThreads(), 1 runs fully inline. The mined
+  /// feature set is bit-identical at every thread count: parallel phases fan
+  /// out per-parent / per-candidate work items and merge them in input order.
+  uint32_t num_threads = 0;
+  /// Caller-owned pool (not owned; must outlive the call). Overrides
+  /// num_threads; PMI::Build threads its build pool through here.
+  ThreadPool* pool = nullptr;
 };
 
 /// One mined feature: its graph and support list Df (indices into Dc).

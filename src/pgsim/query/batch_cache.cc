@@ -1,0 +1,71 @@
+#include "pgsim/query/batch_cache.h"
+
+#include <utility>
+
+#include "pgsim/graph/canonical.h"
+
+namespace pgsim {
+
+BatchQueryCache::Lookup BatchQueryCache::Find(const Graph& q) {
+  Lookup lk;
+  Result<std::string> code = CanonicalCode(q);
+  if (!code.ok()) {
+    // Canonical search over budget: run the query cold rather than risk a
+    // fingerprint-grade key producing a false class hit.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.uncacheable;
+    return lk;
+  }
+  lk.cacheable = true;
+  lk.canonical_key = std::move(code).value();
+  lk.exact_key = GraphExactKey(q);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = classes_.find(lk.canonical_key);
+  if (it != classes_.end()) {
+    if (it->second.exact_key == lk.exact_key) {
+      lk.relaxed = it->second.relaxed;
+      lk.prepared = it->second.prepared;
+    }
+    lk.counts = it->second.counts;
+  }
+  lk.relaxed != nullptr ? ++stats_.relax_hits : ++stats_.relax_misses;
+  lk.counts != nullptr ? ++stats_.counts_hits : ++stats_.counts_misses;
+  lk.prepared != nullptr ? ++stats_.prepared_hits : ++stats_.prepared_misses;
+  return lk;
+}
+
+void BatchQueryCache::StoreRelaxed(
+    const Lookup& lk, std::shared_ptr<const std::vector<Graph>> relaxed) {
+  if (!lk.cacheable) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ClassEntry& entry = classes_[lk.canonical_key];
+  if (entry.relaxed == nullptr) {
+    entry.exact_key = lk.exact_key;
+    entry.relaxed = std::move(relaxed);
+  }
+}
+
+void BatchQueryCache::StoreCounts(
+    const Lookup& lk, std::shared_ptr<const QueryFeatureCounts> counts) {
+  if (!lk.cacheable) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ClassEntry& entry = classes_[lk.canonical_key];
+  if (entry.counts == nullptr) entry.counts = std::move(counts);
+}
+
+void BatchQueryCache::StorePrepared(
+    const Lookup& lk, std::shared_ptr<const PreparedQueryRelations> prepared) {
+  if (!lk.cacheable) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = classes_.find(lk.canonical_key);
+  if (it == classes_.end() || it->second.exact_key != lk.exact_key) return;
+  if (it->second.prepared == nullptr) it->second.prepared = std::move(prepared);
+}
+
+BatchCacheStats BatchQueryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pgsim

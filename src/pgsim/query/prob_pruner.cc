@@ -8,11 +8,12 @@ namespace pgsim {
 
 void ProbabilisticPruner::PrepareQuery(const std::vector<Graph>& relaxed) {
   const auto& features = pmi_->features();
-  universe_size_ = relaxed.size();
-  feature_sub_rqs_.assign(features.size(), {});
-  feature_super_rqs_.assign(features.size(), {});
-  rq_sub_features_.assign(relaxed.size(), {});
-  rq_super_features_.assign(relaxed.size(), {});
+  auto prepared = std::make_shared<PreparedQueryRelations>();
+  prepared->universe_size = relaxed.size();
+  prepared->feature_sub_rqs.assign(features.size(), {});
+  prepared->feature_super_rqs.assign(features.size(), {});
+  prepared->rq_sub_features.assign(relaxed.size(), {});
+  prepared->rq_super_features.assign(relaxed.size(), {});
   prepare_iso_tests_ = 0;
 
   for (uint32_t fi = 0; fi < features.size(); ++fi) {
@@ -22,19 +23,26 @@ void ProbabilisticPruner::PrepareQuery(const std::vector<Graph>& relaxed) {
       if (f.NumEdges() <= rq.NumEdges() && f.NumVertices() <= rq.NumVertices()) {
         ++prepare_iso_tests_;
         if (IsSubgraphIsomorphic(f, rq)) {
-          feature_sub_rqs_[fi].push_back(ri);
-          rq_sub_features_[ri].push_back(fi);
+          prepared->feature_sub_rqs[fi].push_back(ri);
+          prepared->rq_sub_features[ri].push_back(fi);
         }
       }
       if (rq.NumEdges() <= f.NumEdges() && rq.NumVertices() <= f.NumVertices()) {
         ++prepare_iso_tests_;
         if (IsSubgraphIsomorphic(rq, f)) {
-          feature_super_rqs_[fi].push_back(ri);
-          rq_super_features_[ri].push_back(fi);
+          prepared->feature_super_rqs[fi].push_back(ri);
+          prepared->rq_super_features[ri].push_back(fi);
         }
       }
     }
   }
+  prepared_ = std::move(prepared);
+}
+
+void ProbabilisticPruner::PrepareFromCache(
+    std::shared_ptr<const PreparedQueryRelations> prepared) {
+  prepared_ = std::move(prepared);
+  prepare_iso_tests_ = 0;
 }
 
 PruneDecision ProbabilisticPruner::Bounds(uint32_t graph_id, Rng* rng) const {
@@ -72,24 +80,25 @@ PruneDecision ProbabilisticPruner::EvaluateImpl(uint32_t graph_id,
   double usim = 0.0;
   if (options_.selection == BoundSelection::kOptimized) {
     std::vector<WeightedSet> sets;
-    sets.reserve(feature_sub_rqs_.size());
-    for (uint32_t fi = 0; fi < feature_sub_rqs_.size(); ++fi) {
-      if (feature_sub_rqs_[fi].empty()) continue;
+    sets.reserve(prepared_->feature_sub_rqs.size());
+    for (uint32_t fi = 0; fi < prepared_->feature_sub_rqs.size(); ++fi) {
+      if (prepared_->feature_sub_rqs[fi].empty()) continue;
       WeightedSet s;
       s.id = fi;
-      s.elements = feature_sub_rqs_[fi];
+      s.elements = prepared_->feature_sub_rqs[fi];
       s.weight = upper_of(fi);
       sets.push_back(std::move(s));
     }
-    const SetCoverResult cover = GreedyWeightedSetCover(universe_size_, sets);
+    const SetCoverResult cover =
+        GreedyWeightedSetCover(prepared_->universe_size, sets);
     // Uncovered relaxed queries contribute the trivial bound Pr(Brq) <= 1.
     usim = cover.total_weight + static_cast<double>(cover.num_uncovered);
   } else {
     // SSPBound: "for each rqi, we randomly find two features satisfying
     // conditions in PMI" (Section 6) — take the better of the two picks;
     // any single qualifying feature gives a valid per-rq bound.
-    for (uint32_t ri = 0; ri < universe_size_; ++ri) {
-      const auto& candidates = rq_sub_features_[ri];
+    for (uint32_t ri = 0; ri < prepared_->universe_size; ++ri) {
+      const auto& candidates = prepared_->rq_sub_features[ri];
       if (candidates.empty()) {
         usim += 1.0;
         continue;
@@ -109,27 +118,27 @@ PruneDecision ProbabilisticPruner::EvaluateImpl(uint32_t graph_id,
   double lsim = 0.0;
   if (options_.selection == BoundSelection::kOptimized) {
     std::vector<QpWeightedSet> sets;
-    for (uint32_t fi = 0; fi < feature_super_rqs_.size(); ++fi) {
-      if (feature_super_rqs_[fi].empty()) continue;
+    for (uint32_t fi = 0; fi < prepared_->feature_super_rqs.size(); ++fi) {
+      if (prepared_->feature_super_rqs[fi].empty()) continue;
       const PmiEntry* e = pmi_->Lookup(graph_id, fi);
       if (e == nullptr) continue;  // SIP = 0: contributes nothing
       QpWeightedSet s;
       s.id = fi;
-      s.elements = feature_super_rqs_[fi];
+      s.elements = prepared_->feature_super_rqs[fi];
       s.wl = lower_of(fi);
       s.wu = upper_of(fi);
       sets.push_back(std::move(s));
     }
     if (!sets.empty()) {
-      const LsimResult r =
-          SolveTightestLsim(universe_size_, sets, options_.lsim, rng);
+      const LsimResult r = SolveTightestLsim(prepared_->universe_size, sets,
+                                             options_.lsim, rng);
       lsim = r.lsim;
     }
   } else {
     // Random f² per rq (SSPBound flavor); duplicates collapse.
     std::vector<uint32_t> chosen;
-    for (uint32_t ri = 0; ri < universe_size_; ++ri) {
-      const auto& candidates = rq_super_features_[ri];
+    for (uint32_t ri = 0; ri < prepared_->universe_size; ++ri) {
+      const auto& candidates = prepared_->rq_super_features[ri];
       if (candidates.empty()) continue;
       chosen.push_back(candidates[rng->Uniform(candidates.size())]);
     }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "pgsim/common/random.h"
@@ -62,6 +63,24 @@ struct PruneDecision {
   double lsim = 0.0;
 };
 
+/// The query-level feature relations PrepareQuery derives from the relaxed
+/// set U — a pure function of (U, PMI feature set), immutable once built.
+/// The batch cache shares these across byte-identical queries (whose cached
+/// U is the same vector, so the relations are identical by construction);
+/// they are order-sensitive in U, so never reuse across merely isomorphic
+/// queries.
+struct PreparedQueryRelations {
+  size_t universe_size = 0;  ///< |U|
+  /// Per feature: rq indices with f ⊆iso rq (f usable as f¹).
+  std::vector<std::vector<uint32_t>> feature_sub_rqs;
+  /// Per feature: rq indices with rq ⊆iso f (f usable as f²).
+  std::vector<std::vector<uint32_t>> feature_super_rqs;
+  /// Per rq: features usable as f¹ (inverse of feature_sub_rqs).
+  std::vector<std::vector<uint32_t>> rq_sub_features;
+  /// Per rq: features usable as f² (inverse of feature_super_rqs).
+  std::vector<std::vector<uint32_t>> rq_super_features;
+};
+
 /// Evaluates pruning conditions against a PMI.
 class ProbabilisticPruner {
  public:
@@ -72,6 +91,17 @@ class ProbabilisticPruner {
   /// Computes the query-level feature relations (f ⊆iso rq and rq ⊆iso f)
   /// once; they are shared by every graph of the database.
   void PrepareQuery(const std::vector<Graph>& relaxed);
+
+  /// Adopts relations computed by a previous PrepareQuery over an identical
+  /// relaxed set (the batch cache's exact-duplicate tier) — skips every VF2
+  /// test; prepare_isomorphism_tests() reports 0.
+  void PrepareFromCache(std::shared_ptr<const PreparedQueryRelations> prepared);
+
+  /// Shares the current relations for caching (valid after PrepareQuery /
+  /// PrepareFromCache; null before).
+  std::shared_ptr<const PreparedQueryRelations> SharePrepared() const {
+    return prepared_;
+  }
 
   /// Applies Pruning 1 and Pruning 2 to one graph column. Short-circuits:
   /// when Pruning 1 fires, Lsim is not computed (decision.lsim stays 0).
@@ -90,15 +120,8 @@ class ProbabilisticPruner {
 
   const ProbabilisticMatrixIndex* pmi_;
   ProbPrunerOptions options_;
-  size_t universe_size_ = 0;
-  /// Per feature: rq indices with f ⊆iso rq (f usable as f¹).
-  std::vector<std::vector<uint32_t>> feature_sub_rqs_;
-  /// Per feature: rq indices with rq ⊆iso f (f usable as f²).
-  std::vector<std::vector<uint32_t>> feature_super_rqs_;
-  /// Per rq: features usable as f¹ (inverse of feature_sub_rqs_).
-  std::vector<std::vector<uint32_t>> rq_sub_features_;
-  /// Per rq: features usable as f² (inverse of feature_super_rqs_).
-  std::vector<std::vector<uint32_t>> rq_super_features_;
+  /// Immutable once set; shared with the batch cache via SharePrepared().
+  std::shared_ptr<const PreparedQueryRelations> prepared_;
   uint64_t prepare_iso_tests_ = 0;
 };
 

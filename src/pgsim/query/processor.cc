@@ -5,6 +5,7 @@
 
 #include "pgsim/common/thread_pool.h"
 #include "pgsim/common/timer.h"
+#include "pgsim/query/batch_cache.h"
 
 namespace pgsim {
 
@@ -35,20 +36,57 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
     return answers;
   }
 
+  // ---- Batch cache probe (canonical + exact keys). ----
+  BatchQueryCache::Lookup cached;
+  if (ctx->cache != nullptr) {
+    WallTimer cache_timer;
+    cached = ctx->cache->Find(q);
+    local.cache_seconds = cache_timer.Seconds();
+  }
+
   // ---- Relaxation: U = {rq1..rqa}. ----
+  // A cache hit substitutes the memoized set (byte-identical to what this
+  // query would generate — see batch_cache.h); a cacheable miss generates
+  // into a shared vector and publishes it for the rest of the batch.
   WallTimer relax_timer;
-  std::vector<Graph>& relaxed = ctx->relaxed;
-  PGSIM_RETURN_NOT_OK(
-      GenerateRelaxedQueriesInto(q, options.delta, options.relax, &relaxed));
-  local.num_relaxed_queries = relaxed.size();
+  const std::vector<Graph>* relaxed = &ctx->relaxed;
+  std::shared_ptr<const std::vector<Graph>> relaxed_hold;
+  if (cached.relaxed != nullptr) {
+    local.relax_cache_hit = true;
+    relaxed_hold = cached.relaxed;
+    relaxed = relaxed_hold.get();
+  } else if (cached.cacheable) {
+    auto generated = std::make_shared<std::vector<Graph>>();
+    PGSIM_RETURN_NOT_OK(GenerateRelaxedQueriesInto(q, options.delta,
+                                                   options.relax,
+                                                   generated.get()));
+    relaxed_hold = std::move(generated);
+    relaxed = relaxed_hold.get();
+    ctx->cache->StoreRelaxed(cached, relaxed_hold);
+  } else {
+    PGSIM_RETURN_NOT_OK(GenerateRelaxedQueriesInto(q, options.delta,
+                                                   options.relax,
+                                                   &ctx->relaxed));
+  }
+  local.num_relaxed_queries = relaxed->size();
   local.relax_seconds = relax_timer.Seconds();
 
   // ---- Stage 1: structural pruning (Theorem 1). ----
   WallTimer structural_timer;
   std::vector<uint32_t>& sc_q = ctx->structural_candidates;
   if (options.use_structural_filter && structural_ != nullptr) {
-    structural_->Filter(q, relaxed, options.delta, &sc_q, &ctx->filter_scratch,
-                        &local.structural_detail);
+    const QueryFeatureCounts* counts = cached.counts.get();
+    local.counts_cache_hit = counts != nullptr;
+    std::shared_ptr<QueryFeatureCounts> computed;
+    if (cached.cacheable && counts == nullptr) {
+      computed = std::make_shared<QueryFeatureCounts>();
+    }
+    structural_->Filter(q, *relaxed, options.delta, &sc_q,
+                        &ctx->filter_scratch, &local.structural_detail, counts,
+                        computed.get());
+    if (computed != nullptr) {
+      ctx->cache->StoreCounts(cached, std::move(computed));
+    }
   } else {
     sc_q.resize(db.size());
     for (uint32_t i = 0; i < db.size(); ++i) sc_q[i] = i;
@@ -62,7 +100,15 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
   std::vector<uint32_t>& to_verify = ctx->to_verify;
   if (options.use_probabilistic_pruning && pmi_ != nullptr) {
     ProbabilisticPruner pruner(pmi_, options.pruner);
-    pruner.PrepareQuery(relaxed);
+    if (cached.prepared != nullptr) {
+      local.prepared_cache_hit = true;
+      pruner.PrepareFromCache(cached.prepared);
+    } else {
+      pruner.PrepareQuery(*relaxed);
+      if (cached.cacheable) {
+        ctx->cache->StorePrepared(cached, pruner.SharePrepared());
+      }
+    }
     for (uint32_t gi : sc_q) {
       const PruneDecision d = pruner.Evaluate(gi, options.epsilon, &rng);
       switch (d.outcome) {
@@ -89,9 +135,9 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
   for (uint32_t gi : to_verify) {
     Result<double> ssp =
         options.verify_mode == QueryOptions::VerifyMode::kExact
-            ? ExactSubgraphSimilarityProbability(db[gi], relaxed,
+            ? ExactSubgraphSimilarityProbability(db[gi], *relaxed,
                                                  options.verifier)
-            : SampleSubgraphSimilarityProbability(db[gi], relaxed,
+            : SampleSubgraphSimilarityProbability(db[gi], *relaxed,
                                                   options.verifier, &rng);
     if (!ssp.ok()) {
       ++local.verification_failures;
@@ -113,9 +159,7 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
     const BatchOptions& batch, BatchStats* batch_stats) const {
   WallTimer wall_timer;
   const uint32_t num_threads =
-      batch.pool != nullptr ? batch.pool->size()
-      : batch.num_threads == 0 ? ThreadPool::DefaultThreads()
-                               : batch.num_threads;
+      ThreadPool::ResolveThreads(batch.num_threads, batch.pool);
   std::vector<BatchQueryResult> results(queries.size());
 
   // Each slot is written by exactly one worker; each worker reruns the
@@ -130,10 +174,16 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
     }
   };
 
+  // One artifact cache for the whole batch (see batch_cache.h): workers
+  // share relaxation sets and feature counts; answers stay bit-identical.
+  std::unique_ptr<BatchQueryCache> cache;
+  if (batch.enable_cache) cache = std::make_unique<BatchQueryCache>();
+
   uint32_t threads_used = num_threads;
   if (batch.pool == nullptr && (num_threads <= 1 || queries.size() <= 1)) {
     threads_used = 1;
     QueryContext ctx;
+    ctx.cache = cache.get();
     for (size_t qi = 0; qi < queries.size(); ++qi) run_one(&ctx, qi);
   } else {
     // Use the caller's pool when provided; otherwise spawn a transient one.
@@ -144,6 +194,7 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
       pool = owned.get();
     }
     std::vector<QueryContext> contexts(pool->size());
+    for (QueryContext& ctx : contexts) ctx.cache = cache.get();
     pool->ParallelFor(queries.size(), batch.chunk_size,
                       [&](uint32_t rank, size_t begin, size_t end) {
                         for (size_t qi = begin; qi < end; ++qi) {
@@ -167,6 +218,17 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
       agg.accepted_by_lower += r.stats.accepted_by_lower;
       agg.verification_candidates += r.stats.verification_candidates;
       agg.sum_query_seconds += r.stats.total_seconds;
+      agg.cache_seconds += r.stats.cache_seconds;
+    }
+    if (cache != nullptr) {
+      const BatchCacheStats cache_stats = cache->stats();
+      agg.relax_cache_hits = cache_stats.relax_hits;
+      agg.relax_cache_misses = cache_stats.relax_misses;
+      agg.counts_cache_hits = cache_stats.counts_hits;
+      agg.counts_cache_misses = cache_stats.counts_misses;
+      agg.prepared_cache_hits = cache_stats.prepared_hits;
+      agg.prepared_cache_misses = cache_stats.prepared_misses;
+      agg.cache_uncacheable = cache_stats.uncacheable;
     }
     agg.wall_seconds = wall_timer.Seconds();
     *batch_stats = agg;

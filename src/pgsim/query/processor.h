@@ -45,20 +45,33 @@ struct QueryOptions {
 };
 
 /// Per-stage counters and timings of one query run.
+///
+/// Counter fields (`database_size` .. `answers`) are deterministic: equal
+/// for the same (query, options, index) regardless of batching, thread
+/// count, or cache hits — with one documented exception: on a cache hit
+/// `structural_detail.isomorphism_tests` omits the tests the cache skipped.
+/// `*_seconds` fields are wall-clock measurements and vary run to run.
+/// Offline index-build timings live with the index itself: PmiStats
+/// (mining/bounds/total seconds, build_threads) and
+/// StructuralFilterBuildStats (seconds, counted_pairs, build_threads).
 struct QueryStats {
   size_t database_size = 0;
-  size_t num_relaxed_queries = 0;
+  size_t num_relaxed_queries = 0;      ///< |U| after isomorphism dedup
   size_t structural_candidates = 0;    ///< |SCq|
   size_t pruned_by_upper = 0;          ///< Pruning 1 hits
   size_t accepted_by_lower = 0;        ///< Pruning 2 hits
   size_t verification_candidates = 0;  ///< graphs sent to the verifier
   size_t verification_failures = 0;    ///< verifier errors (kept as answers=no)
   size_t answers = 0;
-  double relax_seconds = 0.0;
-  double structural_seconds = 0.0;
-  double prob_seconds = 0.0;
-  double verify_seconds = 0.0;
-  double total_seconds = 0.0;
+  bool relax_cache_hit = false;   ///< U reused from the batch cache
+  bool counts_cache_hit = false;  ///< feature counts reused from the cache
+  bool prepared_cache_hit = false; ///< pruner relations reused from the cache
+  double relax_seconds = 0.0;      ///< relaxation stage (≈0 on a cache hit)
+  double structural_seconds = 0.0; ///< stage 1 wall clock
+  double prob_seconds = 0.0;       ///< stage 2 wall clock
+  double verify_seconds = 0.0;     ///< stage 3 wall clock
+  double cache_seconds = 0.0;      ///< canonicalization + cache probe time
+  double total_seconds = 0.0;      ///< whole pipeline wall clock
   StructuralFilterStats structural_detail;
 };
 
@@ -74,9 +87,20 @@ struct BatchOptions {
   /// loops issuing many batches set this to avoid per-batch thread spawns;
   /// when null, QueryBatch builds a transient pool of `num_threads`.
   ThreadPool* pool = nullptr;
+  /// Share relaxation sets and per-query feature embedding counts across
+  /// the batch through a BatchQueryCache keyed by canonical query form.
+  /// Answers are bit-identical with the cache on or off (see batch_cache.h
+  /// for the proof sketch); disable only to measure the cold path.
+  bool enable_cache = true;
 };
 
-/// Aggregated counters over one QueryBatch call.
+/// Aggregated counters over one QueryBatch call. Cache counters come from
+/// the batch's BatchQueryCache (all zero when BatchOptions::enable_cache is
+/// false). Per tier, hits + misses (the probe count) is deterministic; the
+/// hit/miss split is only deterministic at num_threads == 1 — concurrent
+/// workers can both miss on the same class before either store lands, so
+/// parallel batches may report fewer hits than sequential ones. Answers are
+/// unaffected either way (a miss just recomputes the identical artifact).
 struct BatchStats {
   size_t num_queries = 0;
   size_t failed_queries = 0;          ///< queries whose pipeline errored
@@ -85,10 +109,18 @@ struct BatchStats {
   size_t pruned_by_upper = 0;
   size_t accepted_by_lower = 0;
   size_t verification_candidates = 0;
+  size_t relax_cache_hits = 0;        ///< relaxation sets reused (duplicates)
+  size_t relax_cache_misses = 0;
+  size_t counts_cache_hits = 0;       ///< feature counts reused (iso classes)
+  size_t counts_cache_misses = 0;
+  size_t prepared_cache_hits = 0;     ///< pruner relations reused (duplicates)
+  size_t prepared_cache_misses = 0;
+  size_t cache_uncacheable = 0;       ///< canonical code over budget
   uint32_t threads_used = 0;          ///< threads that actually ran (1 when
                                       ///< the inline fallback was taken)
   double wall_seconds = 0.0;          ///< batch wall clock
   double sum_query_seconds = 0.0;     ///< summed per-query total_seconds
+  double cache_seconds = 0.0;         ///< summed per-query cache_seconds
 };
 
 /// One query's slot in a QueryBatch result, in input order.

@@ -18,9 +18,16 @@
 
 namespace pgsim {
 
+class BatchQueryCache;
+
 /// Reusable scratch threaded through QueryProcessor's pipeline stages.
 struct QueryContext {
   Rng rng;
+  /// Optional batch-scoped artifact cache (not owned). QueryBatch points
+  /// every worker context at one shared cache; Reset() deliberately leaves
+  /// it attached. Callers wiring it manually must keep QueryOptions fixed
+  /// across all queries probing the same cache (see batch_cache.h).
+  BatchQueryCache* cache = nullptr;
   /// Relaxation output U = {rq1..rqa}.
   std::vector<Graph> relaxed;
   /// Stage 1 output SCq.

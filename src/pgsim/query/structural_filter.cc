@@ -1,7 +1,9 @@
 #include "pgsim/query/structural_filter.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "pgsim/common/thread_pool.h"
 #include "pgsim/common/timer.h"
 #include "pgsim/graph/vf2.h"
 
@@ -10,6 +12,7 @@ namespace pgsim {
 StructuralFilter StructuralFilter::Build(
     const std::vector<Graph>& certain_db, const std::vector<Feature>& features,
     const StructuralFilterOptions& options) {
+  WallTimer timer;
   StructuralFilter filter;
   filter.options_ = options;
   filter.graphs_.reserve(certain_db.size());
@@ -18,8 +21,22 @@ StructuralFilter StructuralFilter::Build(
   for (const Feature& f : features) filter.feature_graphs_.push_back(&f.graph);
   filter.counts_.assign(certain_db.size(),
                         std::vector<uint16_t>(features.size(), 0));
+
+  // Invert support lists so each worker owns one graph row outright; cell
+  // values are pure functions of (feature, graph), so the table is
+  // bit-identical at any thread count.
+  std::vector<std::vector<uint32_t>> features_of_graph(certain_db.size());
+  size_t counted_pairs = 0;
   for (size_t fi = 0; fi < features.size(); ++fi) {
     for (uint32_t gi : features[fi].support) {
+      features_of_graph[gi].push_back(static_cast<uint32_t>(fi));
+      ++counted_pairs;
+    }
+  }
+
+  const ScopedPool pool(options.num_threads, options.pool);
+  ForEachIndex(pool.get(), certain_db.size(), 4, [&](size_t gi) {
+    for (uint32_t fi : features_of_graph[gi]) {
       bool truncated = false;
       const auto embeddings =
           EmbeddingEdgeSets(features[fi].graph, certain_db[gi],
@@ -28,7 +45,10 @@ StructuralFilter StructuralFilter::Build(
           truncated ? static_cast<uint16_t>(0xFFFF)
                     : static_cast<uint16_t>(embeddings.size());
     }
-  }
+  });
+  filter.build_stats_.build_threads = pool.threads();
+  filter.build_stats_.counted_pairs = counted_pairs;
+  filter.build_stats_.seconds = timer.Seconds();
   return filter;
 }
 
@@ -41,36 +61,65 @@ std::vector<uint32_t> StructuralFilter::Filter(
   return survivors;
 }
 
-void StructuralFilter::Filter(const Graph& q, const std::vector<Graph>& relaxed,
-                              uint32_t delta, std::vector<uint32_t>* survivors,
-                              StructuralFilterScratch* scratch,
-                              StructuralFilterStats* stats) const {
-  WallTimer timer;
-  StructuralFilterStats local;
-
-  // Per-feature thresholds from the query: needed = count_f(q) - delta *
-  // maxPerEdge_f(q); only features with needed >= 1 can prune.
-  auto& thresholds = scratch->thresholds;
-  thresholds.clear();
+void StructuralFilter::CountQueryFeatures(const Graph& q,
+                                          std::vector<uint32_t>* per_edge,
+                                          uint64_t* isomorphism_tests,
+                                          QueryFeatureCounts* out) const {
+  out->entries.clear();
   for (size_t fi = 0; fi < feature_graphs_.size(); ++fi) {
     const Graph& feature = *feature_graphs_[fi];
     if (feature.NumEdges() > q.NumEdges()) continue;
     bool truncated = false;
     const auto embeddings =
         EmbeddingEdgeSets(feature, q, options_.max_query_count, &truncated);
-    ++local.isomorphism_tests;
+    if (isomorphism_tests != nullptr) ++*isomorphism_tests;
     if (truncated || embeddings.empty()) continue;
-    auto& per_edge = scratch->per_edge;
-    per_edge.assign(q.NumEdges(), 0);
+    per_edge->assign(q.NumEdges(), 0);
     for (const EdgeBitset& emb : embeddings) {
-      for (uint32_t e : emb.ToVector()) ++per_edge[e];
+      for (uint32_t e : emb.ToVector()) ++(*per_edge)[e];
     }
-    const uint32_t max_per_edge =
-        *std::max_element(per_edge.begin(), per_edge.end());
-    const uint64_t destroyed = uint64_t{delta} * max_per_edge;
-    if (embeddings.size() > destroyed) {
-      thresholds.emplace_back(
-          fi, static_cast<uint32_t>(embeddings.size() - destroyed));
+    QueryFeatureCounts::Entry entry;
+    entry.feature = static_cast<uint32_t>(fi);
+    entry.count = static_cast<uint32_t>(embeddings.size());
+    entry.max_per_edge = *std::max_element(per_edge->begin(), per_edge->end());
+    out->entries.push_back(entry);
+  }
+}
+
+QueryFeatureCounts StructuralFilter::ComputeQueryCounts(
+    const Graph& q, uint64_t* isomorphism_tests) const {
+  QueryFeatureCounts counts;
+  std::vector<uint32_t> per_edge;
+  CountQueryFeatures(q, &per_edge, isomorphism_tests, &counts);
+  return counts;
+}
+
+void StructuralFilter::Filter(const Graph& q, const std::vector<Graph>& relaxed,
+                              uint32_t delta, std::vector<uint32_t>* survivors,
+                              StructuralFilterScratch* scratch,
+                              StructuralFilterStats* stats,
+                              const QueryFeatureCounts* precomputed,
+                              QueryFeatureCounts* computed_counts) const {
+  WallTimer timer;
+  StructuralFilterStats local;
+
+  // Per-feature thresholds from the query: needed = count_f(q) - delta *
+  // maxPerEdge_f(q); only features with needed >= 1 can prune. The counts
+  // either come in precomputed (batch cache hit) or are counted here.
+  const QueryFeatureCounts* counts = precomputed;
+  if (counts == nullptr) {
+    CountQueryFeatures(q, &scratch->per_edge, &local.isomorphism_tests,
+                       &scratch->counts);
+    counts = &scratch->counts;
+    if (computed_counts != nullptr) *computed_counts = scratch->counts;
+  }
+  auto& thresholds = scratch->thresholds;
+  thresholds.clear();
+  for (const QueryFeatureCounts::Entry& entry : counts->entries) {
+    const uint64_t destroyed = uint64_t{delta} * entry.max_per_edge;
+    if (entry.count > destroyed) {
+      thresholds.emplace_back(entry.feature,
+                              static_cast<uint32_t>(entry.count - destroyed));
     }
   }
 

@@ -24,6 +24,8 @@
 
 namespace pgsim {
 
+class ThreadPool;
+
 /// Build/query knobs.
 struct StructuralFilterOptions {
   /// Saturating embedding-count cap per (feature, graph); saturated counts
@@ -33,6 +35,13 @@ struct StructuralFilterOptions {
   uint32_t max_query_count = 256;
   /// Run the exact rq ⊆iso gc check on filter survivors (gives exactly SCq).
   bool exact_check = true;
+  /// Worker threads for Build()'s per-graph count table; 0 means
+  /// ThreadPool::DefaultThreads(), 1 builds inline. Every cell is written by
+  /// exactly one worker, so the table is bit-identical at any thread count.
+  uint32_t num_threads = 0;
+  /// Caller-owned pool for Build() (not owned; must outlive the call).
+  /// Overrides num_threads.
+  ThreadPool* pool = nullptr;
 };
 
 /// Per-query stage statistics.
@@ -41,6 +50,27 @@ struct StructuralFilterStats {
   size_t exact_survivors = 0;
   uint64_t isomorphism_tests = 0;
   double seconds = 0.0;
+};
+
+/// Build()-time statistics.
+struct StructuralFilterBuildStats {
+  double seconds = 0.0;
+  size_t counted_pairs = 0;    ///< (feature, graph) cells filled
+  uint32_t build_threads = 1;  ///< effective worker count
+};
+
+/// Iso-invariant per-query feature embedding statistics — the expensive half
+/// of Filter(). Every field is invariant under relabeling of q's vertices
+/// (embedding counts and the per-edge maximum are properties of the
+/// isomorphism class), so a BatchQueryCache may reuse one query's counts for
+/// any isomorphic query and still produce bit-identical thresholds.
+struct QueryFeatureCounts {
+  struct Entry {
+    uint32_t feature;       ///< feature index into the filter's feature set
+    uint32_t count;         ///< distinct embeddings of the feature in q
+    uint32_t max_per_edge;  ///< max embeddings any single query edge touches
+  };
+  std::vector<Entry> entries;  ///< ascending feature index
 };
 
 /// Reusable per-thread scratch for Filter: vector capacities survive across
@@ -53,6 +83,8 @@ struct StructuralFilterScratch {
   std::vector<uint32_t> per_edge;
   /// Survivors of the exact rq ⊆iso gc check.
   std::vector<uint32_t> exact;
+  /// Per-query feature counts when no precomputed ones are supplied.
+  QueryFeatureCounts counts;
 };
 
 /// Precomputed per-graph feature-embedding counts + the exact checker.
@@ -75,16 +107,44 @@ class StructuralFilter {
 
   /// Scratch-reusing variant: clears `*survivors` (keeping capacity) and
   /// fills it with SCq, drawing temporaries from `*scratch`.
+  ///
+  /// `precomputed` short-circuits the per-feature embedding counting with
+  /// counts from a previous (identical or isomorphic) query — the pruning
+  /// thresholds derived from them are bit-identical to a fresh computation.
+  /// When `computed_counts` is non-null and the counts were computed here,
+  /// they are copied out so the caller can cache them.
   void Filter(const Graph& q, const std::vector<Graph>& relaxed,
               uint32_t delta, std::vector<uint32_t>* survivors,
               StructuralFilterScratch* scratch,
-              StructuralFilterStats* stats = nullptr) const;
+              StructuralFilterStats* stats = nullptr,
+              const QueryFeatureCounts* precomputed = nullptr,
+              QueryFeatureCounts* computed_counts = nullptr) const;
+
+  /// Counts each indexed feature's embeddings in `q` (the iso-invariant
+  /// expensive half of Filter); `isomorphism_tests`, when non-null, is
+  /// incremented per feature tested.
+  QueryFeatureCounts ComputeQueryCounts(
+      const Graph& q, uint64_t* isomorphism_tests = nullptr) const;
 
   /// Number of graphs indexed.
   size_t num_graphs() const { return counts_.size(); }
 
+  /// The raw per-graph saturating count table (tests/diagnostics; row order
+  /// is database order, column order is feature order).
+  const std::vector<std::vector<uint16_t>>& counts() const { return counts_; }
+
+  /// Build statistics.
+  const StructuralFilterBuildStats& build_stats() const {
+    return build_stats_;
+  }
+
  private:
+  void CountQueryFeatures(const Graph& q, std::vector<uint32_t>* per_edge,
+                          uint64_t* isomorphism_tests,
+                          QueryFeatureCounts* out) const;
+
   StructuralFilterOptions options_;
+  StructuralFilterBuildStats build_stats_;
   // Pointers to the caller's graphs/features — element pointers, stable
   // under moves of this filter and of the owning containers' *objects*
   // (callers must keep the containers alive and unmodified).

@@ -1,0 +1,111 @@
+// End-to-end golden test of the full offline + online pipeline over a seeded
+// synthetic database: mine -> build PMI -> build StructuralFilter -> relax ->
+// filter -> prune -> verify. The answer sets below were produced by this
+// exact configuration and are pinned so refactors of the offline phase (or
+// of batching/caching) cannot silently change results. Every stage is
+// deterministic by construction — seeded RNGs, order-preserving parallel
+// merges — so these values are stable across thread counts and cache modes.
+//
+// If a change legitimately alters them (e.g. a new mining rule), re-pin by
+// rerunning this configuration and updating kGolden* — and say so in the
+// commit message; these numbers are the pipeline's contract.
+
+#include <gtest/gtest.h>
+
+#include "pgsim/datasets/synthetic.h"
+#include "pgsim/index/pmi.h"
+#include "pgsim/query/processor.h"
+#include "pgsim/query/structural_filter.h"
+
+namespace pgsim {
+namespace {
+
+constexpr size_t kGoldenNumFeatures = 93;
+constexpr size_t kGoldenNumEntries = 690;
+
+struct GoldenQuery {
+  std::vector<uint32_t> answers;
+  size_t structural_candidates;
+  size_t verification_candidates;
+  size_t num_relaxed_queries;
+};
+
+const std::vector<GoldenQuery>& GoldenQueries() {
+  static const std::vector<GoldenQuery> golden{
+      {{2, 3, 6, 8, 13, 18}, 10, 7, 4},
+      {{}, 7, 2, 3},
+      {{0, 2, 3, 4, 5, 8, 16}, 13, 10, 4},
+      {{13}, 9, 9, 4},
+      {{0, 2, 4, 5, 8, 16}, 13, 10, 4},
+      {{10}, 3, 2, 4},
+  };
+  return golden;
+}
+
+TEST(GoldenPipelineTest, FullPipelineAnswersArePinned) {
+  SyntheticOptions dataset;
+  dataset.num_graphs = 20;
+  dataset.avg_vertices = 9;
+  dataset.edge_factor = 1.4;
+  dataset.num_vertex_labels = 3;
+  dataset.seed = 4100;
+  const auto db = GenerateDatabase(dataset).value();
+  std::vector<Graph> certain;
+  for (const auto& g : db) certain.push_back(g.certain());
+
+  PmiBuildOptions build;
+  build.miner.alpha = 0.0;
+  build.miner.beta = 0.2;
+  build.miner.gamma = -1.0;
+  build.miner.max_vertices = 4;
+  build.sip.mc.min_samples = 400;
+  build.sip.mc.max_samples = 400;
+  const auto pmi = ProbabilisticMatrixIndex::Build(db, build).value();
+  EXPECT_EQ(pmi.stats().num_features, kGoldenNumFeatures);
+  EXPECT_EQ(pmi.stats().num_entries, kGoldenNumEntries);
+  const auto filter = StructuralFilter::Build(certain, pmi.features());
+
+  Rng qrng(4101);
+  std::vector<Graph> queries;
+  while (queries.size() < GoldenQueries().size()) {
+    auto q = ExtractQuery(certain[qrng.Uniform(certain.size())], 4, &qrng);
+    if (q.ok()) queries.push_back(std::move(q).value());
+  }
+
+  QueryOptions options;
+  options.delta = 1;
+  options.epsilon = 0.4;
+  options.verifier.mc.min_samples = 400;
+  options.verifier.mc.max_samples = 400;
+  const QueryProcessor processor(&db, &pmi, &filter);
+
+  // The pinned values must hold however the batch is executed.
+  for (const bool enable_cache : {true, false}) {
+    for (const uint32_t threads : {1u, 4u}) {
+      BatchOptions batch;
+      batch.num_threads = threads;
+      batch.enable_cache = enable_cache;
+      const auto results = processor.QueryBatch(queries, options, batch);
+      ASSERT_EQ(results.size(), GoldenQueries().size());
+      for (size_t i = 0; i < results.size(); ++i) {
+        const GoldenQuery& golden = GoldenQueries()[i];
+        ASSERT_TRUE(results[i].status.ok()) << "query " << i;
+        EXPECT_EQ(results[i].answers, golden.answers)
+            << "query " << i << " threads=" << threads
+            << " cache=" << enable_cache;
+        EXPECT_EQ(results[i].stats.structural_candidates,
+                  golden.structural_candidates)
+            << i;
+        EXPECT_EQ(results[i].stats.verification_candidates,
+                  golden.verification_candidates)
+            << i;
+        EXPECT_EQ(results[i].stats.num_relaxed_queries,
+                  golden.num_relaxed_queries)
+            << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pgsim
