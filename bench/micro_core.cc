@@ -125,9 +125,10 @@ void BM_CondSampler_Algorithm3(benchmark::State& state) {
   params.min_samples = 500;
   params.max_samples = 500;
   Rng rng(17);
+  CondSamplerScratch scratch;  // steady-state: world buffer reused per call
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        EstimateConditionalProbability(g, target, conditioning, params, &rng));
+    benchmark::DoNotOptimize(EstimateConditionalProbability(
+        g, target, conditioning, params, &rng, &scratch));
   }
 }
 BENCHMARK(BM_CondSampler_Algorithm3);
@@ -264,6 +265,138 @@ void BM_Verify_SmpAdaptive(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Verify_SmpAdaptive);
+
+// ---- Verification engine (PR 3): the fig09 verification workload ----
+// ---- (Section-6 generator defaults, one qsize-8 query at delta=2,   ----
+// ---- candidates from the full filter chain) driven through the      ----
+// ---- scratch-threaded collector and the support-restricted          ----
+// ---- Karp-Luby sampler at 1, 4, and all hardware threads.           ----
+
+struct VerifierFixture {
+  std::vector<ProbabilisticGraph> db;
+  ProbabilisticMatrixIndex pmi;
+  std::vector<Graph> certain;
+  StructuralFilter filter;
+  std::vector<Graph> relaxed;
+  std::vector<uint32_t> to_verify;
+  VerifierOptions verifier;
+};
+
+const VerifierFixture& GetVerifierFixture() {
+  static const VerifierFixture* fixture = [] {
+    auto* f = new VerifierFixture();
+    SyntheticOptions dataset;
+    dataset.num_graphs = 60;
+    dataset.avg_vertices = 14;
+    dataset.edge_factor = 1.5;
+    dataset.num_vertex_labels = 6;
+    dataset.mean_edge_prob = 0.383;
+    dataset.seed = 42;
+    f->db = GenerateDatabase(dataset).value();
+    PmiBuildOptions build;
+    build.miner.alpha = 0.15;
+    build.miner.beta = 0.15;
+    build.miner.gamma = -1.0;
+    build.miner.max_vertices = 4;
+    build.sip.mc.min_samples = 600;
+    build.sip.mc.max_samples = 600;
+    f->pmi = ProbabilisticMatrixIndex::Build(f->db, build).value();
+    for (const auto& g : f->db) f->certain.push_back(g.certain());
+    f->filter = StructuralFilter::Build(f->certain, f->pmi.features());
+    Rng rng(43);
+    Graph q;
+    for (;;) {
+      auto candidate =
+          ExtractQuery(f->certain[rng.Uniform(f->certain.size())], 8, &rng);
+      if (candidate.ok()) {
+        q = std::move(candidate).value();
+        break;
+      }
+    }
+    f->relaxed = GenerateRelaxedQueries(q, 2).value();
+    const auto sc_q = f->filter.Filter(q, f->relaxed, 2, nullptr);
+    ProbabilisticPruner pruner(&f->pmi, ProbPrunerOptions());
+    pruner.PrepareQuery(f->relaxed);
+    f->verifier.mc.min_samples = 3000;
+    f->verifier.mc.max_samples = 3000;
+    for (uint32_t gi : sc_q) {
+      if (pruner.Evaluate(gi, 0.15, &rng).outcome != PruneOutcome::kCandidate) {
+        continue;
+      }
+      // Keep only candidates the sampler can actually verify.
+      VerifierScratch scratch;
+      if (CollectSimilarityEvents(f->db[gi], f->relaxed, f->verifier, &scratch)
+              .ok()) {
+        f->to_verify.push_back(gi);
+      }
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_Verifier_CollectEvents(benchmark::State& state) {
+  const VerifierFixture& f = GetVerifierFixture();
+  VerifierScratch scratch;
+  for (auto _ : state) {
+    for (uint32_t gi : f.to_verify) {
+      benchmark::DoNotOptimize(
+          CollectSimilarityEvents(f.db[gi], f.relaxed, f.verifier, &scratch));
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * f.to_verify.size());
+  state.counters["candidates"] = static_cast<double>(f.to_verify.size());
+}
+BENCHMARK(BM_Verifier_CollectEvents);
+
+void BM_Verifier_SampleSsp(benchmark::State& state) {
+  // One iteration = stage 3 of one query: per-candidate RNGs pre-forked
+  // sequentially, candidates fanned across the pool with one scratch per
+  // rank. Identical SSP estimates at every thread count (ssp_sum pins it).
+  const VerifierFixture& f = GetVerifierFixture();
+  const uint32_t threads = state.range(0) == 0
+                               ? ThreadPool::DefaultThreads()
+                               : static_cast<uint32_t>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  std::vector<VerifierScratch> scratches(threads);
+  std::vector<Rng> rngs;
+  std::vector<double> ssp(f.to_verify.size());
+  double checksum = 0.0;
+  for (auto _ : state) {
+    Rng base(49);
+    rngs.clear();
+    for (size_t k = 0; k < f.to_verify.size(); ++k) rngs.push_back(base.Fork());
+    auto verify_one = [&](size_t k, VerifierScratch* scratch) {
+      auto r = SampleSubgraphSimilarityProbability(
+          f.db[f.to_verify[k]], f.relaxed, f.verifier, &rngs[k], scratch);
+      ssp[k] = r.ok() ? *r : 0.0;
+    };
+    if (pool == nullptr) {
+      for (size_t k = 0; k < f.to_verify.size(); ++k) {
+        verify_one(k, &scratches[0]);
+      }
+    } else {
+      pool->ParallelFor(f.to_verify.size(), 1,
+                        [&](uint32_t rank, size_t begin, size_t end) {
+                          for (size_t k = begin; k < end; ++k) {
+                            verify_one(k, &scratches[rank]);
+                          }
+                        });
+    }
+    for (double s : ssp) checksum += s;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * f.to_verify.size());
+  state.counters["candidates"] = static_cast<double>(f.to_verify.size());
+  state.counters["ssp_sum"] =
+      checksum / std::max<int64_t>(1, state.iterations());
+}
+BENCHMARK(BM_Verifier_SampleSsp)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(0)  // 0 = all hardware threads
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_TopK_Query(benchmark::State& state) {
   SyntheticOptions dataset;

@@ -5,7 +5,11 @@
 //   pgsim_cli index    --db=db.txt --out=index.pmi [--build-threads=N]
 //   pgsim_cli query    --db=db.txt --queries=q.txt [--index=index.pmi]
 //                      [--delta=N] [--epsilon=F] [--threads=N] [--chunk=N]
-//                      [--build-threads=N] [--cache=0|1]
+//                      [--build-threads=N] [--cache=0|1] [--verify-threads=N]
+//
+// --verify-threads fans each query's verification candidates across a pool
+// (0 = all hardware threads; answers are byte-identical at any setting). It
+// multiplies with --threads, so raise one or the other, not both.
 //
 // --build-threads parallelizes the offline phase (feature mining, PMI bound
 // columns, structural-filter counts) on a thread pool; 0 (default) uses all
@@ -182,6 +186,9 @@ int CmdQuery(int argc, char** argv) {
   QueryOptions options;
   options.delta = FlagInt(argc, argv, "delta", 1);
   options.epsilon = FlagDouble(argc, argv, "epsilon", 0.5);
+  const int64_t verify_threads = FlagInt(argc, argv, "verify-threads", 1);
+  options.verify_threads =
+      verify_threads < 0 ? 1 : static_cast<uint32_t>(verify_threads);
   BatchOptions batch;
   // Clamp: negative flag values would wrap through the uint32 fields.
   const int64_t threads = FlagInt(argc, argv, "threads", 1);

@@ -20,10 +20,20 @@ double EstimateConditionalProbability(
     const ProbabilisticGraph& g, const EdgeEvent& target,
     const std::vector<EdgeEvent>& conditioning, const MonteCarloParams& params,
     Rng* rng) {
+  CondSamplerScratch scratch;
+  return EstimateConditionalProbability(g, target, conditioning, params, rng,
+                                        &scratch);
+}
+
+double EstimateConditionalProbability(
+    const ProbabilisticGraph& g, const EdgeEvent& target,
+    const std::vector<EdgeEvent>& conditioning, const MonteCarloParams& params,
+    Rng* rng, CondSamplerScratch* scratch) {
   const uint64_t m = params.NumSamples();
   uint64_t n1 = 0, n2 = 0;
+  EdgeBitset& world = scratch->world;
   for (uint64_t i = 0; i < m; ++i) {
-    const EdgeBitset world = g.SampleWorld(rng);
+    g.SampleWorldInto(rng, &scratch->sample, &world);
     bool conditioning_clear = true;
     for (const EdgeEvent& ev : conditioning) {
       if (ev.Holds(world)) {

@@ -50,6 +50,13 @@ struct MonteCarloParams {
   uint64_t NumSamples() const;
 };
 
+/// Reusable buffers for EstimateConditionalProbability: the sampled-world
+/// bitset plus the clique-tree temporaries behind it. Not concurrency-safe.
+struct CondSamplerScratch {
+  EdgeBitset world;
+  WorldSampleScratch sample;
+};
+
 /// Algorithm 3. Estimates Pr(target | all `conditioning` events false) by
 /// sampling `params.NumSamples()` worlds of `g`. Returns 0 when the
 /// conditioning event was never observed (conservative for both bound
@@ -58,5 +65,14 @@ double EstimateConditionalProbability(const ProbabilisticGraph& g,
                                       const EdgeEvent& target,
                                       const std::vector<EdgeEvent>& conditioning,
                                       const MonteCarloParams& params, Rng* rng);
+
+/// As above, drawing every temporary from `*scratch` so repeated calls
+/// (bound estimation loops, verification) perform no steady-state heap
+/// allocation. Identical estimates for identical RNG state.
+double EstimateConditionalProbability(const ProbabilisticGraph& g,
+                                      const EdgeEvent& target,
+                                      const std::vector<EdgeEvent>& conditioning,
+                                      const MonteCarloParams& params, Rng* rng,
+                                      CondSamplerScratch* scratch);
 
 }  // namespace pgsim

@@ -144,8 +144,10 @@ std::vector<SipBounds> ComputeSipBoundsBatch(
   bool any_present = false;
   for (const FeatureWork& w : work) any_present |= w.present;
   if (any_present) {
+    EdgeBitset world;
+    WorldSampleScratch sample_scratch;
     for (uint64_t s = 0; s < m; ++s) {
-      const EdgeBitset world = g.SampleWorld(rng);
+      g.SampleWorldInto(rng, &sample_scratch, &world);
       for (FeatureWork& w : work) {
         if (!w.present) continue;
         w.embeddings.Observe(world, &scratch);

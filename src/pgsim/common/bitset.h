@@ -42,6 +42,23 @@ class EdgeBitset {
     for (auto& w : words_) w = 0;
   }
 
+  /// Re-initializes to an empty set of capacity `size`, reusing the existing
+  /// word storage (the scratch-buffer idiom of the verification hot path).
+  void ResetTo(size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
+
+  /// Replaces the contents with the first ceil(nbits/64) words of `words`,
+  /// reusing storage. The caller guarantees no bit at index >= nbits is set.
+  void AssignWords(const uint64_t* words, size_t nbits) {
+    size_ = nbits;
+    words_.assign(words, words + (nbits + 63) / 64);
+  }
+
+  /// Raw packed words (bit i of the set is bit i%64 of words()[i/64]).
+  const std::vector<uint64_t>& words() const { return words_; }
+
   /// Population count.
   size_t Count() const {
     size_t n = 0;
@@ -76,6 +93,11 @@ class EdgeBitset {
   /// True iff *this and `other` share no index.
   bool DisjointWith(const EdgeBitset& other) const {
     return !Intersects(other);
+  }
+
+  /// In-place union with a raw word span (first `nwords` words only).
+  void OrWords(const uint64_t* words, size_t nwords) {
+    for (size_t i = 0; i < nwords; ++i) words_[i] |= words[i];
   }
 
   /// In-place union.

@@ -1,0 +1,120 @@
+// Contiguous pool of fixed-width bitset rows.
+//
+// The verification hot path (query/verifier.cc) collects hundreds of
+// embedding-event edge sets per candidate. Holding them as
+// std::vector<EdgeBitset> costs one heap allocation per event and scatters
+// the words across the heap; an EventSetPool stores every row back to back
+// in one flat word array, so a candidate's whole event list is a single
+// allocation that is reused for the next candidate (Reset keeps capacity).
+// Rows are raw uint64 word spans; the static helpers provide the set algebra
+// the Karp-Luby sampler needs without materializing EdgeBitsets.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pgsim {
+
+/// A growable pool of equal-width bitsets in one contiguous word array.
+class EventSetPool {
+ public:
+  /// Empties the pool and fixes the per-row width to cover `num_bits`
+  /// indices. Keeps the underlying word storage for reuse.
+  void Reset(size_t num_bits) {
+    num_bits_ = num_bits;
+    words_per_row_ = (num_bits + 63) / 64;
+    size_ = 0;
+  }
+
+  /// Number of rows currently in the pool.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Addressable indices per row.
+  size_t num_bits() const { return num_bits_; }
+  /// 64-bit words per row.
+  size_t words_per_row() const { return words_per_row_; }
+
+  /// Appends a zeroed row and returns its index.
+  size_t AddRow() {
+    const size_t needed = (size_ + 1) * words_per_row_;
+    if (words_.size() < needed) words_.resize(needed, 0);
+    uint64_t* row = words_.data() + size_ * words_per_row_;
+    std::fill(row, row + words_per_row_, 0);
+    return size_++;
+  }
+
+  /// Drops the most recently added row (e.g. a duplicate).
+  void PopRow() { --size_; }
+
+  /// Truncates to the first `new_size` rows.
+  void Truncate(size_t new_size) { size_ = new_size; }
+
+  /// Overwrites row `dst` with the contents of row `src` (compaction).
+  void CopyRow(size_t dst, size_t src) {
+    if (dst == src) return;
+    std::copy(Row(src), Row(src) + words_per_row_, Row(dst));
+  }
+
+  uint64_t* Row(size_t i) { return words_.data() + i * words_per_row_; }
+  const uint64_t* Row(size_t i) const {
+    return words_.data() + i * words_per_row_;
+  }
+
+  void SetBit(size_t row, size_t bit) {
+    Row(row)[bit >> 6] |= (1ULL << (bit & 63));
+  }
+  bool TestBit(size_t row, size_t bit) const {
+    return (Row(row)[bit >> 6] >> (bit & 63)) & 1ULL;
+  }
+
+  /// Population count of row `i`.
+  size_t CountRow(size_t i) const {
+    const uint64_t* row = Row(i);
+    size_t n = 0;
+    for (size_t w = 0; w < words_per_row_; ++w) {
+      n += static_cast<size_t>(__builtin_popcountll(row[w]));
+    }
+    return n;
+  }
+
+  /// True iff every bit of `sub` is also set in `sup` (n-word spans).
+  static bool ContainsAll(const uint64_t* sup, const uint64_t* sub, size_t n) {
+    for (size_t w = 0; w < n; ++w) {
+      if ((sub[w] & ~sup[w]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// True iff the two n-word spans are bitwise equal.
+  static bool Equal(const uint64_t* a, const uint64_t* b, size_t n) {
+    for (size_t w = 0; w < n; ++w) {
+      if (a[w] != b[w]) return false;
+    }
+    return true;
+  }
+
+  /// FNV-style hash of an n-word span (matches EdgeBitset::Hash).
+  static uint64_t Hash(const uint64_t* row, size_t n) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (size_t w = 0; w < n; ++w) {
+      h ^= row[w];
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+  /// Allocated word capacity — exposed so tests can pin "steady-state reuse
+  /// performs no pool growth".
+  size_t word_capacity() const { return words_.capacity(); }
+
+ private:
+  size_t num_bits_ = 0;
+  size_t words_per_row_ = 0;
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace pgsim

@@ -118,6 +118,45 @@ Graph GraphBuilder::Build() {
   return g;
 }
 
+void BuildEdgeSubsetGraph(const Graph& base, const EdgeBitset& present,
+                          Graph* out) {
+  const size_t n = base.NumVertices();
+  out->vertex_labels_.assign(base.VertexLabels().begin(),
+                             base.VertexLabels().end());
+  out->edges_.clear();
+  for (EdgeId e = 0; e < base.NumEdges(); ++e) {
+    if (present.Test(e)) out->edges_.push_back(base.GetEdge(e));
+  }
+
+  // Same counting sort as GraphBuilder::Build, into reused storage; the
+  // offsets array doubles as the fill cursor and is shifted back afterwards,
+  // so no temporary cursor vector is needed.
+  out->adj_offsets_.assign(n + 1, 0);
+  for (const Edge& e : out->edges_) {
+    ++out->adj_offsets_[e.u + 1];
+    ++out->adj_offsets_[e.v + 1];
+  }
+  for (size_t v = 1; v <= n; ++v) {
+    out->adj_offsets_[v] += out->adj_offsets_[v - 1];
+  }
+  out->adj_entries_.resize(2 * out->edges_.size());
+  for (EdgeId id = 0; id < out->edges_.size(); ++id) {
+    const Edge& e = out->edges_[id];
+    out->adj_entries_[out->adj_offsets_[e.u]++] = AdjEntry{e.v, id};
+    out->adj_entries_[out->adj_offsets_[e.v]++] = AdjEntry{e.u, id};
+  }
+  // adj_offsets_[v] now holds the end of segment v; shift right to restore.
+  for (size_t v = n; v > 0; --v) out->adj_offsets_[v] = out->adj_offsets_[v - 1];
+  out->adj_offsets_[0] = 0;
+  for (size_t v = 0; v < n; ++v) {
+    std::sort(out->adj_entries_.begin() + out->adj_offsets_[v],
+              out->adj_entries_.begin() + out->adj_offsets_[v + 1],
+              [](const AdjEntry& a, const AdjEntry& b) {
+                return a.neighbor < b.neighbor;
+              });
+  }
+}
+
 Graph EdgeInducedSubgraph(const Graph& g, const std::vector<EdgeId>& edge_ids,
                           std::vector<VertexId>* vertex_map) {
   std::vector<VertexId> map(g.NumVertices(), kInvalidVertex);

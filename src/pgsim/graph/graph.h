@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "pgsim/common/bitset.h"
 #include "pgsim/common/span.h"
 #include "pgsim/common/status.h"
 #include "pgsim/graph/label_table.h"
@@ -99,6 +100,8 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  friend void BuildEdgeSubsetGraph(const Graph& base, const EdgeBitset& present,
+                                   Graph* out);
 
   std::vector<LabelId> vertex_labels_;
   std::vector<Edge> edges_;
@@ -143,6 +146,14 @@ class GraphBuilder {
   // rejection in AddEdge without per-vertex adjacency vectors.
   std::unordered_set<uint64_t> edge_keys_;
 };
+
+/// Rebuilds `*out` as the possible-world view of `base`: every vertex of
+/// `base` plus exactly the edges whose bit is set in `present` (edge ids
+/// renumbered densely in base-id order). Reuses `out`'s vector storage, so
+/// the world-enumeration hot loop builds 2^|E| graphs with zero steady-state
+/// allocation instead of one GraphBuilder per world.
+void BuildEdgeSubsetGraph(const Graph& base, const EdgeBitset& present,
+                          Graph* out);
 
 /// The subgraph of `g` induced by `edge_ids`: keeps exactly those edges and
 /// the vertices they touch (isolated vertices are dropped, consistent with

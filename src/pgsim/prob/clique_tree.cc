@@ -218,7 +218,9 @@ double CliqueTree::NodeWeight(
 double CliqueTree::UpwardPass(
     const EdgeBitset& care, const EdgeBitset& value,
     std::vector<std::vector<double>>* messages) const {
-  messages->assign(nodes_.size(), {});
+  // resize (not assign) so a reused scratch keeps each inner vector's
+  // capacity; per-node msg.assign below zeroes exactly what is read.
+  messages->resize(nodes_.size());
   // Children before parents.
   for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
     const uint32_t i = *it;
@@ -255,6 +257,11 @@ double CliqueTree::Partition(const EdgeBitset& care,
   return UpwardPass(care, value, &messages);
 }
 
+double CliqueTree::Partition(const EdgeBitset& care, const EdgeBitset& value,
+                             CliqueTreeScratch* scratch) const {
+  return UpwardPass(care, value, &scratch->messages);
+}
+
 double CliqueTree::WorldWeight(const EdgeBitset& world) const {
   double w = 1.0;
   for (const Node& node : nodes_) {
@@ -271,18 +278,31 @@ double CliqueTree::WorldWeight(const EdgeBitset& world) const {
 Result<EdgeBitset> CliqueTree::SampleConditioned(Rng* rng,
                                                  const EdgeBitset& care,
                                                  const EdgeBitset& value) const {
-  std::vector<std::vector<double>> messages;
-  const double z = UpwardPass(care, value, &messages);
+  CliqueTreeScratch scratch;
+  EdgeBitset world;
+  PGSIM_RETURN_NOT_OK(SampleConditionedInto(rng, care, value, &scratch,
+                                            &world));
+  return world;
+}
+
+Status CliqueTree::SampleConditionedInto(Rng* rng, const EdgeBitset& care,
+                                         const EdgeBitset& value,
+                                         CliqueTreeScratch* scratch,
+                                         EdgeBitset* out) const {
+  const double z = UpwardPass(care, value, &scratch->messages);
   if (z <= 0.0) {
     return Status::FailedPrecondition(
         "CliqueTree::SampleConditioned: evidence has zero probability");
   }
+  const auto& messages = scratch->messages;
 
-  EdgeBitset world(num_vars_);
-  EdgeBitset assigned(num_vars_);
+  out->ResetTo(num_vars_);
+  EdgeBitset& world = *out;
+  EdgeBitset& assigned = scratch->assigned;
+  assigned.ResetTo(num_vars_);
   // Parents first: the separator assignment of a child is fixed by the time
   // the child is sampled (forward-filter backward-sample).
-  std::vector<double> weights;
+  std::vector<double>& weights = scratch->weights;
   for (uint32_t i : topo_order_) {
     const Node& node = nodes_[i];
     const uint32_t table_size = 1U << node.vars.size();
@@ -324,7 +344,7 @@ Result<EdgeBitset> CliqueTree::SampleConditioned(Rng* rng,
       assigned.Set(var);
     }
   }
-  return world;
+  return Status::OK();
 }
 
 EdgeBitset CliqueTree::Sample(Rng* rng) const {
@@ -332,6 +352,16 @@ EdgeBitset CliqueTree::Sample(Rng* rng) const {
   auto result = SampleConditioned(rng, empty, empty);
   // Unconditioned sampling cannot fail (Z > 0 is validated at Build).
   return std::move(result).value();
+}
+
+void CliqueTree::SampleInto(Rng* rng, CliqueTreeScratch* scratch,
+                            EdgeBitset* world) const {
+  // A size-0 care set means "no evidence" (NodeWeight checks care.size()
+  // before testing bits), so no per-call evidence bitsets are needed.
+  static const EdgeBitset kNoEvidence;
+  const Status s =
+      SampleConditionedInto(rng, kNoEvidence, kNoEvidence, scratch, world);
+  (void)s;  // cannot fail: Z > 0 is validated at Build
 }
 
 }  // namespace pgsim

@@ -41,6 +41,18 @@ struct CliqueFactor {
   JointProbTable table;
 };
 
+/// Reusable buffers for the scratch-taking inference entry points. One
+/// scratch serves any sequence of trees (buffers resize with capacity
+/// reuse); it must not be shared by two concurrent calls.
+struct CliqueTreeScratch {
+  /// Upward messages, one per node (inner vectors keep their capacity).
+  std::vector<std::vector<double>> messages;
+  /// Per-mask weights of the node being sampled.
+  std::vector<double> weights;
+  /// Variables already assigned during top-down sampling.
+  EdgeBitset assigned;
+};
+
 /// Exact inference engine over a set of small overlapping factors.
 class CliqueTree {
  public:
@@ -57,6 +69,11 @@ class CliqueTree {
   /// that agree with `value` on the variables set in `care`.
   /// Pass empty bitsets (or care with no bits) for the unconditioned Z.
   double Partition(const EdgeBitset& care, const EdgeBitset& value) const;
+
+  /// As Partition, drawing all temporaries from `*scratch` (steady-state
+  /// allocation-free — the verifier's per-event marginal loop).
+  double Partition(const EdgeBitset& care, const EdgeBitset& value,
+                   CliqueTreeScratch* scratch) const;
 
   /// Cached unconditioned partition function Z.
   double Z() const { return z_; }
@@ -80,8 +97,19 @@ class CliqueTree {
   Result<EdgeBitset> SampleConditioned(Rng* rng, const EdgeBitset& care,
                                        const EdgeBitset& value) const;
 
+  /// As SampleConditioned, writing into `*world` (storage reused) and
+  /// drawing all temporaries from `*scratch`. Identical draw sequence.
+  Status SampleConditionedInto(Rng* rng, const EdgeBitset& care,
+                               const EdgeBitset& value,
+                               CliqueTreeScratch* scratch,
+                               EdgeBitset* world) const;
+
   /// Samples a full assignment from the joint.
   EdgeBitset Sample(Rng* rng) const;
+
+  /// As Sample, into reusable storage. Identical draw sequence.
+  void SampleInto(Rng* rng, CliqueTreeScratch* scratch,
+                  EdgeBitset* world) const;
 
  private:
   struct Node {

@@ -141,6 +141,13 @@ double ProbabilisticGraph::Probability(const EdgeBitset& care,
   return tree_.Probability(care, value);
 }
 
+double ProbabilisticGraph::Probability(const EdgeBitset& care,
+                                       const EdgeBitset& value,
+                                       WorldSampleScratch* scratch) const {
+  if (kind_ == JointModelKind::kPartition) return Probability(care, value);
+  return tree_.Partition(care, value, &scratch->tree) / tree_.Z();
+}
+
 double ProbabilisticGraph::EdgeMarginal(EdgeId e) const {
   EdgeBitset care(NumEdges());
   care.Set(e);
@@ -183,6 +190,45 @@ Result<EdgeBitset> ProbabilisticGraph::SampleWorldConditioned(
     return world;
   }
   return tree_.SampleConditioned(rng, care, value);
+}
+
+void ProbabilisticGraph::SampleWorldInto(Rng* rng, WorldSampleScratch* scratch,
+                                         EdgeBitset* world) const {
+  if (kind_ == JointModelKind::kPartition) {
+    world->ResetTo(NumEdges());
+    for (const NeighborEdgeSet& ne : ne_sets_) {
+      const uint32_t mask = ne.table.Sample(rng);
+      for (size_t j = 0; j < ne.edges.size(); ++j) {
+        if ((mask >> j) & 1U) world->Set(ne.edges[j]);
+      }
+    }
+    return;
+  }
+  tree_.SampleInto(rng, &scratch->tree, world);
+}
+
+Status ProbabilisticGraph::SampleWorldConditionedAllPresentInto(
+    Rng* rng, const EdgeBitset& condition, Span<const uint32_t> active,
+    WorldSampleScratch* scratch, EdgeBitset* world) const {
+  if (kind_ == JointModelKind::kPartition) {
+    world->ResetTo(NumEdges());
+    for (uint32_t ni : active) {
+      const NeighborEdgeSet& ne = ne_sets_[ni];
+      uint32_t care_mask = 0;
+      for (size_t j = 0; j < ne.edges.size(); ++j) {
+        if (condition.Test(ne.edges[j])) care_mask |= (1U << j);
+      }
+      PGSIM_ASSIGN_OR_RETURN(
+          const uint32_t mask,
+          ne.table.SampleConditioned(rng, care_mask, care_mask));
+      for (size_t j = 0; j < ne.edges.size(); ++j) {
+        if ((mask >> j) & 1U) world->Set(ne.edges[j]);
+      }
+    }
+    return Status::OK();
+  }
+  return tree_.SampleConditionedInto(rng, condition, condition,
+                                     &scratch->tree, world);
 }
 
 Result<ProbabilisticGraph> ToIndependentModel(const ProbabilisticGraph& g) {

@@ -22,12 +22,19 @@
 
 #include "pgsim/common/bitset.h"
 #include "pgsim/common/random.h"
+#include "pgsim/common/span.h"
 #include "pgsim/common/status.h"
 #include "pgsim/graph/graph.h"
 #include "pgsim/prob/clique_tree.h"
 #include "pgsim/prob/jpt.h"
 
 namespace pgsim {
+
+/// Reusable buffers for the *Into sampling/inference entry points below.
+/// One scratch serves any sequence of graphs; not concurrency-safe.
+struct WorldSampleScratch {
+  CliqueTreeScratch tree;
+};
 
 /// One correlated group: a neighbor edge set plus its JPT.
 struct NeighborEdgeSet {
@@ -83,6 +90,17 @@ class ProbabilisticGraph {
   /// Exact Pr(edges in `care` take the values given by `value`).
   double Probability(const EdgeBitset& care, const EdgeBitset& value) const;
 
+  /// As Probability, drawing clique-tree temporaries from `*scratch`
+  /// (partition models never allocate; tree models reuse the buffers).
+  double Probability(const EdgeBitset& care, const EdgeBitset& value,
+                     WorldSampleScratch* scratch) const;
+
+  /// Exact Pr(all edges in `edges` are present), scratch-reusing variant.
+  double MarginalAllPresent(const EdgeBitset& edges,
+                            WorldSampleScratch* scratch) const {
+    return Probability(edges, edges, scratch);
+  }
+
   /// Exact existence marginal of one edge.
   double EdgeMarginal(EdgeId e) const;
 
@@ -94,6 +112,27 @@ class ProbabilisticGraph {
   /// bits; fails when the condition has zero probability.
   Result<EdgeBitset> SampleWorldConditioned(Rng* rng, const EdgeBitset& care,
                                             const EdgeBitset& value) const;
+
+  /// As SampleWorld, writing into `*world` (storage reused; identical draw
+  /// sequence, so estimators built on either variant agree bit-for-bit).
+  void SampleWorldInto(Rng* rng, WorldSampleScratch* scratch,
+                       EdgeBitset* world) const;
+
+  /// Support-restricted conditional sampling (the Karp-Luby hot path):
+  /// samples a world conditioned on every edge of `condition` being
+  /// *present*, drawing only the ne sets whose indices appear in `active`.
+  /// Edges of skipped ne sets are reported absent; that is sound whenever
+  /// the caller only inspects edges covered by `active` (the verifier passes
+  /// every ne set intersecting the union of event supports — edges outside
+  /// it cannot affect any event). Requires `active` to cover every edge of
+  /// `condition`. Tree models ignore `active`: correlations cross ne-set
+  /// boundaries there, so the full clique-tree conditional sampler runs
+  /// (still into reused storage). Fails when the condition has zero mass.
+  Status SampleWorldConditionedAllPresentInto(Rng* rng,
+                                              const EdgeBitset& condition,
+                                              Span<const uint32_t> active,
+                                              WorldSampleScratch* scratch,
+                                              EdgeBitset* world) const;
 
   /// The underlying exact-inference engine (tests, advanced callers).
   const CliqueTree& inference() const { return tree_; }

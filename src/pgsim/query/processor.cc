@@ -131,19 +131,64 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
   local.prob_seconds = prob_timer.Seconds();
 
   // ---- Stage 3: verification (Section 5). ----
+  // Candidates verify independently: each one gets a sequentially pre-forked
+  // RNG (so draws do not depend on which thread claims it) and a per-rank
+  // VerifierScratch, and verdicts are merged in candidate order. Answers are
+  // therefore byte-identical at every verify_threads setting.
   WallTimer verify_timer;
-  for (uint32_t gi : to_verify) {
-    Result<double> ssp =
+  std::vector<Rng>& verify_rngs = ctx->verify_rngs;
+  for (size_t k = 0; k < to_verify.size(); ++k) {
+    verify_rngs.push_back(rng.Fork());
+  }
+  enum : uint8_t { kVerifyFailed = 0, kVerifyReject = 1, kVerifyAccept = 2 };
+  std::vector<uint8_t>& verdicts = ctx->verify_verdicts;
+  verdicts.assign(to_verify.size(), kVerifyFailed);
+  auto verify_one = [&](size_t k, VerifierScratch* scratch) {
+    const uint32_t gi = to_verify[k];
+    const Result<double> ssp =
         options.verify_mode == QueryOptions::VerifyMode::kExact
             ? ExactSubgraphSimilarityProbability(db[gi], *relaxed,
-                                                 options.verifier)
-            : SampleSubgraphSimilarityProbability(db[gi], *relaxed,
-                                                  options.verifier, &rng);
+                                                 options.verifier, scratch)
+            : SampleSubgraphSimilarityProbability(
+                  db[gi], *relaxed, options.verifier, &verify_rngs[k],
+                  scratch);
     if (!ssp.ok()) {
-      ++local.verification_failures;
-      continue;
+      verdicts[k] = kVerifyFailed;
+    } else {
+      verdicts[k] =
+          ssp.value() >= options.epsilon ? kVerifyAccept : kVerifyReject;
     }
-    if (ssp.value() >= options.epsilon) answers.push_back(gi);
+  };
+  const uint32_t verify_threads = options.verify_threads == 0
+                                      ? ThreadPool::DefaultThreads()
+                                      : options.verify_threads;
+  ThreadPool* verify_pool =
+      to_verify.size() > 1 ? ctx->VerifyPool(verify_threads) : nullptr;
+  if (verify_pool == nullptr) {
+    for (size_t k = 0; k < to_verify.size(); ++k) {
+      verify_one(k, &ctx->verifier_scratch);
+    }
+  } else {
+    ctx->verify_scratches.resize(verify_pool->size());
+    verify_pool->ParallelFor(
+        to_verify.size(), /*chunk=*/1,
+        [&](uint32_t rank, size_t begin, size_t end) {
+          for (size_t k = begin; k < end; ++k) {
+            verify_one(k, &ctx->verify_scratches[rank]);
+          }
+        });
+  }
+  for (size_t k = 0; k < to_verify.size(); ++k) {
+    switch (verdicts[k]) {
+      case kVerifyFailed:
+        ++local.verification_failures;
+        break;
+      case kVerifyAccept:
+        answers.push_back(to_verify[k]);
+        break;
+      default:
+        break;
+    }
   }
   local.verify_seconds = verify_timer.Seconds();
 

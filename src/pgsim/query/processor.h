@@ -41,6 +41,15 @@ struct QueryOptions {
   /// Verification engine for surviving candidates.
   enum class VerifyMode { kSample, kExact };
   VerifyMode verify_mode = VerifyMode::kSample;
+  /// Intra-query verification parallelism: stage 3 fans the surviving
+  /// candidates across this many threads (1 = inline on the calling thread,
+  /// 0 = all hardware threads). Every candidate draws from its own RNG,
+  /// pre-forked sequentially in candidate order, and verdicts are merged in
+  /// candidate order — answers are byte-identical at every setting. Composes
+  /// multiplicatively with BatchOptions::num_threads (each batch worker owns
+  /// a verify pool of this width), so batch servers usually keep it at 1 and
+  /// latency-sensitive single-query callers raise it.
+  uint32_t verify_threads = 1;
   uint64_t seed = 7;       ///< randomized pruning/verification seed
 };
 

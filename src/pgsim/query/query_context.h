@@ -1,20 +1,24 @@
 // Per-thread reusable query scratch.
 //
 // A QueryContext owns every container the three-stage T-PS pipeline fills
-// per query (relaxed query set, candidate lists, filter temporaries, RNG).
-// QueryProcessor::Query clears them between runs instead of reallocating, so
-// a steady-state query loop performs near-zero heap allocation in the
-// processor itself; QueryBatch keeps one context per worker rank. A context
-// must not be shared by two queries running concurrently.
+// per query (relaxed query set, candidate lists, filter temporaries,
+// verifier scratch, RNG). QueryProcessor::Query clears them between runs
+// instead of reallocating, so a steady-state query loop performs near-zero
+// heap allocation in the processor itself; QueryBatch keeps one context per
+// worker rank. A context must not be shared by two queries running
+// concurrently.
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "pgsim/common/random.h"
+#include "pgsim/common/thread_pool.h"
 #include "pgsim/graph/graph.h"
 #include "pgsim/query/structural_filter.h"
+#include "pgsim/query/verifier.h"
 
 namespace pgsim {
 
@@ -38,6 +42,28 @@ struct QueryContext {
   std::vector<uint32_t> answers;
   /// Stage 1 temporaries.
   StructuralFilterScratch filter_scratch;
+  /// Stage 3 scratch for the sequential verification path (and rank 0 of
+  /// the parallel path uses verify_scratches[0] instead).
+  VerifierScratch verifier_scratch;
+  /// Per-rank scratches for intra-query parallel verification.
+  std::vector<VerifierScratch> verify_scratches;
+  /// Per-candidate RNGs, pre-forked sequentially in candidate order so
+  /// verification answers are identical at every verify_threads setting.
+  std::vector<Rng> verify_rngs;
+  /// Per-candidate verdicts, merged in candidate order after the fan-out.
+  std::vector<uint8_t> verify_verdicts;
+
+  /// The lazily built pool for intra-query parallel verification. Returns
+  /// null when `threads` <= 1 (run inline); otherwise a pool of exactly
+  /// `threads` workers, kept across queries and rebuilt only when the
+  /// requested width changes.
+  ThreadPool* VerifyPool(uint32_t threads) {
+    if (threads <= 1) return nullptr;
+    if (verify_pool_ == nullptr || verify_pool_->size() != threads) {
+      verify_pool_ = std::make_unique<ThreadPool>(threads);
+    }
+    return verify_pool_.get();
+  }
 
   /// Reseeds the RNG and clears (capacity-preserving) all per-query state.
   void Reset(uint64_t seed) {
@@ -46,7 +72,12 @@ struct QueryContext {
     structural_candidates.clear();
     to_verify.clear();
     answers.clear();
+    verify_rngs.clear();
+    verify_verdicts.clear();
   }
+
+ private:
+  std::unique_ptr<ThreadPool> verify_pool_;
 };
 
 }  // namespace pgsim

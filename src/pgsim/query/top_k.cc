@@ -51,7 +51,9 @@ Result<TopKResult> TopKQuery(const std::vector<ProbabilisticGraph>& db,
 
   // Stage 3: verify in bound order with early termination — once the k-th
   // best verified probability is at least the next upper bound, no
-  // unverified candidate can enter the top k.
+  // unverified candidate can enter the top k. One scratch serves the whole
+  // bound-ordered loop (zero steady-state verifier allocation).
+  VerifierScratch verifier_scratch;
   for (size_t i = 0; i < schedule.size(); ++i) {
     const Scheduled& s = schedule[i];
     if (result.entries.size() >= options.k) {
@@ -64,9 +66,11 @@ Result<TopKResult> TopKQuery(const std::vector<ProbabilisticGraph>& db,
     Result<double> ssp =
         options.exact_verification
             ? ExactSubgraphSimilarityProbability(db[s.graph_id], relaxed,
-                                                 options.verifier)
+                                                 options.verifier,
+                                                 &verifier_scratch)
             : SampleSubgraphSimilarityProbability(db[s.graph_id], relaxed,
-                                                  options.verifier, &rng);
+                                                  options.verifier, &rng,
+                                                  &verifier_scratch);
     ++result.verified;
     if (!ssp.ok()) continue;
     TopKEntry entry;

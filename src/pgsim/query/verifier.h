@@ -13,6 +13,27 @@
 // V * Cnt / N (the paper's pseudocode prints Cnt/N with V computed on line 1
 // but unused; V * Cnt / N is the estimator its Monte-Carlo citation [26]
 // prescribes, and the one implemented here).
+//
+// Engine layout (this file's scratch-threaded entry points):
+//   * Events live in a contiguous EventSetPool inside a caller-owned
+//     VerifierScratch; marginal/cumulative/world/index buffers are all
+//     reused across candidates, so steady-state verification performs no
+//     heap allocation in this layer (VF2 enumeration keeps its own small
+//     per-call state).
+//   * Sampling is support-restricted: conditioned worlds draw only the ne
+//     sets intersecting the union of event supports — edges outside it
+//     cannot affect any event, so the estimator distribution is unchanged
+//     while draws per round shrink to the support size.
+//   * The Karp–Luby canonicity check runs in descending-marginal event
+//     order with a per-edge inverted index: each round marks the events
+//     killed by the support edges absent from the sampled world and scans
+//     the (likeliest-first) earlier events for a survivor.
+//
+// Any fixed event order yields an unbiased estimator, but the order (and
+// the support restriction) changes which RNG draws happen when — estimates
+// differ draw-by-draw from the pre-scratch engine while concentrating on
+// the same SSP. Determinism contract: equal (graph, relaxed, options, RNG
+// state) produce bit-identical estimates, with or without a reused scratch.
 
 #pragma once
 
@@ -20,6 +41,7 @@
 #include <vector>
 
 #include "pgsim/bounds/cond_sampler.h"
+#include "pgsim/common/event_pool.h"
 #include "pgsim/common/random.h"
 #include "pgsim/common/status.h"
 #include "pgsim/graph/graph.h"
@@ -38,23 +60,96 @@ struct VerifierOptions {
   /// stage of the Dagum-Karp-Luby-Ross optimal approximation scheme. Cheap
   /// when the SSP is large, automatically thorough when it is tiny.
   bool adaptive = false;
-  /// Cap on embeddings enumerated per relaxed query.
+  /// Cap on embeddings enumerated per relaxed query, inclusive: a relaxed
+  /// query with exactly this many embeddings is fine; one more errors.
+  /// 0 = uncapped.
   size_t max_embeddings_per_rq = 512;
-  /// Cap on the total event count m.
+  /// Cap on the total event count m (deduplicated across relaxed queries),
+  /// inclusive: collection errors only when event m+1 would be inserted.
   size_t max_total_embeddings = 4096;
   /// Exact-engine limits.
   DnfExactOptions exact;
 };
 
+/// Reusable per-thread scratch for the verification engine. Owns the event
+/// pool and every buffer the collector/sampler/exact paths fill per
+/// candidate; repeated calls reuse all capacity (PoolCapacityWords() is
+/// stable once the largest candidate has been seen). Not concurrency-safe:
+/// one scratch per verifying thread.
+struct VerifierScratch {
+  /// Collected (then absorbed) event supports, one row per event.
+  EventSetPool events;
+  /// The same rows permuted into descending-marginal order — the canonicity
+  /// scan walks them contiguously.
+  EventSetPool sorted_events;
+  /// Open-addressing dedup table over event rows (slot = row index + 1).
+  std::vector<uint32_t> dedup;
+  /// Pr(Bfi) per pool row.
+  std::vector<double> marginals;
+  /// Event rows in descending-marginal order.
+  std::vector<uint32_t> order;
+  /// Cumulative marginals over `order` (the i ∝ Pr(Bfi)/V distribution).
+  std::vector<double> cumulative;
+  /// Per-edge CSR inverted index: edge -> ascending sorted-event positions.
+  std::vector<uint32_t> inv_offsets;
+  std::vector<uint32_t> inv_entries;
+  /// Canonicity marking: dead_stamp[p] == stamp means sorted event p is
+  /// killed by an absent support edge in the current round.
+  std::vector<uint32_t> dead_stamp;
+  uint32_t stamp = 0;
+  /// Union of event supports / sampled world / per-event bitset views.
+  EdgeBitset support;
+  EdgeBitset world;
+  EdgeBitset tmp;
+  /// ne-set indices intersecting the support (partition models).
+  std::vector<uint32_t> active_ne;
+  /// Clique-tree buffers (tree models).
+  WorldSampleScratch sample;
+  /// Exact-engine event materialization (element capacity reused).
+  std::vector<EdgeBitset> exact_events;
+
+  /// Partition-model sampling plan, rebuilt per candidate (see verifier.cc:
+  /// per active ne set an unconditional compact CDF with per-entry OR-masks,
+  /// plus per-event overrides for the ne sets the event conditions). The
+  /// per-draw loop then touches nothing but these flat arrays.
+  std::vector<uint64_t> world_words;   ///< sampled world, one word per 64 edges
+  std::vector<uint32_t> plan_step_off; ///< per active ne: entry range begin
+  std::vector<double> plan_prob;       ///< per entry: assignment probability
+  std::vector<uint64_t> plan_bits;     ///< per entry: wpr OR-mask words
+  std::vector<uint32_t> ov_row_off;    ///< per event row: override range
+  std::vector<uint32_t> ov_active;     ///< per override: active-ne position
+  std::vector<uint32_t> ov_entry_off;  ///< per override: entry range begin
+  std::vector<double> ov_mass;         ///< per override: conditional mass
+  std::vector<double> ov_prob;         ///< override entries: probability
+  std::vector<uint64_t> ov_bits;       ///< override entries: OR-mask words
+
+  /// Allocated words in the event pool — lets tests pin "the second pass
+  /// over a workload performs no pool growth".
+  size_t PoolCapacityWords() const { return events.word_capacity(); }
+};
+
 /// Collects the deduplicated embedding edge sets of every relaxed query in
-/// `relaxed` inside gc (the Bf events of Equation 22). Fails when a cap is
-/// hit (the exact engine would be unsound on a partial list; SMP callers
-/// may treat the failure as "fall back to exact bounds").
+/// `relaxed` inside gc (the Bf events of Equation 22) into
+/// `scratch->events`. Fails when a cap is hit (the exact engine would be
+/// unsound on a partial list; SMP callers may treat the failure as "fall
+/// back to exact bounds"); the pool contents are unspecified on error.
+Status CollectSimilarityEvents(const ProbabilisticGraph& g,
+                               const std::vector<Graph>& relaxed,
+                               const VerifierOptions& options,
+                               VerifierScratch* scratch);
+
+/// Legacy materializing wrapper around the scratch-based collector.
 Result<std::vector<EdgeBitset>> CollectSimilarityEvents(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
     const VerifierOptions& options);
 
-/// Exact SSP via the monotone-DNF engine (Equation 22).
+/// Exact SSP via the monotone-DNF engine (Equation 22) over the events in
+/// `scratch->events` (as left by CollectSimilarityEvents).
+Result<double> ExactSspFromEvents(const ProbabilisticGraph& g,
+                                  const VerifierOptions& options,
+                                  VerifierScratch* scratch);
+
+/// Exact SSP over an explicit event list.
 Result<double> ExactSspFromEvents(const ProbabilisticGraph& g,
                                   const std::vector<EdgeBitset>& events,
                                   const VerifierOptions& options);
@@ -63,6 +158,11 @@ Result<double> ExactSspFromEvents(const ProbabilisticGraph& g,
 Result<double> ExactSubgraphSimilarityProbability(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
     const VerifierOptions& options = VerifierOptions());
+
+/// As above, drawing all event storage from `*scratch`.
+Result<double> ExactSubgraphSimilarityProbability(
+    const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
+    const VerifierOptions& options, VerifierScratch* scratch);
 
 /// Definition 9 evaluated literally by possible-world enumeration + subgraph
 /// distance per world. Tiny graphs only; tests' ground truth.
@@ -74,5 +174,11 @@ Result<double> ExactSspByWorldEnumeration(const ProbabilisticGraph& g,
 Result<double> SampleSubgraphSimilarityProbability(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
     const VerifierOptions& options, Rng* rng);
+
+/// As above, drawing every event/marginal/world buffer from `*scratch` —
+/// the zero-allocation steady-state hot path QueryProcessor runs.
+Result<double> SampleSubgraphSimilarityProbability(
+    const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
+    const VerifierOptions& options, Rng* rng, VerifierScratch* scratch);
 
 }  // namespace pgsim

@@ -77,6 +77,29 @@ TEST(CondSamplerTest, UnconditionalMatchesMarginal) {
   EXPECT_NEAR(estimate, pg.MarginalAllPresent(target.edges), 0.03);
 }
 
+TEST(CondSamplerTest, ScratchOverloadIsBitIdenticalToLegacy) {
+  Rng seed_rng(603);
+  const Graph g = RandomGraph(&seed_rng, 6, 3, 1);
+  const ProbabilisticGraph pg = RandomProbGraph(g, &seed_rng);
+  EdgeEvent target{EdgeBitset::FromIndices(pg.NumEdges(), {0, 1}), true};
+  std::vector<EdgeEvent> conditioning{
+      EdgeEvent{EdgeBitset::FromIndices(pg.NumEdges(), {2}), false}};
+  MonteCarloParams params;
+  params.min_samples = 2000;
+  params.max_samples = 2000;
+  Rng r1(41), r2(41), r3(41);
+  const double legacy =
+      EstimateConditionalProbability(pg, target, conditioning, params, &r1);
+  CondSamplerScratch scratch;
+  const double with_scratch = EstimateConditionalProbability(
+      pg, target, conditioning, params, &r2, &scratch);
+  EXPECT_EQ(legacy, with_scratch);
+  // Dirty reuse of the same scratch must not change the estimate.
+  const double reused = EstimateConditionalProbability(
+      pg, target, conditioning, params, &r3, &scratch);
+  EXPECT_EQ(legacy, reused);
+}
+
 class CondSamplerRandomTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CondSamplerRandomTest, MatchesExactConditional) {

@@ -30,13 +30,20 @@ struct GoldenQuery {
   size_t num_relaxed_queries;
 };
 
+// Re-pinned for PR 3's verification engine: stage 3 now pre-forks one RNG
+// per candidate (instead of drawing candidates sequentially from the query
+// RNG) and the Karp-Luby sampler is support-restricted with a
+// descending-marginal event order and a draw-free position-0 shortcut, so
+// the draw sequence — and one near-threshold verdict (query 4 gained graph
+// 3) — legitimately changed. The estimates still concentrate on the same
+// SSPs (verifier_engine_test pins sampled-vs-exact agreement).
 const std::vector<GoldenQuery>& GoldenQueries() {
   static const std::vector<GoldenQuery> golden{
       {{2, 3, 6, 8, 13, 18}, 10, 7, 4},
       {{}, 7, 2, 3},
       {{0, 2, 3, 4, 5, 8, 16}, 13, 10, 4},
       {{13}, 9, 9, 4},
-      {{0, 2, 4, 5, 8, 16}, 13, 10, 4},
+      {{0, 2, 3, 4, 5, 8, 16}, 13, 10, 4},
       {{10}, 3, 2, 4},
   };
   return golden;
@@ -79,12 +86,15 @@ TEST(GoldenPipelineTest, FullPipelineAnswersArePinned) {
   options.verifier.mc.max_samples = 400;
   const QueryProcessor processor(&db, &pmi, &filter);
 
-  // The pinned values must hold however the batch is executed.
+  // The pinned values must hold however the batch is executed — including
+  // with stage 3 fanned across an intra-query verification pool.
   for (const bool enable_cache : {true, false}) {
     for (const uint32_t threads : {1u, 4u}) {
+      for (const uint32_t verify_threads : {1u, 3u}) {
       BatchOptions batch;
       batch.num_threads = threads;
       batch.enable_cache = enable_cache;
+      options.verify_threads = verify_threads;
       const auto results = processor.QueryBatch(queries, options, batch);
       ASSERT_EQ(results.size(), GoldenQueries().size());
       for (size_t i = 0; i < results.size(); ++i) {
@@ -92,7 +102,8 @@ TEST(GoldenPipelineTest, FullPipelineAnswersArePinned) {
         ASSERT_TRUE(results[i].status.ok()) << "query " << i;
         EXPECT_EQ(results[i].answers, golden.answers)
             << "query " << i << " threads=" << threads
-            << " cache=" << enable_cache;
+            << " cache=" << enable_cache
+            << " verify_threads=" << verify_threads;
         EXPECT_EQ(results[i].stats.structural_candidates,
                   golden.structural_candidates)
             << i;
@@ -102,6 +113,7 @@ TEST(GoldenPipelineTest, FullPipelineAnswersArePinned) {
         EXPECT_EQ(results[i].stats.num_relaxed_queries,
                   golden.num_relaxed_queries)
             << i;
+      }
       }
     }
   }
