@@ -63,9 +63,10 @@ int main(int argc, char** argv) {
       const auto sc_q =
           setup.filter.Filter(*q, *relaxed, delta, nullptr);
       pruner.PrepareQuery(*relaxed);
+      PrunerScratch pruner_scratch;
       std::vector<uint32_t> to_verify;
       for (uint32_t gi : sc_q) {
-        if (pruner.Evaluate(gi, epsilon, &rng).outcome ==
+        if (pruner.Evaluate(gi, epsilon, &rng, &pruner_scratch).outcome ==
             PruneOutcome::kCandidate) {
           to_verify.push_back(gi);
         }

@@ -76,9 +76,10 @@ int main(int argc, char** argv) {
         ProbabilisticPruner pruner(&setup.pmi, options);
         WallTimer timer;
         pruner.PrepareQuery(*relaxed);
+        PrunerScratch pruner_scratch;
         size_t survivors = 0;
         for (uint32_t gi : sc_q) {
-          if (pruner.Evaluate(gi, epsilon, &rng).outcome ==
+          if (pruner.Evaluate(gi, epsilon, &rng, &pruner_scratch).outcome ==
               PruneOutcome::kCandidate) {
             ++survivors;
           }

@@ -62,9 +62,10 @@ PointResult MeasurePoint(const std::vector<ProbabilisticGraph>& db,
       options.selection = selection;
       ProbabilisticPruner pruner(&pmi, options);
       pruner.PrepareQuery(*relaxed);
+      PrunerScratch pruner_scratch;
       size_t survivors = 0;
       for (uint32_t gi : sc_q) {
-        if (pruner.Evaluate(gi, epsilon, &rng).outcome ==
+        if (pruner.Evaluate(gi, epsilon, &rng, &pruner_scratch).outcome ==
             PruneOutcome::kCandidate) {
           ++survivors;
         }

@@ -633,6 +633,205 @@ BENCHMARK(BM_QueryBatch_RelaxationCache)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// ---- Columnar filter/prune engine (PR 4): a fig10-style workload       ----
+// ---- (Section-6 generator defaults, qsize-6 queries at delta=1) driven ----
+// ---- through stage 1's count scan and stage 2's per-candidate bound    ----
+// ---- evaluation — the two loops the feature-major layouts accelerate.  ----
+
+struct FilterPrunerFixture {
+  std::vector<ProbabilisticGraph> db;
+  ProbabilisticMatrixIndex pmi;
+  std::vector<Graph> certain;
+  StructuralFilter count_filter;  // exact_check off
+  std::vector<Graph> queries;
+  std::vector<std::vector<Graph>> relaxed;  // per query
+  std::vector<std::vector<uint32_t>> sc_q;  // per query survivors
+};
+
+const FilterPrunerFixture& GetFilterPrunerFixture() {
+  static const FilterPrunerFixture* fixture = [] {
+    auto* f = new FilterPrunerFixture();
+    SyntheticOptions dataset;
+    dataset.num_graphs = 150;
+    dataset.avg_vertices = 12;
+    dataset.edge_factor = 1.4;
+    dataset.num_vertex_labels = 5;
+    dataset.seed = 81;
+    f->db = GenerateDatabase(dataset).value();
+    PmiBuildOptions build;
+    build.miner.beta = 0.15;
+    build.miner.gamma = -1.0;
+    build.miner.max_vertices = 4;
+    build.sip.mc.min_samples = 200;
+    build.sip.mc.max_samples = 200;
+    f->pmi = ProbabilisticMatrixIndex::Build(f->db, build).value();
+    for (const auto& g : f->db) f->certain.push_back(g.certain());
+    StructuralFilterOptions filter_options;
+    filter_options.exact_check = false;
+    f->count_filter =
+        StructuralFilter::Build(f->certain, f->pmi.features(), filter_options);
+    Rng qrng(82);
+    while (f->queries.size() < 8) {
+      auto q = ExtractQuery(f->certain[qrng.Uniform(f->certain.size())], 6,
+                            &qrng);
+      if (!q.ok()) continue;
+      auto relaxed = GenerateRelaxedQueries(*q, 1);
+      if (!relaxed.ok()) continue;
+      f->queries.push_back(std::move(q).value());
+      f->relaxed.push_back(std::move(relaxed).value());
+      f->sc_q.push_back(f->count_filter.Filter(f->queries.back(),
+                                               f->relaxed.back(), 1));
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+// The count scan's own fixture scales the database to the regime the
+// columnar layout targets (the filter sweeps the whole database per
+// query). Features are hand-built single-edge / 2-path label patterns with
+// VF2-computed support — the same structures the miner emits, minus the
+// mining cost, so the 4000-graph fixture builds in seconds.
+struct FilterScanFixture {
+  std::vector<Graph> certain;
+  std::vector<Feature> features;
+  StructuralFilter filter;  // exact_check off: isolates the scan
+  std::vector<Graph> queries;
+  std::vector<QueryFeatureCounts> query_counts;
+  std::vector<Graph> empty_relaxed;  // unused when exact_check is off
+};
+
+const FilterScanFixture& GetFilterScanFixture() {
+  static const FilterScanFixture* fixture = [] {
+    auto* f = new FilterScanFixture();
+    SyntheticOptions dataset;
+    dataset.num_graphs = 4000;
+    dataset.avg_vertices = 12;
+    dataset.edge_factor = 1.4;
+    dataset.num_vertex_labels = 5;
+    dataset.seed = 91;
+    const auto db = GenerateDatabase(dataset).value();
+    for (const auto& g : db) f->certain.push_back(g.certain());
+    const uint32_t labels = dataset.num_vertex_labels;
+    std::vector<Graph> patterns;
+    for (uint32_t a = 0; a < labels; ++a) {
+      for (uint32_t b = a; b < labels; ++b) {
+        GraphBuilder builder;
+        const VertexId u = builder.AddVertex(a);
+        const VertexId v = builder.AddVertex(b);
+        (void)builder.AddEdge(u, v, 0);
+        patterns.push_back(builder.Build());
+      }
+    }
+    for (uint32_t a = 0; a < labels; ++a) {
+      for (uint32_t b = 0; b < labels; ++b) {
+        for (uint32_t c = a; c < labels; ++c) {
+          GraphBuilder builder;
+          const VertexId u = builder.AddVertex(a);
+          const VertexId m = builder.AddVertex(b);
+          const VertexId v = builder.AddVertex(c);
+          (void)builder.AddEdge(u, m, 0);
+          (void)builder.AddEdge(m, v, 0);
+          patterns.push_back(builder.Build());
+        }
+      }
+    }
+    for (Graph& pattern : patterns) {
+      Feature feature;
+      feature.graph = std::move(pattern);
+      for (uint32_t gi = 0; gi < f->certain.size(); ++gi) {
+        if (IsSubgraphIsomorphic(feature.graph, f->certain[gi])) {
+          feature.support.push_back(gi);
+        }
+      }
+      if (!feature.support.empty()) f->features.push_back(std::move(feature));
+    }
+    StructuralFilterOptions filter_options;
+    filter_options.exact_check = false;
+    f->filter =
+        StructuralFilter::Build(f->certain, f->features, filter_options);
+    Rng qrng(92);
+    while (f->queries.size() < 8) {
+      auto q = ExtractQuery(f->certain[qrng.Uniform(f->certain.size())], 6,
+                            &qrng);
+      if (!q.ok()) continue;
+      f->queries.push_back(std::move(q).value());
+      f->query_counts.push_back(
+          f->filter.ComputeQueryCounts(f->queries.back()));
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_Filter_CountScan(benchmark::State& state) {
+  // One iteration = stage 1's count filter for every fixture query, with
+  // the per-query feature counts precomputed (a batch-cache hit), so the
+  // measurement isolates the database-wide threshold sweep itself.
+  const FilterScanFixture& f = GetFilterScanFixture();
+  StructuralFilterScratch scratch;
+  std::vector<uint32_t> survivors;
+  size_t total = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < f.queries.size(); ++i) {
+      f.filter.Filter(f.queries[i], f.empty_relaxed, 1, &survivors, &scratch,
+                      nullptr, &f.query_counts[i], nullptr);
+      total += survivors.size();
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * f.queries.size() *
+                          f.certain.size());
+  state.counters["survivors"] =
+      static_cast<double>(total) / std::max<int64_t>(1, state.iterations());
+}
+BENCHMARK(BM_Filter_CountScan);
+
+void BM_Pruner_Evaluate(benchmark::State& state) {
+  // One iteration = stage 2 for every fixture query: prepared relations,
+  // then one bound evaluation per structural candidate. The scratch keeps
+  // the per-candidate path allocation-free.
+  const FilterPrunerFixture& f = GetFilterPrunerFixture();
+  std::vector<ProbabilisticPruner> pruners;
+  for (size_t i = 0; i < f.queries.size(); ++i) {
+    pruners.emplace_back(&f.pmi, ProbPrunerOptions());
+    pruners.back().PrepareQuery(f.relaxed[i]);
+  }
+  PrunerScratch scratch;
+  size_t candidates = 0, pruned = 0;
+  for (auto _ : state) {
+    Rng rng(83);
+    for (size_t i = 0; i < f.queries.size(); ++i) {
+      for (uint32_t gi : f.sc_q[i]) {
+        ++candidates;
+        const PruneDecision d = pruners[i].Evaluate(gi, 0.4, &rng, &scratch);
+        pruned += d.outcome == PruneOutcome::kPruned;
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(candidates));
+  state.counters["pruned_frac"] =
+      candidates == 0 ? 0.0
+                      : static_cast<double>(pruned) /
+                            static_cast<double>(candidates);
+}
+BENCHMARK(BM_Pruner_Evaluate);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN with one extra context key: the JSON's standard
+// "library_build_type" describes the *benchmark library* (Debian ships
+// libbenchmark without NDEBUG, so it always reads "debug" there);
+// "pgsim_build_type" records how this binary and libpgsim were compiled —
+// the value that matters when reading BENCH_*.json timings.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("pgsim_build_type", "release");
+#else
+  benchmark::AddCustomContext("pgsim_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

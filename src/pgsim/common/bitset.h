@@ -42,6 +42,17 @@ class EdgeBitset {
     for (auto& w : words_) w = 0;
   }
 
+  /// Inserts every index in [0, size()) — the "all candidates alive" start
+  /// state of the columnar count-filter sweep. Tail bits beyond size() stay
+  /// zero so Count()/ToVector() remain exact.
+  void SetAll() {
+    for (auto& w : words_) w = ~0ULL;
+    const size_t tail = size_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() = (1ULL << tail) - 1;
+    }
+  }
+
   /// Re-initializes to an empty set of capacity `size`, reusing the existing
   /// word storage (the scratch-buffer idiom of the verification hot path).
   void ResetTo(size_t size) {
@@ -58,6 +69,10 @@ class EdgeBitset {
 
   /// Raw packed words (bit i of the set is bit i%64 of words()[i/64]).
   const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Intersects word `wi` with `mask` — the columnar filter sweep clears a
+  /// whole word's failing bits in one store instead of per-bit Reset calls.
+  void AndWordAt(size_t wi, uint64_t mask) { words_[wi] &= mask; }
 
   /// Population count.
   size_t Count() const {

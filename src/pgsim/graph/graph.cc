@@ -211,4 +211,56 @@ uint64_t GraphFingerprint(const Graph& g) {
   return mix(mix(h, sum), xor_acc);
 }
 
+namespace {
+
+// Sorts `labels` and run-length-encodes it into ascending (label, count)
+// pairs, reusing `out`'s capacity.
+void EncodeHistogram(std::vector<LabelId>* labels,
+                     std::vector<std::pair<LabelId, uint32_t>>* out) {
+  std::sort(labels->begin(), labels->end());
+  out->clear();
+  size_t i = 0;
+  while (i < labels->size()) {
+    size_t j = i + 1;
+    while (j < labels->size() && (*labels)[j] == (*labels)[i]) ++j;
+    out->emplace_back((*labels)[i], static_cast<uint32_t>(j - i));
+    i = j;
+  }
+}
+
+}  // namespace
+
+void BuildLabelHistogram(const Graph& g, LabelHistogram* out) {
+  std::vector<LabelId> scratch(g.VertexLabels());
+  EncodeHistogram(&scratch, &out->vertex_labels);
+  scratch.clear();
+  scratch.reserve(g.NumEdges());
+  for (const Edge& e : g.Edges()) scratch.push_back(e.label);
+  EncodeHistogram(&scratch, &out->edge_labels);
+}
+
+namespace {
+
+bool CoversPattern(const std::vector<std::pair<LabelId, uint32_t>>& target,
+                   const std::vector<std::pair<LabelId, uint32_t>>& pattern) {
+  // Both sides ascend by label: one merge pass.
+  size_t ti = 0;
+  for (const auto& [label, count] : pattern) {
+    while (ti < target.size() && target[ti].first < label) ++ti;
+    if (ti == target.size() || target[ti].first != label ||
+        target[ti].second < count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool HistogramCoversPattern(const LabelHistogram& target,
+                            const LabelHistogram& pattern) {
+  return CoversPattern(target.vertex_labels, pattern.vertex_labels) &&
+         CoversPattern(target.edge_labels, pattern.edge_labels);
+}
+
 }  // namespace pgsim

@@ -169,4 +169,24 @@ Graph EdgeInducedSubgraph(const Graph& g, const std::vector<EdgeId>& edge_ids,
 /// exact isomorphism check.
 uint64_t GraphFingerprint(const Graph& g);
 
+/// Sorted (label, count) multiset summaries of a graph's vertex and edge
+/// labels. A monomorphism maps vertices/edges injectively onto equal labels,
+/// so pattern ⊆iso target requires the pattern's histogram to be covered by
+/// the target's — a cheap sound guard run before VF2 (it can only skip pairs
+/// VF2 would reject, never change an answer).
+struct LabelHistogram {
+  /// Ascending by label; counts are > 0.
+  std::vector<std::pair<LabelId, uint32_t>> vertex_labels;
+  std::vector<std::pair<LabelId, uint32_t>> edge_labels;
+};
+
+/// Fills `*out` with g's histograms (reusing the vectors' capacity).
+void BuildLabelHistogram(const Graph& g, LabelHistogram* out);
+
+/// True iff every (label, count) of `pattern` is matched by `target` with at
+/// least that count, for vertices and edges. False return proves no
+/// monomorphism pattern -> target exists.
+bool HistogramCoversPattern(const LabelHistogram& target,
+                            const LabelHistogram& pattern);
+
 }  // namespace pgsim

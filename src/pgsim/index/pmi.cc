@@ -15,6 +15,66 @@ namespace {
 constexpr uint32_t kPmiMagic = 0x504d4931;  // "PMI1"
 }  // namespace
 
+void ProbabilisticMatrixIndex::SetColumns(
+    std::vector<std::vector<PmiEntry>>&& columns) {
+  num_graphs_ = static_cast<uint32_t>(columns.size());
+  const size_t cells = features_.size() * static_cast<size_t>(num_graphs_);
+  col_offsets_.assign(1, 0);
+  col_offsets_.reserve(columns.size() + 1);
+  col_features_.clear();
+  lower_opt_.assign(cells, 0.0f);
+  upper_opt_.assign(cells, 0.0f);
+  lower_simple_.assign(cells, 0.0f);
+  upper_simple_.assign(cells, 0.0f);
+  present_.assign(cells, 0);
+  stats_.num_entries = 0;
+  for (uint32_t gi = 0; gi < columns.size(); ++gi) {
+    for (const PmiEntry& e : columns[gi]) {
+      const size_t idx = Flat(e.feature_id, gi);
+      lower_opt_[idx] = e.lower_opt;
+      upper_opt_[idx] = e.upper_opt;
+      lower_simple_[idx] = e.lower_simple;
+      upper_simple_[idx] = e.upper_simple;
+      present_[idx] = 1;
+      col_features_.push_back(e.feature_id);
+    }
+    col_offsets_.push_back(static_cast<uint32_t>(col_features_.size()));
+    stats_.num_entries += columns[gi].size();
+  }
+}
+
+std::vector<PmiEntry> ProbabilisticMatrixIndex::EntriesFor(
+    uint32_t graph_id) const {
+  std::vector<PmiEntry> entries;
+  entries.reserve(col_offsets_[graph_id + 1] - col_offsets_[graph_id]);
+  for (uint32_t k = col_offsets_[graph_id]; k < col_offsets_[graph_id + 1];
+       ++k) {
+    const uint32_t fi = col_features_[k];
+    const size_t idx = Flat(fi, graph_id);
+    PmiEntry e;
+    e.feature_id = fi;
+    e.lower_opt = lower_opt_[idx];
+    e.upper_opt = upper_opt_[idx];
+    e.lower_simple = lower_simple_[idx];
+    e.upper_simple = upper_simple_[idx];
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+bool ProbabilisticMatrixIndex::Lookup(uint32_t graph_id, uint32_t feature_id,
+                                      PmiEntry* out) const {
+  if (graph_id >= num_graphs_ || feature_id >= features_.size()) return false;
+  const size_t idx = Flat(feature_id, graph_id);
+  if (present_[idx] == 0) return false;
+  out->feature_id = feature_id;
+  out->lower_opt = lower_opt_[idx];
+  out->upper_opt = upper_opt_[idx];
+  out->lower_simple = lower_simple_[idx];
+  out->upper_simple = upper_simple_[idx];
+  return true;
+}
+
 Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Build(
     const std::vector<ProbabilisticGraph>& database,
     const PmiBuildOptions& options) {
@@ -58,7 +118,7 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Build(
   // exact fork sequence of a sequential build — then fill columns in
   // parallel. Each task touches only its own column/RNG slot.
   Rng rng(options.seed);
-  index.columns_.resize(database.size());
+  std::vector<std::vector<PmiEntry>> columns(database.size());
   std::vector<Rng> column_rngs(database.size(), Rng(0));
   for (uint32_t gi = 0; gi < database.size(); ++gi) {
     if (!features_of_graph[gi].empty()) column_rngs[gi] = rng.Fork();
@@ -73,7 +133,7 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Build(
     }
     const std::vector<SipBounds> bounds = ComputeSipBoundsBatch(
         database[gi], feature_graphs, options.sip, &column_rngs[gi]);
-    auto& column = index.columns_[gi];
+    auto& column = columns[gi];
     column.reserve(feature_ids.size());
     for (size_t k = 0; k < feature_ids.size(); ++k) {
       // Mining support says f ⊆iso gc, so embeddings must exist; guard
@@ -91,12 +151,10 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Build(
                 return a.feature_id < b.feature_id;
               });
   });
+  index.SetColumns(std::move(columns));
   index.stats_.bounds_seconds = bounds_timer.Seconds();
   index.stats_.total_seconds = total_timer.Seconds();
   index.stats_.num_features = index.features_.size();
-  for (const auto& column : index.columns_) {
-    index.stats_.num_entries += column.size();
-  }
   index.stats_.size_bytes = index.SizeBytes();
   return index;
 }
@@ -104,7 +162,7 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Build(
 Result<uint32_t> ProbabilisticMatrixIndex::AddGraph(
     const ProbabilisticGraph& graph, const SipBoundOptions& sip,
     uint64_t seed) {
-  const uint32_t graph_id = static_cast<uint32_t>(columns_.size());
+  const uint32_t graph_id = num_graphs_;
   // Which existing features occur in the new graph's certain graph?
   std::vector<uint32_t> feature_ids;
   std::vector<const Graph*> feature_graphs;
@@ -133,18 +191,27 @@ Result<uint32_t> ProbabilisticMatrixIndex::AddGraph(
             [](const PmiEntry& a, const PmiEntry& b) {
               return a.feature_id < b.feature_id;
             });
-  stats_.num_entries += column.size();
-  columns_.push_back(std::move(column));
+  std::vector<std::vector<PmiEntry>> columns;
+  columns.reserve(num_graphs_ + 1);
+  for (uint32_t gi = 0; gi < num_graphs_; ++gi) {
+    columns.push_back(EntriesFor(gi));
+  }
+  columns.push_back(std::move(column));
+  SetColumns(std::move(columns));
   stats_.size_bytes = SizeBytes();
   return graph_id;
 }
 
 Status ProbabilisticMatrixIndex::RemoveGraph(uint32_t graph_id) {
-  if (graph_id >= columns_.size()) {
+  if (graph_id >= num_graphs_) {
     return Status::InvalidArgument("RemoveGraph: graph id out of range");
   }
-  stats_.num_entries -= columns_[graph_id].size();
-  columns_.erase(columns_.begin() + graph_id);
+  std::vector<std::vector<PmiEntry>> columns;
+  columns.reserve(num_graphs_ - 1);
+  for (uint32_t gi = 0; gi < num_graphs_; ++gi) {
+    if (gi != graph_id) columns.push_back(EntriesFor(gi));
+  }
+  SetColumns(std::move(columns));
   for (Feature& f : features_) {
     std::vector<uint32_t> updated;
     updated.reserve(f.support.size());
@@ -158,23 +225,14 @@ Status ProbabilisticMatrixIndex::RemoveGraph(uint32_t graph_id) {
   return Status::OK();
 }
 
-const PmiEntry* ProbabilisticMatrixIndex::Lookup(uint32_t graph_id,
-                                                 uint32_t feature_id) const {
-  const auto& column = columns_[graph_id];
-  auto it = std::lower_bound(
-      column.begin(), column.end(), feature_id,
-      [](const PmiEntry& e, uint32_t target) { return e.feature_id < target; });
-  if (it != column.end() && it->feature_id == feature_id) return &*it;
-  return nullptr;
-}
-
 size_t ProbabilisticMatrixIndex::SizeBytes() const {
   size_t bytes = 16;  // header
   for (const Feature& f : features_) {
     bytes += GraphByteSize(f.graph) + 4 * f.support.size() + 24;
   }
-  for (const auto& column : columns_) {
-    bytes += 4 + column.size() * (4 + 4 * sizeof(float));
+  for (uint32_t gi = 0; gi < num_graphs_; ++gi) {
+    const size_t column_size = col_offsets_[gi + 1] - col_offsets_[gi];
+    bytes += 4 + column_size * (4 + 4 * sizeof(float));
   }
   return bytes;
 }
@@ -184,7 +242,7 @@ Status ProbabilisticMatrixIndex::Save(const std::string& path) const {
   if (!os) return Status::NotFound("PMI Save: cannot open " + path);
   WriteU32(os, kPmiMagic);
   WriteU32(os, static_cast<uint32_t>(features_.size()));
-  WriteU32(os, static_cast<uint32_t>(columns_.size()));
+  WriteU32(os, num_graphs_);
   for (const Feature& f : features_) {
     WriteGraph(os, f.graph);
     WriteU32(os, static_cast<uint32_t>(f.support.size()));
@@ -193,7 +251,8 @@ Status ProbabilisticMatrixIndex::Save(const std::string& path) const {
     WriteDouble(os, f.discriminative);
     WriteU32(os, f.level);
   }
-  for (const auto& column : columns_) {
+  for (uint32_t gi = 0; gi < num_graphs_; ++gi) {
+    const std::vector<PmiEntry> column = EntriesFor(gi);
     WriteU32(os, static_cast<uint32_t>(column.size()));
     for (const PmiEntry& e : column) {
       WriteU32(os, e.feature_id);
@@ -233,14 +292,20 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Load(
     PGSIM_ASSIGN_OR_RETURN(f.level, ReadU32(is));
     index.features_.push_back(std::move(f));
   }
-  index.columns_.resize(num_graphs);
+  std::vector<std::vector<PmiEntry>> columns(num_graphs);
   for (uint32_t gi = 0; gi < num_graphs; ++gi) {
     PGSIM_ASSIGN_OR_RETURN(const uint32_t column_size, ReadU32(is));
-    auto& column = index.columns_[gi];
+    auto& column = columns[gi];
     column.reserve(column_size);
     for (uint32_t k = 0; k < column_size; ++k) {
       PmiEntry e;
       PGSIM_ASSIGN_OR_RETURN(e.feature_id, ReadU32(is));
+      if (e.feature_id >= num_features) {
+        // The columnar rebuild indexes flat matrices by feature id, so a
+        // malformed file must fail here rather than write out of range.
+        return Status::InvalidArgument("PMI Load: feature id out of range in " +
+                                       path);
+      }
       PGSIM_ASSIGN_OR_RETURN(const double lo, ReadDouble(is));
       PGSIM_ASSIGN_OR_RETURN(const double uo, ReadDouble(is));
       PGSIM_ASSIGN_OR_RETURN(const double ls, ReadDouble(is));
@@ -252,10 +317,8 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Load(
       column.push_back(e);
     }
   }
+  index.SetColumns(std::move(columns));
   index.stats_.num_features = index.features_.size();
-  for (const auto& column : index.columns_) {
-    index.stats_.num_entries += column.size();
-  }
   index.stats_.size_bytes = index.SizeBytes();
   return index;
 }

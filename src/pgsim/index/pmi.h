@@ -8,6 +8,15 @@
 // Each entry carries the bounds in both flavors exercised by the paper's
 // experiments: OPT (max-weight-clique selection, feeding OPT-SIPBound) and
 // simple (greedy selection, feeding SIPBound, Figure 11's ablation).
+//
+// Storage is columnar: the four bound flavors live in flat feature-major
+// float matrices (`flat_*()[feature * num_graphs() + graph] `) with absent
+// cells holding 0.0f — the paper's <0> — plus a parallel presence byte
+// matrix, so the pruner's per-candidate reads are direct indexed loads
+// instead of per-feature binary searches. The sparse per-graph views
+// (EntriesFor) and the serialized format are materialized from / rebuilt
+// into this columnar storage; Save/Load stay byte-compatible with the
+// pre-columnar format.
 
 #pragma once
 
@@ -77,23 +86,42 @@ class ProbabilisticMatrixIndex {
   const std::vector<Feature>& features() const { return features_; }
 
   /// Number of graph columns.
-  uint32_t num_graphs() const {
-    return static_cast<uint32_t>(columns_.size());
+  uint32_t num_graphs() const { return num_graphs_; }
+
+  /// Dg: the entries of graph `graph_id`, sorted by feature id, materialized
+  /// from the columnar storage. Features not listed have SIP = 0.
+  std::vector<PmiEntry> EntriesFor(uint32_t graph_id) const;
+
+  /// True iff the (graph, feature) cell is present (f ⊆iso gc). Ids out of
+  /// range are absent by definition (matching the old sparse search).
+  bool Contains(uint32_t graph_id, uint32_t feature_id) const {
+    return graph_id < num_graphs_ && feature_id < features_.size() &&
+           present_[Flat(feature_id, graph_id)] != 0;
   }
 
-  /// Dg: the entries of graph `graph_id`, sorted by feature id. Features not
-  /// listed have SIP = 0.
-  const std::vector<PmiEntry>& EntriesFor(uint32_t graph_id) const {
-    return columns_[graph_id];
-  }
+  /// Direct columnar lookup: fills `*out` and returns true when the cell is
+  /// present, returns false (leaving `*out` untouched) for the paper's <0>
+  /// and for out-of-range ids.
+  bool Lookup(uint32_t graph_id, uint32_t feature_id, PmiEntry* out) const;
 
-  /// Pointer to the entry for (graph, feature) or nullptr (SIP = 0).
-  const PmiEntry* Lookup(uint32_t graph_id, uint32_t feature_id) const;
+  /// Flat feature-major bound matrices, one float per (feature, graph) cell
+  /// at index `feature * num_graphs() + graph`; absent cells are 0.0f. These
+  /// back the pruner's allocation-free per-candidate gathers.
+  const std::vector<float>& flat_lower_opt() const { return lower_opt_; }
+  const std::vector<float>& flat_upper_opt() const { return upper_opt_; }
+  const std::vector<float>& flat_lower_simple() const { return lower_simple_; }
+  const std::vector<float>& flat_upper_simple() const { return upper_simple_; }
+  /// Presence bytes (1 = entry exists), same feature-major indexing.
+  const std::vector<uint8_t>& flat_present() const { return present_; }
 
   /// Build statistics.
   const PmiStats& stats() const { return stats_; }
 
-  /// Serialized size in bytes (features + matrix).
+  /// Serialized size in bytes (features + the sparse per-graph entry
+  /// format Save() writes). NOT the resident footprint: in memory the four
+  /// bound flavors + presence live as dense feature-major matrices
+  /// (~17 bytes per (feature, graph) cell), which dwarfs this number on
+  /// sparse databases.
   size_t SizeBytes() const;
 
   /// Persists the index (features, matrix, stats) to a binary file.
@@ -105,18 +133,36 @@ class ProbabilisticMatrixIndex {
   /// Incremental maintenance: appends a new graph column (bounds computed
   /// against the existing feature set; features are NOT re-mined — re-run
   /// Build() periodically if the data distribution drifts). Returns the new
-  /// graph id.
+  /// graph id. Rebuilds the feature-major matrices (O(|F| * |D|)).
   Result<uint32_t> AddGraph(const ProbabilisticGraph& graph,
                             const SipBoundOptions& sip, uint64_t seed);
 
   /// Incremental maintenance: drops a graph column. Ids above `graph_id`
   /// shift down by one (mirroring erasing the graph from the database
-  /// vector); feature support lists are updated accordingly.
+  /// vector); feature support lists are updated accordingly. Rebuilds the
+  /// feature-major matrices (O(|F| * |D|)).
   Status RemoveGraph(uint32_t graph_id);
 
  private:
+  size_t Flat(uint32_t feature_id, uint32_t graph_id) const {
+    return static_cast<size_t>(feature_id) * num_graphs_ + graph_id;
+  }
+
+  /// Rebuilds the columnar storage from sparse feature-sorted columns.
+  void SetColumns(std::vector<std::vector<PmiEntry>>&& columns);
+
   std::vector<Feature> features_;
-  std::vector<std::vector<PmiEntry>> columns_;  // per graph, feature-sorted
+  uint32_t num_graphs_ = 0;
+  // Per-graph sorted feature-id lists (CSR) — the sparse structure backing
+  // EntriesFor and the serialized format.
+  std::vector<uint32_t> col_offsets_ = {0};
+  std::vector<uint32_t> col_features_;
+  // Feature-major flat matrices; absent cells 0.0f / present byte 0.
+  std::vector<float> lower_opt_;
+  std::vector<float> upper_opt_;
+  std::vector<float> lower_simple_;
+  std::vector<float> upper_simple_;
+  std::vector<uint8_t> present_;
   PmiStats stats_;
 };
 

@@ -5,9 +5,10 @@
 // precede any per-graph work — the relaxation set U (edge-deletion
 // enumeration + isomorphism dedup), the per-query feature embedding counts
 // feeding the structural filter thresholds, and the pruner's feature/rq
-// relations (a VF2 test per (feature, rq) pair) — are pure functions of the
-// query, so QueryProcessor::QueryBatch shares them across the batch through
-// this cache.
+// relations (a VF2 test per (feature, rq) pair) together with the compiled
+// bound program that rides inside PreparedQueryRelations — are pure
+// functions of the query, so QueryProcessor::QueryBatch shares them across
+// the batch through this cache.
 //
 // Keying is two-tier, chosen so that a cache hit is *provably* bit-identical
 // to a fresh computation (QueryBatch's answers must not depend on the cache

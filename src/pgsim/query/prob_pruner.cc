@@ -6,6 +6,60 @@
 
 namespace pgsim {
 
+namespace {
+
+// Flattens per-feature (or per-rq) element lists into ids + CSR pools.
+void FlattenNonEmpty(const std::vector<std::vector<uint32_t>>& lists,
+                     std::vector<uint32_t>* ids,
+                     std::vector<uint32_t>* offsets,
+                     std::vector<uint32_t>* elems) {
+  ids->clear();
+  offsets->assign(1, 0);
+  elems->clear();
+  for (uint32_t i = 0; i < lists.size(); ++i) {
+    if (lists[i].empty()) continue;
+    ids->push_back(i);
+    elems->insert(elems->end(), lists[i].begin(), lists[i].end());
+    offsets->push_back(static_cast<uint32_t>(elems->size()));
+  }
+}
+
+// Flattens all lists (including empty ones) into a dense CSR.
+void FlattenDense(const std::vector<std::vector<uint32_t>>& lists,
+                  std::vector<uint32_t>* offsets,
+                  std::vector<uint32_t>* elems) {
+  offsets->assign(1, 0);
+  elems->clear();
+  for (const auto& list : lists) {
+    elems->insert(elems->end(), list.begin(), list.end());
+    offsets->push_back(static_cast<uint32_t>(elems->size()));
+  }
+}
+
+template <typename T>
+size_t VecCapBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace
+
+size_t PrunerScratch::CapacityBytes() const {
+  size_t bytes = VecCapBytes(usim_weights) + VecCapBytes(lsim_sel_ids) +
+                 VecCapBytes(lsim_sel_wl) + VecCapBytes(lsim_sel_wu) +
+                 VecCapBytes(lsim_sel_begin) + VecCapBytes(lsim_sel_end) +
+                 VecCapBytes(chosen);
+  bytes += VecCapBytes(cover.covered) + VecCapBytes(cover.used) +
+           VecCapBytes(cover_result.chosen_ids);
+  bytes += VecCapBytes(lsim.elem_offsets) + VecCapBytes(lsim.elem_cursor) +
+           VecCapBytes(lsim.elem_sets) + VecCapBytes(lsim.x) +
+           VecCapBytes(lsim.best_x) + VecCapBytes(lsim.picked) +
+           VecCapBytes(lsim.chosen_mask) + VecCapBytes(lsim.covered) +
+           VecCapBytes(lsim.order) + VecCapBytes(lsim.rounded) +
+           VecCapBytes(lsim.greedy) + VecCapBytes(lsim.single);
+  bytes += VecCapBytes(lsim_result.chosen_ids);
+  return bytes;
+}
+
 void ProbabilisticPruner::PrepareQuery(const std::vector<Graph>& relaxed) {
   const auto& features = pmi_->features();
   auto prepared = std::make_shared<PreparedQueryRelations>();
@@ -16,18 +70,34 @@ void ProbabilisticPruner::PrepareQuery(const std::vector<Graph>& relaxed) {
   prepared->rq_super_features.assign(relaxed.size(), {});
   prepare_iso_tests_ = 0;
 
+  // Label-multiset guard inputs: a VF2 monomorphism needs the pattern's
+  // vertex/edge label multiset covered by the target's, so pairs failing
+  // the histogram check are skipped without a (counted) VF2 test.
+  std::vector<LabelHistogram> feature_hist(features.size());
+  for (uint32_t fi = 0; fi < features.size(); ++fi) {
+    BuildLabelHistogram(features[fi].graph, &feature_hist[fi]);
+  }
+  std::vector<LabelHistogram> rq_hist(relaxed.size());
+  for (uint32_t ri = 0; ri < relaxed.size(); ++ri) {
+    BuildLabelHistogram(relaxed[ri], &rq_hist[ri]);
+  }
+
   for (uint32_t fi = 0; fi < features.size(); ++fi) {
     const Graph& f = features[fi].graph;
     for (uint32_t ri = 0; ri < relaxed.size(); ++ri) {
       const Graph& rq = relaxed[ri];
-      if (f.NumEdges() <= rq.NumEdges() && f.NumVertices() <= rq.NumVertices()) {
+      if (f.NumEdges() <= rq.NumEdges() &&
+          f.NumVertices() <= rq.NumVertices() &&
+          HistogramCoversPattern(rq_hist[ri], feature_hist[fi])) {
         ++prepare_iso_tests_;
         if (IsSubgraphIsomorphic(f, rq)) {
           prepared->feature_sub_rqs[fi].push_back(ri);
           prepared->rq_sub_features[ri].push_back(fi);
         }
       }
-      if (rq.NumEdges() <= f.NumEdges() && rq.NumVertices() <= f.NumVertices()) {
+      if (rq.NumEdges() <= f.NumEdges() &&
+          rq.NumVertices() <= f.NumVertices() &&
+          HistogramCoversPattern(feature_hist[fi], rq_hist[ri])) {
         ++prepare_iso_tests_;
         if (IsSubgraphIsomorphic(rq, f)) {
           prepared->feature_super_rqs[fi].push_back(ri);
@@ -36,6 +106,18 @@ void ProbabilisticPruner::PrepareQuery(const std::vector<Graph>& relaxed) {
       }
     }
   }
+
+  // Compile the bound program: the candidate-invariant flattened views the
+  // columnar evaluate path executes.
+  BoundProgram& bp = prepared->program;
+  FlattenNonEmpty(prepared->feature_sub_rqs, &bp.usim_ids, &bp.usim_offsets,
+                  &bp.usim_elems);
+  FlattenNonEmpty(prepared->feature_super_rqs, &bp.lsim_ids, &bp.lsim_offsets,
+                  &bp.lsim_elems);
+  FlattenDense(prepared->rq_sub_features, &bp.rq_sub_offsets,
+               &bp.rq_sub_elems);
+  FlattenDense(prepared->rq_super_features, &bp.rq_super_offsets,
+               &bp.rq_super_elems);
   prepared_ = std::move(prepared);
 }
 
@@ -46,34 +128,48 @@ void ProbabilisticPruner::PrepareFromCache(
 }
 
 PruneDecision ProbabilisticPruner::Bounds(uint32_t graph_id, Rng* rng) const {
-  // Epsilon 2.0 can never prune (usim <= 1), -1.0 can never accept: both
-  // bounds get computed, no outcome short-circuits.
-  PruneDecision decision = EvaluateImpl(graph_id, 2.0, -1.0, rng);
+  // Historical contract: prune_epsilon 2.0 makes the Pruning-1 branch fire
+  // unconditionally (usim <= 1 < 2), so lsim reports 0 and only usim is
+  // meaningful — which is all the top-k scheduler consumes. Kept as-is
+  // because computing Lsim here would consume extra RNG draws and shift
+  // every downstream draw sequence (top-k verification sampling).
+  PruneDecision decision = EvaluateReference(graph_id, 2.0, -1.0, rng);
+  decision.outcome = PruneOutcome::kCandidate;
+  return decision;
+}
+
+PruneDecision ProbabilisticPruner::Bounds(uint32_t graph_id, Rng* rng,
+                                          PrunerScratch* scratch) const {
+  // Same historical contract as the reference overload above.
+  PruneDecision decision = EvaluateColumnar(graph_id, 2.0, -1.0, rng, scratch);
   decision.outcome = PruneOutcome::kCandidate;
   return decision;
 }
 
 PruneDecision ProbabilisticPruner::Evaluate(uint32_t graph_id, double epsilon,
                                             Rng* rng) const {
-  return EvaluateImpl(graph_id, epsilon, epsilon, rng);
+  return EvaluateReference(graph_id, epsilon, epsilon, rng);
 }
 
-PruneDecision ProbabilisticPruner::EvaluateImpl(uint32_t graph_id,
-                                                double prune_epsilon,
-                                                double accept_epsilon,
-                                                Rng* rng) const {
+PruneDecision ProbabilisticPruner::Evaluate(uint32_t graph_id, double epsilon,
+                                            Rng* rng,
+                                            PrunerScratch* scratch) const {
+  return EvaluateColumnar(graph_id, epsilon, epsilon, rng, scratch);
+}
+
+PruneDecision ProbabilisticPruner::EvaluateReference(uint32_t graph_id,
+                                                     double prune_epsilon,
+                                                     double accept_epsilon,
+                                                     Rng* rng) const {
   PruneDecision decision;
+  // One Lookup per feature: the fetched entry carries both bound flavors.
   const auto upper_of = [&](uint32_t feature_id) -> double {
-    const PmiEntry* e = pmi_->Lookup(graph_id, feature_id);
-    if (e == nullptr) return 0.0;  // f not ⊆iso gc: SIP = 0 (paper's <0>)
-    return options_.sip_variant == SipVariant::kOpt ? e->upper_opt
-                                                    : e->upper_simple;
-  };
-  const auto lower_of = [&](uint32_t feature_id) -> double {
-    const PmiEntry* e = pmi_->Lookup(graph_id, feature_id);
-    if (e == nullptr) return 0.0;
-    return options_.sip_variant == SipVariant::kOpt ? e->lower_opt
-                                                    : e->lower_simple;
+    PmiEntry e;
+    if (!pmi_->Lookup(graph_id, feature_id, &e)) {
+      return 0.0;  // f not ⊆iso gc: SIP = 0 (paper's <0>)
+    }
+    return options_.sip_variant == SipVariant::kOpt ? e.upper_opt
+                                                    : e.upper_simple;
   };
 
   // ---- Pruning 1: Usim(q). ----
@@ -120,13 +216,18 @@ PruneDecision ProbabilisticPruner::EvaluateImpl(uint32_t graph_id,
     std::vector<QpWeightedSet> sets;
     for (uint32_t fi = 0; fi < prepared_->feature_super_rqs.size(); ++fi) {
       if (prepared_->feature_super_rqs[fi].empty()) continue;
-      const PmiEntry* e = pmi_->Lookup(graph_id, fi);
-      if (e == nullptr) continue;  // SIP = 0: contributes nothing
+      PmiEntry e;
+      if (!pmi_->Lookup(graph_id, fi, &e)) continue;  // SIP = 0: no weight
       QpWeightedSet s;
       s.id = fi;
       s.elements = prepared_->feature_super_rqs[fi];
-      s.wl = lower_of(fi);
-      s.wu = upper_of(fi);
+      if (options_.sip_variant == SipVariant::kOpt) {
+        s.wl = e.lower_opt;
+        s.wu = e.upper_opt;
+      } else {
+        s.wl = e.lower_simple;
+        s.wu = e.upper_simple;
+      }
       sets.push_back(std::move(s));
     }
     if (!sets.empty()) {
@@ -146,8 +247,132 @@ PruneDecision ProbabilisticPruner::EvaluateImpl(uint32_t graph_id,
     chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
     double sum_l = 0.0, sum_u = 0.0;
     for (uint32_t fi : chosen) {
-      sum_l += lower_of(fi);
-      sum_u += upper_of(fi);
+      PmiEntry e;
+      if (!pmi_->Lookup(graph_id, fi, &e)) continue;
+      if (options_.sip_variant == SipVariant::kOpt) {
+        sum_l += e.lower_opt;
+        sum_u += e.upper_opt;
+      } else {
+        sum_l += e.lower_simple;
+        sum_u += e.upper_simple;
+      }
+    }
+    lsim = std::max(0.0, sum_l - sum_u * sum_u);
+  }
+  decision.lsim = std::max(0.0, std::min(lsim, 1.0));
+  if (accept_epsilon >= 0.0 && decision.lsim >= accept_epsilon) {
+    decision.outcome = PruneOutcome::kAccepted;
+    return decision;
+  }
+  decision.outcome = PruneOutcome::kCandidate;
+  return decision;
+}
+
+PruneDecision ProbabilisticPruner::EvaluateColumnar(
+    uint32_t graph_id, double prune_epsilon, double accept_epsilon, Rng* rng,
+    PrunerScratch* scratch) const {
+  PruneDecision decision;
+  const BoundProgram& bp = prepared_->program;
+  const size_t stride = pmi_->num_graphs();
+  const bool opt = options_.sip_variant == SipVariant::kOpt;
+  const float* lower =
+      (opt ? pmi_->flat_lower_opt() : pmi_->flat_lower_simple()).data();
+  const float* upper =
+      (opt ? pmi_->flat_upper_opt() : pmi_->flat_upper_simple()).data();
+  const uint8_t* present = pmi_->flat_present().data();
+  // Absent cells hold 0.0f, matching the reference path's "SIP = 0" default,
+  // so Usim weights gather without a presence branch.
+  const auto upper_of = [&](uint32_t feature_id) -> double {
+    return upper[static_cast<size_t>(feature_id) * stride + graph_id];
+  };
+
+  // ---- Pruning 1: Usim(q). ----
+  double usim = 0.0;
+  if (options_.selection == BoundSelection::kOptimized) {
+    scratch->usim_weights.clear();
+    for (uint32_t fi : bp.usim_ids) {
+      scratch->usim_weights.push_back(upper_of(fi));
+    }
+    WeightedSetsView view;
+    view.num_sets = bp.usim_ids.size();
+    view.ids = bp.usim_ids.data();
+    view.weights = scratch->usim_weights.data();
+    view.elements = bp.usim_elems.data();
+    view.span_begin = bp.usim_offsets.data();
+    view.span_end = bp.usim_offsets.data() + 1;
+    GreedyWeightedSetCover(prepared_->universe_size, view, &scratch->cover,
+                           &scratch->cover_result);
+    usim = scratch->cover_result.total_weight +
+           static_cast<double>(scratch->cover_result.num_uncovered);
+  } else {
+    for (uint32_t ri = 0; ri < prepared_->universe_size; ++ri) {
+      const uint32_t begin = bp.rq_sub_offsets[ri];
+      const uint32_t end = bp.rq_sub_offsets[ri + 1];
+      if (begin == end) {
+        usim += 1.0;
+        continue;
+      }
+      const uint32_t first =
+          bp.rq_sub_elems[begin + rng->Uniform(end - begin)];
+      const uint32_t second =
+          bp.rq_sub_elems[begin + rng->Uniform(end - begin)];
+      usim += std::min(upper_of(first), upper_of(second));
+    }
+  }
+  decision.usim = std::min(usim, 1.0);
+  if (decision.usim < prune_epsilon) {
+    decision.outcome = PruneOutcome::kPruned;
+    return decision;
+  }
+
+  // ---- Pruning 2: Lsim(q). ----
+  double lsim = 0.0;
+  if (options_.selection == BoundSelection::kOptimized) {
+    scratch->lsim_sel_ids.clear();
+    scratch->lsim_sel_wl.clear();
+    scratch->lsim_sel_wu.clear();
+    scratch->lsim_sel_begin.clear();
+    scratch->lsim_sel_end.clear();
+    for (size_t k = 0; k < bp.lsim_ids.size(); ++k) {
+      const uint32_t fi = bp.lsim_ids[k];
+      const size_t idx = static_cast<size_t>(fi) * stride + graph_id;
+      if (present[idx] == 0) continue;  // SIP = 0: contributes nothing
+      scratch->lsim_sel_ids.push_back(fi);
+      scratch->lsim_sel_wl.push_back(lower[idx]);
+      scratch->lsim_sel_wu.push_back(upper[idx]);
+      scratch->lsim_sel_begin.push_back(bp.lsim_offsets[k]);
+      scratch->lsim_sel_end.push_back(bp.lsim_offsets[k + 1]);
+    }
+    if (!scratch->lsim_sel_ids.empty()) {
+      QpWeightedSetsView view;
+      view.num_sets = scratch->lsim_sel_ids.size();
+      view.ids = scratch->lsim_sel_ids.data();
+      view.wl = scratch->lsim_sel_wl.data();
+      view.wu = scratch->lsim_sel_wu.data();
+      view.elements = bp.lsim_elems.data();
+      view.span_begin = scratch->lsim_sel_begin.data();
+      view.span_end = scratch->lsim_sel_end.data();
+      SolveTightestLsim(prepared_->universe_size, view, options_.lsim, rng,
+                        &scratch->lsim, &scratch->lsim_result);
+      lsim = scratch->lsim_result.lsim;
+    }
+  } else {
+    auto& chosen = scratch->chosen;
+    chosen.clear();
+    for (uint32_t ri = 0; ri < prepared_->universe_size; ++ri) {
+      const uint32_t begin = bp.rq_super_offsets[ri];
+      const uint32_t end = bp.rq_super_offsets[ri + 1];
+      if (begin == end) continue;
+      chosen.push_back(bp.rq_super_elems[begin + rng->Uniform(end - begin)]);
+    }
+    std::sort(chosen.begin(), chosen.end());
+    chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+    double sum_l = 0.0, sum_u = 0.0;
+    for (uint32_t fi : chosen) {
+      const size_t idx = static_cast<size_t>(fi) * stride + graph_id;
+      // Absent cells are (0, 0): adding them matches the reference skip.
+      sum_l += lower[idx];
+      sum_u += upper[idx];
     }
     lsim = std::max(0.0, sum_l - sum_u * sum_u);
   }

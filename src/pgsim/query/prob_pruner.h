@@ -14,6 +14,17 @@
 //   kRandom — one random qualifying feature per rq (SSPBound).
 // Orthogonally, SipVariant picks which PMI bound flavor feeds the weights
 // (OPT-SIPBound vs SIPBound, Figure 11).
+//
+// Evaluation has two implementations with bit-identical decisions and RNG
+// draw sequences:
+//   * the reference path (Evaluate/Bounds without a scratch) builds
+//     per-candidate WeightedSet/QpWeightedSet vectors — simple, allocating,
+//     kept as the baseline the equivalence tests compare against;
+//   * the columnar path (Evaluate/Bounds with a PrunerScratch) executes the
+//     "bound program" compiled once per query by PrepareQuery — flattened
+//     qualifying-feature lists and element spans — gathering per-candidate
+//     weights from the PMI's flat feature-major matrices into reusable
+//     scratch. Zero heap allocation per candidate in steady state.
 
 #pragma once
 
@@ -63,6 +74,28 @@ struct PruneDecision {
   double lsim = 0.0;
 };
 
+/// The candidate-invariant half of EvaluateImpl, flattened: qualifying
+/// feature-id lists and their rq-element spans in one contiguous pool per
+/// bound, plus per-rq CSRs for the kRandom selection. Compiled by
+/// PrepareQuery as a pure function of the feature/rq relations, so it rides
+/// along when the relations are shared through the batch cache.
+struct BoundProgram {
+  /// Features with >= 1 sub-rq (f usable as f¹), ascending feature id; set k
+  /// covers rq elements usim_elems[usim_offsets[k] .. usim_offsets[k+1]).
+  std::vector<uint32_t> usim_ids;
+  std::vector<uint32_t> usim_offsets;  ///< usim_ids.size() + 1
+  std::vector<uint32_t> usim_elems;
+  /// Features with >= 1 super-rq (f usable as f²), ascending feature id.
+  std::vector<uint32_t> lsim_ids;
+  std::vector<uint32_t> lsim_offsets;  ///< lsim_ids.size() + 1
+  std::vector<uint32_t> lsim_elems;
+  /// Per-rq qualifying features for kRandom (CSRs over rq index).
+  std::vector<uint32_t> rq_sub_offsets;  ///< universe_size + 1
+  std::vector<uint32_t> rq_sub_elems;
+  std::vector<uint32_t> rq_super_offsets;
+  std::vector<uint32_t> rq_super_elems;
+};
+
 /// The query-level feature relations PrepareQuery derives from the relaxed
 /// set U — a pure function of (U, PMI feature set), immutable once built.
 /// The batch cache shares these across byte-identical queries (whose cached
@@ -79,6 +112,30 @@ struct PreparedQueryRelations {
   std::vector<std::vector<uint32_t>> rq_sub_features;
   /// Per rq: features usable as f² (inverse of feature_super_rqs).
   std::vector<std::vector<uint32_t>> rq_super_features;
+  /// Columnar compilation of the above for the fast evaluate path.
+  BoundProgram program;
+};
+
+/// Reusable per-thread scratch for the columnar evaluate path. Vector
+/// capacities survive across candidates, so a steady-state pruning sweep
+/// performs zero heap allocation. Owned by QueryContext; a
+/// default-constructed one works standalone too.
+struct PrunerScratch {
+  std::vector<double> usim_weights;    ///< gathered UpperB per usim set
+  std::vector<uint32_t> lsim_sel_ids;  ///< present-in-column f² features
+  std::vector<double> lsim_sel_wl;
+  std::vector<double> lsim_sel_wu;
+  std::vector<uint32_t> lsim_sel_begin;  ///< element spans into lsim_elems
+  std::vector<uint32_t> lsim_sel_end;
+  std::vector<uint32_t> chosen;  ///< kRandom f² picks before dedup
+  SetCoverScratch cover;
+  SetCoverResult cover_result;
+  LsimScratch lsim;
+  LsimResult lsim_result;
+
+  /// Total reserved capacity in bytes across all buffers — the no-growth
+  /// steady-state pin mirrors verifier_engine_test's pool check.
+  size_t CapacityBytes() const;
 };
 
 /// Evaluates pruning conditions against a PMI.
@@ -89,7 +146,10 @@ class ProbabilisticPruner {
       : pmi_(pmi), options_(options) {}
 
   /// Computes the query-level feature relations (f ⊆iso rq and rq ⊆iso f)
-  /// once; they are shared by every graph of the database.
+  /// once — they are shared by every graph of the database — and compiles
+  /// the bound program. A label-multiset/size guard skips VF2 tests that
+  /// provably cannot match; prepare_isomorphism_tests() counts only the VF2
+  /// tests actually executed.
   void PrepareQuery(const std::vector<Graph>& relaxed);
 
   /// Adopts relations computed by a previous PrepareQuery over an identical
@@ -105,18 +165,36 @@ class ProbabilisticPruner {
 
   /// Applies Pruning 1 and Pruning 2 to one graph column. Short-circuits:
   /// when Pruning 1 fires, Lsim is not computed (decision.lsim stays 0).
+  /// This overload is the allocating reference implementation.
   PruneDecision Evaluate(uint32_t graph_id, double epsilon, Rng* rng) const;
 
-  /// Computes both bounds with no epsilon short-circuit (top-k ranking,
-  /// diagnostics). The outcome field is meaningless here.
+  /// Columnar fast path: bit-identical decision and RNG draw sequence to the
+  /// reference overload, drawing all temporaries from `*scratch` (zero
+  /// steady-state allocation per candidate).
+  PruneDecision Evaluate(uint32_t graph_id, double epsilon, Rng* rng,
+                         PrunerScratch* scratch) const;
+
+  /// Usim for ranking (top-k scheduling, diagnostics): the outcome field is
+  /// meaningless and lsim reports 0 (see the .cc note on the historical
+  /// short-circuit, preserved to keep RNG draw sequences stable).
+  /// Reference path.
   PruneDecision Bounds(uint32_t graph_id, Rng* rng) const;
 
-  /// VF2 tests spent in PrepareQuery (statistics).
+  /// Columnar fast path of Bounds (same contract as the Evaluate overload).
+  PruneDecision Bounds(uint32_t graph_id, Rng* rng,
+                       PrunerScratch* scratch) const;
+
+  /// VF2 tests executed in PrepareQuery (statistics). Pairs skipped by the
+  /// label-multiset/size guard are not counted: the counter reports work
+  /// done, not pairs considered.
   uint64_t prepare_isomorphism_tests() const { return prepare_iso_tests_; }
 
  private:
-  PruneDecision EvaluateImpl(uint32_t graph_id, double prune_epsilon,
-                             double accept_epsilon, Rng* rng) const;
+  PruneDecision EvaluateReference(uint32_t graph_id, double prune_epsilon,
+                                  double accept_epsilon, Rng* rng) const;
+  PruneDecision EvaluateColumnar(uint32_t graph_id, double prune_epsilon,
+                                 double accept_epsilon, Rng* rng,
+                                 PrunerScratch* scratch) const;
 
   const ProbabilisticMatrixIndex* pmi_;
   ProbPrunerOptions options_;

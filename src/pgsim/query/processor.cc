@@ -110,7 +110,8 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
       }
     }
     for (uint32_t gi : sc_q) {
-      const PruneDecision d = pruner.Evaluate(gi, options.epsilon, &rng);
+      const PruneDecision d =
+          pruner.Evaluate(gi, options.epsilon, &rng, &ctx->pruner_scratch);
       switch (d.outcome) {
         case PruneOutcome::kPruned:
           ++local.pruned_by_upper;

@@ -59,6 +59,10 @@ struct QueryOptions {
 /// for the same (query, options, index) regardless of batching, thread
 /// count, or cache hits — with one documented exception: on a cache hit
 /// `structural_detail.isomorphism_tests` omits the tests the cache skipped.
+/// `isomorphism_tests` counts VF2 invocations actually executed; pairs
+/// dismissed by the pre-VF2 label-multiset/size guard are not counted (see
+/// StructuralFilterStats), so the value shrank when the guard landed while
+/// every survivor set stayed identical.
 /// `*_seconds` fields are wall-clock measurements and vary run to run.
 /// Offline index-build timings live with the index itself: PmiStats
 /// (mining/bounds/total seconds, build_threads) and

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
+#include <utility>
 
 namespace pgsim {
 
@@ -18,66 +18,187 @@ double LsimObjective(const std::vector<QpWeightedSet>& sets,
 
 namespace {
 
-// Objective of the relaxed program at x (no clamping).
-double RelaxedObjective(const std::vector<QpWeightedSet>& sets,
-                        const std::vector<double>& x) {
-  double sum_l = 0.0, sum_u = 0.0;
-  for (size_t i = 0; i < sets.size(); ++i) {
-    sum_l += x[i] * sets[i].wl;
-    sum_u += x[i] * sets[i].wu;
-  }
-  return sum_l - sum_u * sum_u;
-}
+// The solver core both public entry points call. `wl(i)`/`wu(i)`/`id(i)`
+// read set i's weights/id; `elems(i)` returns its element range as a
+// (begin, end) pointer pair. Every accumulation visits sets in index order
+// and elements in span order, so equal inputs produce bit-identical results
+// and identical RNG draw sequences regardless of the backing layout.
+template <typename WlFn, typename WuFn, typename IdFn, typename ElemsFn>
+void LsimCore(size_t universe_size, size_t n, WlFn wl, WuFn wu, IdFn id,
+              ElemsFn elems, const LsimOptions& options, Rng* rng,
+              LsimScratch* s, LsimResult* result) {
+  result->lsim = 0.0;
+  result->chosen_ids.clear();
+  result->covered = false;
+  result->relaxed_objective = 0.0;
+  if (n == 0) return;
 
-// Cyclic projection sweeps onto the box [0,1]^n intersected with the cover
-// half-spaces sum_{s ∋ e} x_s >= 1 (for coverable elements only).
-void ProjectFeasible(const std::vector<std::vector<uint32_t>>& element_sets,
-                     int sweeps, std::vector<double>* x) {
-  for (int sweep = 0; sweep < sweeps; ++sweep) {
-    for (double& v : *x) v = std::clamp(v, 0.0, 1.0);
-    bool violated = false;
-    for (const auto& members : element_sets) {
-      if (members.empty()) continue;
-      double total = 0.0;
-      for (uint32_t s : members) total += (*x)[s];
-      if (total < 1.0) {
-        violated = true;
-        const double correction =
-            (1.0 - total) / static_cast<double>(members.size());
-        for (uint32_t s : members) (*x)[s] += correction;
-      }
-    }
-    if (!violated) {
-      for (double& v : *x) v = std::clamp(v, 0.0, 1.0);
-      break;
-    }
-  }
-}
-
-bool Covers(size_t universe_size, const std::vector<QpWeightedSet>& sets,
-            const std::vector<char>& picked) {
-  std::vector<char> covered(universe_size, 0);
-  for (size_t i = 0; i < sets.size(); ++i) {
-    if (!picked[i]) continue;
-    for (uint32_t e : sets[i].elements) {
-      if (e < universe_size) covered[e] = 1;
+  // element -> sets containing it, as a CSR (stable: set indices ascend
+  // within each element's segment, matching push_back insertion order).
+  s->elem_offsets.assign(universe_size + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto [begin, end] = elems(i);
+    for (const uint32_t* e = begin; e != end; ++e) {
+      if (*e < universe_size) ++s->elem_offsets[*e + 1];
     }
   }
   for (size_t e = 0; e < universe_size; ++e) {
-    // Elements contained in no set at all cannot count against coverage.
-    bool coverable = false;
-    for (const auto& s : sets) {
-      for (uint32_t x : s.elements) {
-        if (x == e) {
-          coverable = true;
-          break;
+    s->elem_offsets[e + 1] += s->elem_offsets[e];
+  }
+  s->elem_cursor.assign(s->elem_offsets.begin(), s->elem_offsets.end() - 1);
+  s->elem_sets.resize(s->elem_offsets[universe_size]);
+  for (size_t i = 0; i < n; ++i) {
+    const auto [begin, end] = elems(i);
+    for (const uint32_t* e = begin; e != end; ++e) {
+      if (*e < universe_size) {
+        s->elem_sets[s->elem_cursor[*e]++] = static_cast<uint32_t>(i);
+      }
+    }
+  }
+
+  const auto relaxed_objective = [&](const std::vector<double>& x) {
+    double sum_l = 0.0, sum_u = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum_l += x[i] * wl(i);
+      sum_u += x[i] * wu(i);
+    }
+    return sum_l - sum_u * sum_u;
+  };
+
+  // Cyclic projection sweeps onto the box [0,1]^n intersected with the cover
+  // half-spaces sum_{s ∋ e} x_s >= 1 (for coverable elements only).
+  const auto project_feasible = [&](std::vector<double>* x) {
+    for (int sweep = 0; sweep < options.projection_sweeps; ++sweep) {
+      for (double& v : *x) v = std::clamp(v, 0.0, 1.0);
+      bool violated = false;
+      for (size_t e = 0; e < universe_size; ++e) {
+        const uint32_t begin = s->elem_offsets[e];
+        const uint32_t end = s->elem_offsets[e + 1];
+        if (begin == end) continue;
+        double total = 0.0;
+        for (uint32_t k = begin; k < end; ++k) total += (*x)[s->elem_sets[k]];
+        if (total < 1.0) {
+          violated = true;
+          const double correction =
+              (1.0 - total) / static_cast<double>(end - begin);
+          for (uint32_t k = begin; k < end; ++k) {
+            (*x)[s->elem_sets[k]] += correction;
+          }
         }
       }
-      if (coverable) break;
+      if (!violated) {
+        for (double& v : *x) v = std::clamp(v, 0.0, 1.0);
+        break;
+      }
     }
-    if (coverable && !covered[e]) return false;
+  };
+
+  // ---- Relaxed QP: projected gradient ascent from the feasible point 1. ----
+  s->x.assign(n, 1.0);
+  s->best_x.assign(n, 1.0);
+  double best_relaxed = relaxed_objective(s->x);
+  double sum_wu_sq = 0.0;
+  for (size_t i = 0; i < n; ++i) sum_wu_sq += wu(i) * wu(i);
+  const double lipschitz = std::max(1e-9, 2.0 * sum_wu_sq);
+  const double step = 1.0 / lipschitz;
+
+  for (int it = 0; it < options.gradient_iterations; ++it) {
+    double sum_u = 0.0;
+    for (size_t i = 0; i < n; ++i) sum_u += s->x[i] * wu(i);
+    for (size_t i = 0; i < n; ++i) {
+      const double grad = wl(i) - 2.0 * sum_u * wu(i);
+      s->x[i] += step * grad;
+    }
+    project_feasible(&s->x);
+    const double obj = relaxed_objective(s->x);
+    if (obj > best_relaxed) {
+      best_relaxed = obj;
+      s->best_x = s->x;
+    }
   }
-  return true;
+  result->relaxed_objective = best_relaxed;
+
+  // ---- Algorithm 2: randomized rounding, 2 ln|U| rounds. ----
+  const int rounds = static_cast<int>(std::ceil(
+      options.rounding_factor *
+      std::log(static_cast<double>(std::max<size_t>(2, universe_size)))));
+  s->picked.assign(n, 0);
+  for (int k = 0; k < rounds; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!s->picked[i] && rng->Bernoulli(s->best_x[i])) s->picked[i] = 1;
+    }
+  }
+  s->rounded.clear();
+  for (size_t i = 0; i < n; ++i) {
+    if (s->picked[i]) s->rounded.push_back(static_cast<uint32_t>(i));
+  }
+
+  // ---- Deterministic fallbacks (any selection is a valid lower bound). ----
+  // Greedy: add sets in decreasing wl while the objective improves.
+  s->order.resize(n);
+  for (size_t i = 0; i < n; ++i) s->order[i] = static_cast<uint32_t>(i);
+  std::sort(s->order.begin(), s->order.end(), [&](uint32_t a, uint32_t b) {
+    return wl(a) - wu(a) * wu(a) > wl(b) - wu(b) * wu(b);
+  });
+  s->greedy.clear();
+  double greedy_l = 0.0, greedy_u = 0.0;
+  for (uint32_t i : s->order) {
+    const double new_l = greedy_l + wl(i);
+    const double new_u = greedy_u + wu(i);
+    if (new_l - new_u * new_u > greedy_l - greedy_u * greedy_u) {
+      s->greedy.push_back(i);
+      greedy_l = new_l;
+      greedy_u = new_u;
+    }
+  }
+  // Best single set.
+  s->single.clear();
+  if (!s->order.empty()) s->single.push_back(s->order.front());
+
+  const auto selection_value = [&](const std::vector<uint32_t>& sel) {
+    double sum_l = 0.0, sum_u = 0.0;
+    for (uint32_t i : sel) {
+      sum_l += wl(i);
+      sum_u += wu(i);
+    }
+    return std::max(0.0, sum_l - sum_u * sum_u);
+  };
+
+  const std::vector<uint32_t>* best_sel = &s->rounded;
+  double best_value = selection_value(s->rounded);
+  for (const auto* sel : {&s->greedy, &s->single}) {
+    const double value = selection_value(*sel);
+    if (value > best_value) {
+      best_value = value;
+      best_sel = sel;
+    }
+  }
+  result->lsim = best_value;
+  for (uint32_t i : *best_sel) {
+    result->chosen_ids.push_back(id(i));
+  }
+
+  // Coverage of the winning selection: an element is coverable iff some set
+  // contains it (empty CSR segment <=> not coverable).
+  s->chosen_mask.assign(n, 0);
+  for (uint32_t i : *best_sel) s->chosen_mask[i] = 1;
+  s->covered.assign(universe_size, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (!s->chosen_mask[i]) continue;
+    const auto [begin, end] = elems(i);
+    for (const uint32_t* e = begin; e != end; ++e) {
+      if (*e < universe_size) s->covered[*e] = 1;
+    }
+  }
+  bool covers = true;
+  for (size_t e = 0; e < universe_size; ++e) {
+    const bool coverable = s->elem_offsets[e + 1] > s->elem_offsets[e];
+    if (coverable && !s->covered[e]) {
+      covers = false;
+      break;
+    }
+  }
+  result->covered = covers;
 }
 
 }  // namespace
@@ -86,99 +207,30 @@ LsimResult SolveTightestLsim(size_t universe_size,
                              const std::vector<QpWeightedSet>& sets,
                              const LsimOptions& options, Rng* rng) {
   LsimResult result;
-  if (sets.empty()) return result;
-  const size_t n = sets.size();
-
-  // element -> sets containing it.
-  std::vector<std::vector<uint32_t>> element_sets(universe_size);
-  for (size_t i = 0; i < n; ++i) {
-    for (uint32_t e : sets[i].elements) {
-      if (e < universe_size) {
-        element_sets[e].push_back(static_cast<uint32_t>(i));
-      }
-    }
-  }
-
-  // ---- Relaxed QP: projected gradient ascent from the feasible point 1. ----
-  std::vector<double> x(n, 1.0);
-  std::vector<double> best_x = x;
-  double best_relaxed = RelaxedObjective(sets, x);
-  double sum_wu_sq = 0.0;
-  for (const auto& s : sets) sum_wu_sq += s.wu * s.wu;
-  const double lipschitz = std::max(1e-9, 2.0 * sum_wu_sq);
-  const double step = 1.0 / lipschitz;
-
-  for (int it = 0; it < options.gradient_iterations; ++it) {
-    double sum_u = 0.0;
-    for (size_t i = 0; i < n; ++i) sum_u += x[i] * sets[i].wu;
-    for (size_t i = 0; i < n; ++i) {
-      const double grad = sets[i].wl - 2.0 * sum_u * sets[i].wu;
-      x[i] += step * grad;
-    }
-    ProjectFeasible(element_sets, options.projection_sweeps, &x);
-    const double obj = RelaxedObjective(sets, x);
-    if (obj > best_relaxed) {
-      best_relaxed = obj;
-      best_x = x;
-    }
-  }
-  result.relaxed_objective = best_relaxed;
-
-  // ---- Algorithm 2: randomized rounding, 2 ln|U| rounds. ----
-  const int rounds = static_cast<int>(std::ceil(
-      options.rounding_factor *
-      std::log(static_cast<double>(std::max<size_t>(2, universe_size)))));
-  std::vector<char> picked(n, 0);
-  for (int k = 0; k < rounds; ++k) {
-    for (size_t i = 0; i < n; ++i) {
-      if (!picked[i] && rng->Bernoulli(best_x[i])) picked[i] = 1;
-    }
-  }
-  std::vector<size_t> rounded;
-  for (size_t i = 0; i < n; ++i) {
-    if (picked[i]) rounded.push_back(i);
-  }
-
-  // ---- Deterministic fallbacks (any selection is a valid lower bound). ----
-  // Greedy: add sets in decreasing wl while the objective improves.
-  std::vector<size_t> order(n);
-  for (size_t i = 0; i < n; ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return sets[a].wl - sets[a].wu * sets[a].wu >
-           sets[b].wl - sets[b].wu * sets[b].wu;
-  });
-  std::vector<size_t> greedy;
-  double greedy_l = 0.0, greedy_u = 0.0;
-  for (size_t i : order) {
-    const double new_l = greedy_l + sets[i].wl;
-    const double new_u = greedy_u + sets[i].wu;
-    if (new_l - new_u * new_u > greedy_l - greedy_u * greedy_u) {
-      greedy.push_back(i);
-      greedy_l = new_l;
-      greedy_u = new_u;
-    }
-  }
-  // Best single set.
-  std::vector<size_t> single;
-  if (!order.empty()) single.push_back(order.front());
-
-  const std::vector<size_t>* best_sel = &rounded;
-  double best_value = LsimObjective(sets, rounded);
-  for (const auto* sel : {&greedy, &single}) {
-    const double value = LsimObjective(sets, *sel);
-    if (value > best_value) {
-      best_value = value;
-      best_sel = sel;
-    }
-  }
-  result.lsim = best_value;
-  for (size_t i : *best_sel) {
-    result.chosen_ids.push_back(sets[i].id);
-  }
-  std::vector<char> chosen_mask(n, 0);
-  for (size_t i : *best_sel) chosen_mask[i] = 1;
-  result.covered = Covers(universe_size, sets, chosen_mask);
+  LsimScratch scratch;
+  LsimCore(
+      universe_size, sets.size(), [&](size_t i) { return sets[i].wl; },
+      [&](size_t i) { return sets[i].wu; },
+      [&](size_t i) { return sets[i].id; },
+      [&](size_t i) {
+        return std::make_pair(sets[i].elements.data(),
+                              sets[i].elements.data() + sets[i].elements.size());
+      },
+      options, rng, &scratch, &result);
   return result;
+}
+
+void SolveTightestLsim(size_t universe_size, const QpWeightedSetsView& sets,
+                       const LsimOptions& options, Rng* rng,
+                       LsimScratch* scratch, LsimResult* result) {
+  LsimCore(
+      universe_size, sets.num_sets, [&](size_t i) { return sets.wl[i]; },
+      [&](size_t i) { return sets.wu[i]; }, [&](size_t i) { return sets.ids[i]; },
+      [&](size_t i) {
+        return std::make_pair(sets.elements + sets.span_begin[i],
+                              sets.elements + sets.span_end[i]);
+      },
+      options, rng, scratch, result);
 }
 
 }  // namespace pgsim

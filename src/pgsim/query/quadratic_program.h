@@ -14,6 +14,11 @@
 // then rounded by Algorithm 2: 2 ln|U| rounds picking each set with
 // probability x*_s. The returned bound is the best of the rounded selection,
 // a deterministic greedy selection, and the best single set — all valid.
+//
+// Two entry points share one solver core (identical floating-point operation
+// order, identical RNG draw sequence): the original vector-of-sets API, and
+// a columnar view + scratch API used by the pruner's allocation-free
+// per-candidate path.
 
 #pragma once
 
@@ -33,12 +38,41 @@ struct QpWeightedSet {
   double wu = 0.0;
 };
 
+/// Non-owning columnar view: set i has id ids[i], weights (wl[i], wu[i]),
+/// and elements elements[span_begin[i] .. span_end[i]).
+struct QpWeightedSetsView {
+  size_t num_sets = 0;
+  const uint32_t* ids = nullptr;
+  const double* wl = nullptr;
+  const double* wu = nullptr;
+  const uint32_t* elements = nullptr;
+  const uint32_t* span_begin = nullptr;
+  const uint32_t* span_end = nullptr;
+};
+
 /// Solver knobs.
 struct LsimOptions {
   int gradient_iterations = 120;
   int projection_sweeps = 25;
   /// Rounding rounds = ceil(rounding_factor * ln(max(2, |U|))) (Alg 2: 2ln|U|).
   double rounding_factor = 2.0;
+};
+
+/// Reusable solver buffers for the scratch-taking overload; capacities
+/// survive across calls so a steady-state Lsim loop allocates nothing.
+struct LsimScratch {
+  std::vector<uint32_t> elem_offsets;  ///< element -> sets CSR (universe+1)
+  std::vector<uint32_t> elem_cursor;
+  std::vector<uint32_t> elem_sets;
+  std::vector<double> x;
+  std::vector<double> best_x;
+  std::vector<char> picked;
+  std::vector<char> chosen_mask;
+  std::vector<char> covered;
+  std::vector<uint32_t> order;
+  std::vector<uint32_t> rounded;
+  std::vector<uint32_t> greedy;
+  std::vector<uint32_t> single;
 };
 
 /// Outcome of the Lsim computation.
@@ -53,6 +87,14 @@ struct LsimResult {
 LsimResult SolveTightestLsim(size_t universe_size,
                              const std::vector<QpWeightedSet>& sets,
                              const LsimOptions& options, Rng* rng);
+
+/// Scratch-taking columnar overload: same solver, same floating-point
+/// operation order, same RNG draw sequence as the vector overload for equal
+/// inputs; reuses `*scratch` and `*result` capacity (allocation-free in
+/// steady state).
+void SolveTightestLsim(size_t universe_size, const QpWeightedSetsView& sets,
+                       const LsimOptions& options, Rng* rng,
+                       LsimScratch* scratch, LsimResult* result);
 
 /// Lsim value of an explicit selection (Definition 11's objective, clamped
 /// at 0). Exposed for tests and for the random-selection SSPBound variant.

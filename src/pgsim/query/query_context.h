@@ -17,6 +17,7 @@
 #include "pgsim/common/random.h"
 #include "pgsim/common/thread_pool.h"
 #include "pgsim/graph/graph.h"
+#include "pgsim/query/prob_pruner.h"
 #include "pgsim/query/structural_filter.h"
 #include "pgsim/query/verifier.h"
 
@@ -42,6 +43,9 @@ struct QueryContext {
   std::vector<uint32_t> answers;
   /// Stage 1 temporaries.
   StructuralFilterScratch filter_scratch;
+  /// Stage 2 temporaries: the pruner's columnar evaluate path draws every
+  /// per-candidate buffer from here (zero steady-state allocation).
+  PrunerScratch pruner_scratch;
   /// Stage 3 scratch for the sequential verification path (and rank 0 of
   /// the parallel path uses verify_scratches[0] instead).
   VerifierScratch verifier_scratch;

@@ -5,6 +5,10 @@
 // feature f: s_f = {rq : rq ⊇iso f} with weight UpperB(f). A cover C gives
 // Usim(q) = sum of chosen weights, an upper bound of Pr(q ⊆sim g)
 // (Theorem 3); the greedy is within ln|U| of the optimum [12].
+//
+// Two entry points share one greedy core (identical selections): the
+// original vector-of-sets API, and a columnar view + scratch API used by the
+// pruner's allocation-free per-candidate path.
 
 #pragma once
 
@@ -21,6 +25,26 @@ struct WeightedSet {
   double weight = 0.0;
 };
 
+/// Non-owning columnar view of weighted sets: set i has id ids[i], weight
+/// weights[i], and elements elements[span_begin[i] .. span_end[i]). The
+/// backing arrays belong to the caller (e.g. a compiled bound program plus
+/// per-candidate gathered weights).
+struct WeightedSetsView {
+  size_t num_sets = 0;
+  const uint32_t* ids = nullptr;
+  const double* weights = nullptr;
+  const uint32_t* elements = nullptr;
+  const uint32_t* span_begin = nullptr;
+  const uint32_t* span_end = nullptr;
+};
+
+/// Reusable buffers for the scratch-taking overload; capacities survive
+/// across calls so a steady-state cover loop allocates nothing.
+struct SetCoverScratch {
+  std::vector<char> covered;
+  std::vector<char> used;
+};
+
 /// Greedy cover outcome.
 struct SetCoverResult {
   std::vector<uint32_t> chosen_ids;  ///< ids of the selected sets
@@ -33,5 +57,11 @@ struct SetCoverResult {
 /// count until the universe is covered or no set adds coverage.
 SetCoverResult GreedyWeightedSetCover(size_t universe_size,
                                       const std::vector<WeightedSet>& sets);
+
+/// Scratch-taking columnar overload: same greedy, same tie-breaking, same
+/// selection as the vector overload for equal inputs; reuses `*scratch` and
+/// `*result` capacity (allocation-free in steady state).
+void GreedyWeightedSetCover(size_t universe_size, const WeightedSetsView& sets,
+                            SetCoverScratch* scratch, SetCoverResult* result);
 
 }  // namespace pgsim

@@ -3,11 +3,60 @@
 #include <algorithm>
 #include <memory>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "pgsim/common/thread_pool.h"
 #include "pgsim/common/timer.h"
 #include "pgsim/graph/vf2.h"
 
 namespace pgsim {
+
+namespace {
+
+// One threshold's sweep over a full 64-cell word of the feature-major count
+// row: returns the pass mask (bit g set iff cell[g] >= needed). The
+// saturation rule is folded into the compare — `needed` is pre-clamped to
+// 0xFFFF, and a saturated cell (0xFFFF) always satisfies have >= needed, so
+// "unknown, never prune" holds without a second test.
+#if defined(__SSE2__)
+inline uint64_t PassMask64(const uint16_t* cell, uint16_t needed) {
+  // Unsigned 16-bit compare via the sign-bias trick (SSE2 compares are
+  // signed); 8 lanes x 2 loads -> packs -> movemask yields 16 pass bits.
+  const __m128i bias = _mm_set1_epi16(static_cast<short>(0x8000));
+  const __m128i nd =
+      _mm_set1_epi16(static_cast<short>(needed ^ 0x8000));
+  uint64_t pass = 0;
+  for (int c = 0; c < 4; ++c) {
+    const __m128i a = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cell + c * 16)),
+        bias);
+    const __m128i b = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cell + c * 16 + 8)),
+        bias);
+    const uint32_t fail = static_cast<uint32_t>(_mm_movemask_epi8(
+        _mm_packs_epi16(_mm_cmplt_epi16(a, nd), _mm_cmplt_epi16(b, nd))));
+    pass |= uint64_t{static_cast<uint16_t>(~fail)} << (c * 16);
+  }
+  return pass;
+}
+#else
+inline uint64_t PassMask64(const uint16_t* cell, uint16_t needed) {
+  // 8x8 chunking keeps the reduction narrow enough for SLP vectorization.
+  uint64_t pass = 0;
+  for (int c = 0; c < 8; ++c) {
+    uint8_t m = 0;
+    for (int b = 0; b < 8; ++b) {
+      m |= static_cast<uint8_t>(cell[c * 8 + b] >= needed) << b;
+    }
+    pass |= uint64_t{m} << (c * 8);
+  }
+  return pass;
+}
+#endif
+
+}  // namespace
 
 StructuralFilter StructuralFilter::Build(
     const std::vector<Graph>& certain_db, const std::vector<Feature>& features,
@@ -19,12 +68,12 @@ StructuralFilter StructuralFilter::Build(
   for (const Graph& g : certain_db) filter.graphs_.push_back(&g);
   filter.feature_graphs_.reserve(features.size());
   for (const Feature& f : features) filter.feature_graphs_.push_back(&f.graph);
-  filter.counts_.assign(certain_db.size(),
-                        std::vector<uint16_t>(features.size(), 0));
+  filter.num_graphs_ = static_cast<uint32_t>(certain_db.size());
+  filter.counts_.assign(features.size() * certain_db.size(), 0);
 
-  // Invert support lists so each worker owns one graph row outright; cell
-  // values are pure functions of (feature, graph), so the table is
-  // bit-identical at any thread count.
+  // Invert support lists so each worker owns one graph's cells outright
+  // (fixed column of every feature row); cell values are pure functions of
+  // (feature, graph), so the matrix is bit-identical at any thread count.
   std::vector<std::vector<uint32_t>> features_of_graph(certain_db.size());
   size_t counted_pairs = 0;
   for (size_t fi = 0; fi < features.size(); ++fi) {
@@ -41,11 +90,21 @@ StructuralFilter StructuralFilter::Build(
       const auto embeddings =
           EmbeddingEdgeSets(features[fi].graph, certain_db[gi],
                             options.max_count, &truncated);
-      filter.counts_[gi][fi] =
+      filter.counts_[static_cast<size_t>(fi) * certain_db.size() + gi] =
           truncated ? static_cast<uint16_t>(0xFFFF)
                     : static_cast<uint16_t>(embeddings.size());
     }
   });
+
+  // Per-graph label histograms feed the exact check's pre-VF2 guard; a
+  // count-only filter never reads them.
+  if (options.exact_check) {
+    filter.graph_hist_.resize(certain_db.size());
+    for (size_t gi = 0; gi < certain_db.size(); ++gi) {
+      BuildLabelHistogram(certain_db[gi], &filter.graph_hist_[gi]);
+    }
+  }
+
   filter.build_stats_.build_threads = pool.threads();
   filter.build_stats_.counted_pairs = counted_pairs;
   filter.build_stats_.seconds = timer.Seconds();
@@ -122,37 +181,102 @@ void StructuralFilter::Filter(const Graph& q, const std::vector<Graph>& relaxed,
                               static_cast<uint32_t>(entry.count - destroyed));
     }
   }
+  // Most-selective-first: a higher required count prunes more graphs, so
+  // sweeping those rows first shrinks the survivor bitset early. Pure
+  // heuristic — the survivor set is the intersection over all thresholds
+  // and does not depend on the order.
+  std::sort(thresholds.begin(), thresholds.end(),
+            [](const std::pair<size_t, uint32_t>& a,
+               const std::pair<size_t, uint32_t>& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
 
+  // Columnar count filter: one contiguous feature row per threshold,
+  // visiting only still-alive graphs.
+  EdgeBitset& alive = scratch->alive;
+  alive.ResetTo(num_graphs_);
+  alive.SetAll();
+  for (const auto& [feature, needed] : thresholds) {
+    const uint16_t* row = counts_.data() + feature * num_graphs_;
+    // Clamping folds the saturation rule into one unsigned compare:
+    // have < min(needed, 0xFFFF) is exactly (have != 0xFFFF && have <
+    // needed) — a saturated 0xFFFF cell never fails it ("unknown, never
+    // prune", soundness), and a needed beyond the uint16 range kills every
+    // unsaturated cell just as the unclamped comparison would.
+    const uint16_t needed16 =
+        needed > 0xFFFF ? static_cast<uint16_t>(0xFFFF)
+                        : static_cast<uint16_t>(needed);
+    const auto& words = alive.words();
+    const size_t full_words = num_graphs_ / 64;
+    uint64_t any_alive = 0;
+    for (size_t wi = 0; wi < full_words; ++wi) {
+      if (words[wi] == 0) continue;
+      alive.AndWordAt(wi, PassMask64(row + wi * 64, needed16));
+      any_alive |= words[wi];
+    }
+    for (uint32_t gi = static_cast<uint32_t>(full_words * 64);
+         gi < num_graphs_; ++gi) {
+      if (row[gi] < needed16) alive.Reset(gi);
+    }
+    if (!words.empty()) any_alive |= words.back();
+    if (any_alive == 0) break;  // everything pruned; later rows can't revive
+  }
   survivors->clear();
-  for (uint32_t gi = 0; gi < graphs_.size(); ++gi) {
-    bool pruned = false;
-    for (const auto& [feature, needed] : thresholds) {
-      const uint16_t have = counts_[gi][feature];
-      if (have == 0xFFFF) continue;  // saturated: unknown, cannot prune
-      if (have < needed) {
-        pruned = true;
-        break;
+  {
+    const auto& words = alive.words();
+    for (size_t wi = 0; wi < words.size(); ++wi) {
+      uint64_t w = words[wi];
+      while (w != 0) {
+        survivors->push_back(
+            static_cast<uint32_t>(wi * 64 + __builtin_ctzll(w)));
+        w &= w - 1;
       }
     }
-    if (!pruned) survivors->push_back(gi);
   }
   local.count_filter_survivors = survivors->size();
 
   if (options_.exact_check) {
-    auto& exact = scratch->exact;
-    exact.clear();
-    for (uint32_t gi : *survivors) {
+    // Any rq hit certifies q ⊆sim gc, so visit relaxed queries in ascending
+    // edge order: smaller patterns embed more often and test cheaper, and
+    // the order cannot change which graphs survive. A size +
+    // label-multiset guard skips (uncounted) VF2 tests that provably fail.
+    auto& order = scratch->rq_order;
+    order.resize(relaxed.size());
+    for (uint32_t ri = 0; ri < relaxed.size(); ++ri) order[ri] = ri;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return relaxed[a].NumEdges() < relaxed[b].NumEdges();
+                     });
+    auto& rq_hist = scratch->rq_hist;
+    rq_hist.resize(relaxed.size());
+    for (uint32_t ri = 0; ri < relaxed.size(); ++ri) {
+      BuildLabelHistogram(relaxed[ri], &rq_hist[ri]);
+    }
+
+    // Compact survivors in place: read index scans the count-filter output,
+    // write index keeps exact hits (both ascend, so order is preserved).
+    size_t kept = 0;
+    for (size_t read = 0; read < survivors->size(); ++read) {
+      const uint32_t gi = (*survivors)[read];
+      const Graph& gc = *graphs_[gi];
       bool similar = false;
-      for (const Graph& rq : relaxed) {
+      for (uint32_t ri : order) {
+        const Graph& rq = relaxed[ri];
+        if (rq.NumEdges() > gc.NumEdges() ||
+            rq.NumVertices() > gc.NumVertices()) {
+          continue;
+        }
+        if (!HistogramCoversPattern(graph_hist_[gi], rq_hist[ri])) continue;
         ++local.isomorphism_tests;
-        if (IsSubgraphIsomorphic(rq, *graphs_[gi])) {
+        if (IsSubgraphIsomorphic(rq, gc)) {
           similar = true;
           break;
         }
       }
-      if (similar) exact.push_back(gi);
+      if (similar) (*survivors)[kept++] = gi;
     }
-    survivors->swap(exact);
+    survivors->resize(kept);
   }
   local.exact_survivors = survivors->size();
   local.seconds = timer.Seconds();

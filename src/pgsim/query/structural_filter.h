@@ -12,12 +12,20 @@
 // Graphs failing the inequality for any feature are pruned (provably sound);
 // survivors are optionally checked exactly by testing rq ⊆iso gc over the
 // relaxed query set U, yielding SCq = {g : q ⊆sim gc} as in the paper.
+//
+// Counts live in one contiguous feature-major uint16 matrix
+// (counts()[feature * num_graphs() + graph]), so each query threshold is a
+// contiguous row sweep narrowing a survivor bitset — thresholds run
+// most-selective-first for early shrinkage. The survivor set is identical to
+// the per-graph formulation (a graph survives iff it passes every
+// threshold); only the memory access order changed.
 
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "pgsim/common/bitset.h"
 #include "pgsim/common/status.h"
 #include "pgsim/graph/graph.h"
 #include "pgsim/mining/feature_miner.h"
@@ -45,6 +53,12 @@ struct StructuralFilterOptions {
 };
 
 /// Per-query stage statistics.
+///
+/// `isomorphism_tests` counts VF2 invocations actually executed (query
+/// feature counting + the exact check). Pairs dismissed by the cheap
+/// label-multiset/size guard before VF2 are NOT counted: the counter
+/// reports work done, not pairs considered — so guard improvements shrink
+/// it without changing any survivor set.
 struct StructuralFilterStats {
   size_t count_filter_survivors = 0;
   size_t exact_survivors = 0;
@@ -81,8 +95,12 @@ struct StructuralFilterScratch {
   std::vector<std::pair<size_t, uint32_t>> thresholds;
   /// Per-query-edge embedding-hit counts.
   std::vector<uint32_t> per_edge;
-  /// Survivors of the exact rq ⊆iso gc check.
-  std::vector<uint32_t> exact;
+  /// Survivor bitset narrowed by the per-threshold row sweeps.
+  EdgeBitset alive;
+  /// Relaxed-query visit order for the exact check (ascending edge count).
+  std::vector<uint32_t> rq_order;
+  /// Per-relaxed-query label histograms for the pre-VF2 guard.
+  std::vector<LabelHistogram> rq_hist;
   /// Per-query feature counts when no precomputed ones are supplied.
   QueryFeatureCounts counts;
 };
@@ -127,11 +145,19 @@ class StructuralFilter {
       const Graph& q, uint64_t* isomorphism_tests = nullptr) const;
 
   /// Number of graphs indexed.
-  size_t num_graphs() const { return counts_.size(); }
+  size_t num_graphs() const { return num_graphs_; }
 
-  /// The raw per-graph saturating count table (tests/diagnostics; row order
-  /// is database order, column order is feature order).
-  const std::vector<std::vector<uint16_t>>& counts() const { return counts_; }
+  /// Number of feature rows.
+  size_t num_features() const { return feature_graphs_.size(); }
+
+  /// The raw saturating count matrix, feature-major:
+  /// counts()[feature * num_graphs() + graph] (tests/diagnostics).
+  const std::vector<uint16_t>& counts() const { return counts_; }
+
+  /// One cell of the count matrix (0xFFFF = saturated/unknown).
+  uint16_t CountAt(uint32_t feature, uint32_t graph) const {
+    return counts_[static_cast<size_t>(feature) * num_graphs_ + graph];
+  }
 
   /// Build statistics.
   const StructuralFilterBuildStats& build_stats() const {
@@ -150,8 +176,12 @@ class StructuralFilter {
   // (callers must keep the containers alive and unmodified).
   std::vector<const Graph*> graphs_;
   std::vector<const Graph*> feature_graphs_;
-  // counts_[graph][feature] saturating at options_.max_count.
-  std::vector<std::vector<uint16_t>> counts_;
+  uint32_t num_graphs_ = 0;
+  // Feature-major count matrix: counts_[feature * num_graphs_ + graph],
+  // saturating at options_.max_count (0xFFFF = saturated).
+  std::vector<uint16_t> counts_;
+  // Per-graph label histograms for the exact check's pre-VF2 guard.
+  std::vector<LabelHistogram> graph_hist_;
 };
 
 }  // namespace pgsim

@@ -40,8 +40,9 @@ Result<TopKResult> TopKQuery(const std::vector<ProbabilisticGraph>& db,
   };
   std::vector<Scheduled> schedule;
   schedule.reserve(sc_q.size());
+  PrunerScratch pruner_scratch;  // one scratch serves the whole sweep
   for (uint32_t gi : sc_q) {
-    const PruneDecision d = pruner.Bounds(gi, &rng);
+    const PruneDecision d = pruner.Bounds(gi, &rng, &pruner_scratch);
     schedule.push_back({gi, d.usim});
   }
   std::stable_sort(schedule.begin(), schedule.end(),

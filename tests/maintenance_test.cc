@@ -47,7 +47,7 @@ TEST(PmiMaintenanceTest, AddGraphCreatesConsistentColumn) {
   for (uint32_t fi = 0; fi < pmi.features().size(); ++fi) {
     const bool present = IsSubgraphIsomorphic(pmi.features()[fi].graph,
                                               extra[0].certain());
-    EXPECT_EQ(pmi.Lookup(*id, fi) != nullptr, present) << "feature " << fi;
+    EXPECT_EQ(pmi.Contains(*id, fi), present) << "feature " << fi;
     // Support lists were extended.
     const auto& support = pmi.features()[fi].support;
     const bool in_support =
@@ -73,7 +73,7 @@ TEST(PmiMaintenanceTest, AddedColumnMatchesFreshBuildStructure) {
   for (uint32_t fi = 0; fi < incremental.features().size(); ++fi) {
     const bool present = IsSubgraphIsomorphic(
         incremental.features()[fi].graph, db.back().certain());
-    EXPECT_EQ(incremental.Lookup(7, fi) != nullptr, present);
+    EXPECT_EQ(incremental.Contains(7, fi), present);
   }
 }
 

@@ -48,7 +48,7 @@ TEST(PmiTest, BuildPopulatesEntriesExactlyForSupport) {
     for (uint32_t gi = 0; gi < db.size(); ++gi) {
       const bool present =
           IsSubgraphIsomorphic(f.graph, db[gi].certain());
-      EXPECT_EQ(pmi->Lookup(gi, fi) != nullptr, present)
+      EXPECT_EQ(pmi->Contains(gi, fi), present)
           << "feature " << fi << " graph " << gi;
     }
   }
