@@ -61,6 +61,80 @@ void BM_Vf2_AllEmbeddings(benchmark::State& state) {
 }
 BENCHMARK(BM_Vf2_AllEmbeddings);
 
+// ---- Compiled matching engine: one pattern against many targets, the
+// verifier/filter access shape. BM_Vf2_Enumerate runs the plan+scratch hot
+// path (plan compiled once, zero steady-state allocation);
+// BM_Vf2_EnumerateReference runs the retained pre-PR recursive engine on
+// the identical workload — the before/after pair recorded in BENCH_5.json.
+struct Vf2Fixture {
+  std::vector<Graph> targets;
+  Graph pattern;
+};
+
+const Vf2Fixture& GetVf2Fixture() {
+  static const Vf2Fixture* fixture = [] {
+    auto* f = new Vf2Fixture();
+    SyntheticOptions options;
+    options.num_graphs = 64;
+    options.avg_vertices = 22;
+    options.edge_factor = 1.5;
+    options.num_vertex_labels = 4;
+    options.seed = 60;
+    auto db = GenerateDatabase(options).value();
+    for (const auto& g : db) f->targets.push_back(g.certain());
+    Rng rng(61);
+    f->pattern = ExtractQuery(f->targets[0], 4, &rng).value();
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_Vf2_Enumerate(benchmark::State& state) {
+  const Vf2Fixture& f = GetVf2Fixture();
+  const MatchPlan plan = CompileMatchPlan(f.pattern);
+  Vf2Scratch scratch;
+  Vf2Options options;
+  size_t total = 0;
+  for (auto _ : state) {
+    for (const Graph& t : f.targets) {
+      total += EnumerateEmbeddings(plan, t, options, &scratch,
+                                   [](const Embedding&) { return true; });
+    }
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(int64_t(state.iterations()) * f.targets.size());
+  state.counters["embeddings"] =
+      static_cast<double>(total) / std::max<int64_t>(1, state.iterations());
+}
+BENCHMARK(BM_Vf2_Enumerate);
+
+void BM_Vf2_EnumerateReference(benchmark::State& state) {
+  const Vf2Fixture& f = GetVf2Fixture();
+  Vf2Options options;
+  size_t total = 0;
+  for (auto _ : state) {
+    for (const Graph& t : f.targets) {
+      total += EnumerateEmbeddingsReference(
+          f.pattern, t, options, [](const Embedding&) { return true; });
+    }
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(int64_t(state.iterations()) * f.targets.size());
+  state.counters["embeddings"] =
+      static_cast<double>(total) / std::max<int64_t>(1, state.iterations());
+}
+BENCHMARK(BM_Vf2_EnumerateReference);
+
+void BM_Vf2_PlanCompile(benchmark::State& state) {
+  const Vf2Fixture& f = GetVf2Fixture();
+  const Graph q =
+      MakeQuery(f.targets[0], static_cast<uint32_t>(state.range(0)), 62);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompileMatchPlan(q));
+  }
+}
+BENCHMARK(BM_Vf2_PlanCompile)->Arg(4)->Arg(8)->Arg(12);
+
 void BM_Mcs_SubgraphDistance(benchmark::State& state) {
   const ProbabilisticGraph g = MakeBenchGraph(5, 14);
   const Graph q = MakeQuery(g.certain(), 5, 6);
@@ -336,12 +410,18 @@ const VerifierFixture& GetVerifierFixture() {
 }
 
 void BM_Verifier_CollectEvents(benchmark::State& state) {
+  // Mirrors stage 3's production shape: the processor compiles one plan per
+  // relaxed query up front (shared through the batch cache) and every
+  // candidate's collection reuses them.
   const VerifierFixture& f = GetVerifierFixture();
+  std::vector<MatchPlan> plans;
+  plans.reserve(f.relaxed.size());
+  for (const Graph& rq : f.relaxed) plans.push_back(CompileMatchPlan(rq));
   VerifierScratch scratch;
   for (auto _ : state) {
     for (uint32_t gi : f.to_verify) {
-      benchmark::DoNotOptimize(
-          CollectSimilarityEvents(f.db[gi], f.relaxed, f.verifier, &scratch));
+      benchmark::DoNotOptimize(CollectSimilarityEvents(
+          f.db[gi], f.relaxed, f.verifier, &scratch, &plans));
     }
   }
   state.SetItemsProcessed(int64_t(state.iterations()) * f.to_verify.size());

@@ -100,16 +100,25 @@ struct FeatureWork {
 
 std::vector<SipBounds> ComputeSipBoundsBatch(
     const ProbabilisticGraph& g, const std::vector<const Graph*>& features,
-    const SipBoundOptions& options, Rng* rng) {
+    const SipBoundOptions& options, Rng* rng,
+    const std::vector<const MatchPlan*>* feature_plans) {
   std::vector<FeatureWork> work(features.size());
 
   // Phase 1: embeddings + cuts per feature (pure graph work, no sampling).
+  Vf2Scratch vf2;
   for (size_t fi = 0; fi < features.size(); ++fi) {
     FeatureWork& w = work[fi];
     bool emb_truncated = false;
-    std::vector<EdgeBitset> embeddings = EmbeddingEdgeSets(
-        *features[fi], g.certain(), options.max_cut_embeddings,
-        &emb_truncated);
+    const MatchPlan* plan =
+        feature_plans != nullptr ? (*feature_plans)[fi] : nullptr;
+    MatchPlan local_plan;
+    if (plan == nullptr) {
+      local_plan = CompileMatchPlan(*features[fi]);
+      plan = &local_plan;
+    }
+    std::vector<EdgeBitset> embeddings =
+        EmbeddingEdgeSets(*plan, g.certain(), options.max_cut_embeddings,
+                          &emb_truncated, &vf2);
     w.bounds.num_embeddings = static_cast<uint32_t>(embeddings.size());
     w.bounds.embeddings_truncated = emb_truncated;
     if (embeddings.empty()) {

@@ -24,6 +24,7 @@
 #include "pgsim/common/random.h"
 #include "pgsim/common/status.h"
 #include "pgsim/graph/graph.h"
+#include "pgsim/graph/vf2.h"
 #include "pgsim/prob/probabilistic_graph.h"
 
 namespace pgsim {
@@ -64,9 +65,16 @@ SipBounds ComputeSipBounds(const ProbabilisticGraph& g, const Graph& feature,
 /// Computes SIP bounds for many features against one graph, sharing a single
 /// Monte-Carlo world pool across all Algorithm 3 estimates (the PMI builder's
 /// hot path: identical estimates, ~|features| times fewer sampled worlds).
+///
+/// `feature_plans`, when non-null, supplies one compiled MatchPlan per entry
+/// of `features` (the PMI passes its build-once feature plans); null entries
+/// or a null vector fall back to compiling per call. Plans must be
+/// default-seeded so the embedding enumeration order — which the bound
+/// families depend on — matches the per-call compilation exactly.
 std::vector<SipBounds> ComputeSipBoundsBatch(
     const ProbabilisticGraph& g, const std::vector<const Graph*>& features,
-    const SipBoundOptions& options, Rng* rng);
+    const SipBoundOptions& options, Rng* rng,
+    const std::vector<const MatchPlan*>* feature_plans = nullptr);
 
 /// Exact Pr(f ⊆iso g) (Definition 6 / Equation 10) via the exact DNF engine;
 /// exponential worst case — ground truth for tests and the Exact baseline.

@@ -117,4 +117,67 @@ class EventSetPool {
   std::vector<uint64_t> words_;
 };
 
+/// Open-addressing dedup table over an EventSetPool's rows (slot value =
+/// row index + 1, 0 = empty; doubles at 75% load). Shared by the verifier's
+/// event collector and the VF2 matcher's edge-set dedup — one definition of
+/// the probe/grow logic instead of two drifting copies.
+class EventRowDedup {
+ public:
+  /// Empties the table, sized for `expected` rows (>= 64 slots, power of
+  /// two). Right-sizes in both directions — shrinking reuses the vector's
+  /// capacity, so a one-off huge enumeration does not inflate every later
+  /// reset's clear cost.
+  void Reset(size_t expected) {
+    size_t want = 64;
+    while (want < expected * 2) want <<= 1;
+    if (slots_.size() == want) {
+      std::fill(slots_.begin(), slots_.end(), 0);
+    } else {
+      slots_.assign(want, 0);
+    }
+  }
+
+  /// Registers the pool's last row; returns false (and pops it) when an
+  /// equal row is already registered.
+  bool InsertLastRow(EventSetPool* pool) {
+    const size_t row = pool->size() - 1;
+    const size_t wpr = pool->words_per_row();
+    if ((row + 1) * 4 > slots_.size() * 3) Grow(*pool, row);
+    const size_t mask = slots_.size() - 1;
+    const uint64_t* words = pool->Row(row);
+    size_t pos = EventSetPool::Hash(words, wpr) & mask;
+    while (slots_[pos] != 0) {
+      const size_t other = slots_[pos] - 1;
+      if (EventSetPool::Equal(pool->Row(other), words, wpr)) {
+        pool->PopRow();
+        return false;
+      }
+      pos = (pos + 1) & mask;
+    }
+    slots_[pos] = static_cast<uint32_t>(row) + 1;
+    return true;
+  }
+
+  /// Reserved bytes (steady-state growth pins).
+  size_t CapacityBytes() const { return slots_.capacity() * sizeof(uint32_t); }
+
+ private:
+  /// Doubles the table and rehashes the `registered` first rows — NOT the
+  /// in-flight last row InsertLastRow is about to probe for (rehashing it
+  /// would make the probe find the row itself and drop it as a duplicate).
+  void Grow(const EventSetPool& pool, size_t registered) {
+    const size_t new_size = slots_.size() * 2;
+    slots_.assign(new_size, 0);
+    const size_t mask = new_size - 1;
+    const size_t wpr = pool.words_per_row();
+    for (size_t r = 0; r < registered; ++r) {
+      size_t pos = EventSetPool::Hash(pool.Row(r), wpr) & mask;
+      while (slots_[pos] != 0) pos = (pos + 1) & mask;
+      slots_[pos] = static_cast<uint32_t>(r) + 1;
+    }
+  }
+
+  std::vector<uint32_t> slots_;
+};
+
 }  // namespace pgsim

@@ -1,0 +1,45 @@
+// Non-owning callable reference, the C++17 stand-in for std::function_ref.
+//
+// The VF2 hot path invokes its per-embedding callback millions of times per
+// query; std::function costs a potential heap allocation at construction and
+// an indirect call that the optimizer cannot see through. FunctionRef is two
+// words (object pointer + thunk), never allocates, and lets a lambda-typed
+// callback inline into the matcher loop when the compiler instantiates the
+// templated core. The referenced callable must outlive the FunctionRef —
+// callers pass short-lived lambdas down the stack, never store these.
+
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace pgsim {
+
+template <typename Signature>
+class FunctionRef;
+
+/// Lightweight view of any callable with signature R(Args...).
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        thunk_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return thunk_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*thunk_)(void*, Args...);
+};
+
+}  // namespace pgsim

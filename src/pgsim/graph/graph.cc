@@ -15,6 +15,43 @@ std::optional<EdgeId> Graph::FindEdge(VertexId u, VertexId v) const {
   return std::nullopt;
 }
 
+Span<VertexId> Graph::VerticesWithLabel(LabelId l) const {
+  const auto it = std::lower_bound(label_keys_.begin(), label_keys_.end(), l);
+  if (it == label_keys_.end() || *it != l) return Span<VertexId>();
+  const size_t k = static_cast<size_t>(it - label_keys_.begin());
+  return Span<VertexId>(label_vertices_.data() + label_offsets_[k],
+                        label_offsets_[k + 1] - label_offsets_[k]);
+}
+
+void Graph::BuildLabelIndex() {
+  const uint32_t n = NumVertices();
+  label_vertices_.resize(n);
+  for (VertexId v = 0; v < n; ++v) label_vertices_[v] = v;
+  // Stable ordering by (label, id): ids are distinct, so a plain sort on the
+  // composite key is deterministic and leaves each bucket ascending by id.
+  std::sort(label_vertices_.begin(), label_vertices_.end(),
+            [&](VertexId a, VertexId b) {
+              if (vertex_labels_[a] != vertex_labels_[b]) {
+                return vertex_labels_[a] < vertex_labels_[b];
+              }
+              return a < b;
+            });
+  label_keys_.clear();
+  label_offsets_.assign(1, 0);
+  size_t i = 0;
+  while (i < label_vertices_.size()) {
+    const LabelId label = vertex_labels_[label_vertices_[i]];
+    size_t j = i + 1;
+    while (j < label_vertices_.size() &&
+           vertex_labels_[label_vertices_[j]] == label) {
+      ++j;
+    }
+    label_keys_.push_back(label);
+    label_offsets_.push_back(static_cast<uint32_t>(j));
+    i = j;
+  }
+}
+
 bool Graph::IsConnected() const {
   uint32_t num_components = 0;
   ConnectedComponents(&num_components);
@@ -112,6 +149,8 @@ Graph GraphBuilder::Build() {
               });
   }
 
+  g.BuildLabelIndex();
+
   vertex_labels_.clear();
   edges_.clear();
   edge_keys_.clear();
@@ -123,6 +162,13 @@ void BuildEdgeSubsetGraph(const Graph& base, const EdgeBitset& present,
   const size_t n = base.NumVertices();
   out->vertex_labels_.assign(base.VertexLabels().begin(),
                              base.VertexLabels().end());
+  // The vertex set and labels match `base`, so the label index does too —
+  // copy it (into reused storage) rather than re-sorting per world.
+  out->label_keys_.assign(base.label_keys_.begin(), base.label_keys_.end());
+  out->label_offsets_.assign(base.label_offsets_.begin(),
+                             base.label_offsets_.end());
+  out->label_vertices_.assign(base.label_vertices_.begin(),
+                              base.label_vertices_.end());
   out->edges_.clear();
   for (EdgeId e = 0; e < base.NumEdges(); ++e) {
     if (present.Test(e)) out->edges_.push_back(base.GetEdge(e));
@@ -229,6 +275,14 @@ void EncodeHistogram(std::vector<LabelId>* labels,
 }
 
 }  // namespace
+
+void AccumulateVertexLabelFrequencies(const Graph& g,
+                                      std::vector<uint32_t>* freq) {
+  for (LabelId l : g.VertexLabels()) {
+    if (l >= freq->size()) freq->resize(l + 1, 0);
+    ++(*freq)[l];
+  }
+}
 
 void BuildLabelHistogram(const Graph& g, LabelHistogram* out) {
   std::vector<LabelId> scratch(g.VertexLabels());

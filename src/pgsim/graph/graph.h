@@ -81,6 +81,22 @@ class Graph {
   /// CSR entry array (size 2*NumEdges(), segment-sorted by neighbor).
   const std::vector<AdjEntry>& AdjEntries() const { return adj_entries_; }
 
+  /// Vertices carrying label `l`, ascending by id — a contiguous view into
+  /// the vertex-by-label CSR index built at construction. The VF2 matcher
+  /// iterates this bucket for seed/anchorless positions instead of scanning
+  /// all vertices; ascending-id order makes the bucket scan visit exactly
+  /// the vertices a full 0..n scan filtered by label would, in the same
+  /// order. Unknown labels yield an empty view.
+  Span<VertexId> VerticesWithLabel(LabelId l) const;
+  /// Number of vertices carrying label `l` (the bucket size).
+  uint32_t LabelFrequency(LabelId l) const {
+    return static_cast<uint32_t>(VerticesWithLabel(l).size());
+  }
+  /// Distinct vertex labels present, ascending (the label index's keys).
+  const std::vector<LabelId>& DistinctVertexLabels() const {
+    return label_keys_;
+  }
+
   /// The edge id between u and v, if present.
   std::optional<EdgeId> FindEdge(VertexId u, VertexId v) const;
 
@@ -103,6 +119,10 @@ class Graph {
   friend void BuildEdgeSubsetGraph(const Graph& base, const EdgeBitset& present,
                                    Graph* out);
 
+  /// Rebuilds the vertex-by-label CSR index from vertex_labels_ (called by
+  /// the builders after the label array is final).
+  void BuildLabelIndex();
+
   std::vector<LabelId> vertex_labels_;
   std::vector<Edge> edges_;
   // CSR adjacency: entries of vertex v live at
@@ -110,6 +130,12 @@ class Graph {
   // Size NumVertices()+1 always, so the empty graph holds a single 0.
   std::vector<uint32_t> adj_offsets_ = {0};
   std::vector<AdjEntry> adj_entries_;
+  // Vertex-by-label CSR: vertices labeled label_keys_[k] live at
+  // label_vertices_[label_offsets_[k] .. label_offsets_[k+1]), ascending id;
+  // label_keys_ ascends so lookup is a binary search over distinct labels.
+  std::vector<LabelId> label_keys_;
+  std::vector<uint32_t> label_offsets_ = {0};
+  std::vector<VertexId> label_vertices_;
 };
 
 /// Incremental builder producing an immutable Graph.
@@ -182,6 +208,13 @@ struct LabelHistogram {
 
 /// Fills `*out` with g's histograms (reusing the vectors' capacity).
 void BuildLabelHistogram(const Graph& g, LabelHistogram* out);
+
+/// Adds g's vertex-label counts into `*freq` (indexed by LabelId, grown as
+/// needed). Callers aggregate a database's frequencies to feed
+/// MatchPlanOptions::label_freq — one shared definition so the filter's
+/// standalone seeding and the processor's shared plans cannot diverge.
+void AccumulateVertexLabelFrequencies(const Graph& g,
+                                      std::vector<uint32_t>* freq);
 
 /// True iff every (label, count) of `pattern` is matched by `target` with at
 /// least that count, for vertices and edges. False return proves no

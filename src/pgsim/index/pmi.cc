@@ -15,6 +15,14 @@ namespace {
 constexpr uint32_t kPmiMagic = 0x504d4931;  // "PMI1"
 }  // namespace
 
+void ProbabilisticMatrixIndex::RebuildFeaturePlans() {
+  feature_plans_.clear();
+  feature_plans_.reserve(features_.size());
+  for (const Feature& f : features_) {
+    feature_plans_.push_back(CompileMatchPlan(f.graph));
+  }
+}
+
 void ProbabilisticMatrixIndex::SetColumns(
     std::vector<std::vector<PmiEntry>>&& columns) {
   num_graphs_ = static_cast<uint32_t>(columns.size());
@@ -104,6 +112,7 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Build(
                          MineFeatures(certain, miner_options));
   index.stats_.mining_seconds = mining_timer.Seconds();
   index.features_ = std::move(mined.features);
+  index.RebuildFeaturePlans();
 
   // Invert support lists: features present per graph.
   std::vector<std::vector<uint32_t>> features_of_graph(database.size());
@@ -127,12 +136,16 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Build(
     const std::vector<uint32_t>& feature_ids = features_of_graph[gi];
     if (feature_ids.empty()) return;
     std::vector<const Graph*> feature_graphs;
+    std::vector<const MatchPlan*> feature_plans;
     feature_graphs.reserve(feature_ids.size());
+    feature_plans.reserve(feature_ids.size());
     for (uint32_t fi : feature_ids) {
       feature_graphs.push_back(&index.features_[fi].graph);
+      feature_plans.push_back(&index.feature_plans_[fi]);
     }
-    const std::vector<SipBounds> bounds = ComputeSipBoundsBatch(
-        database[gi], feature_graphs, options.sip, &column_rngs[gi]);
+    const std::vector<SipBounds> bounds =
+        ComputeSipBoundsBatch(database[gi], feature_graphs, options.sip,
+                              &column_rngs[gi], &feature_plans);
     auto& column = columns[gi];
     column.reserve(feature_ids.size());
     for (size_t k = 0; k < feature_ids.size(); ++k) {
@@ -166,15 +179,18 @@ Result<uint32_t> ProbabilisticMatrixIndex::AddGraph(
   // Which existing features occur in the new graph's certain graph?
   std::vector<uint32_t> feature_ids;
   std::vector<const Graph*> feature_graphs;
+  std::vector<const MatchPlan*> plan_ptrs;
+  Vf2Scratch vf2;
   for (uint32_t fi = 0; fi < features_.size(); ++fi) {
-    if (IsSubgraphIsomorphic(features_[fi].graph, graph.certain())) {
+    if (IsSubgraphIsomorphic(feature_plans_[fi], graph.certain(), &vf2)) {
       feature_ids.push_back(fi);
       feature_graphs.push_back(&features_[fi].graph);
+      plan_ptrs.push_back(&feature_plans_[fi]);
     }
   }
   Rng rng(seed);
   const std::vector<SipBounds> bounds =
-      ComputeSipBoundsBatch(graph, feature_graphs, sip, &rng);
+      ComputeSipBoundsBatch(graph, feature_graphs, sip, &rng, &plan_ptrs);
   std::vector<PmiEntry> column;
   column.reserve(feature_ids.size());
   for (size_t k = 0; k < feature_ids.size(); ++k) {
@@ -317,6 +333,7 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Load(
       column.push_back(e);
     }
   }
+  index.RebuildFeaturePlans();
   index.SetColumns(std::move(columns));
   index.stats_.num_features = index.features_.size();
   index.stats_.size_bytes = index.SizeBytes();

@@ -28,6 +28,7 @@
 #include "pgsim/common/random.h"
 #include "pgsim/common/status.h"
 #include "pgsim/graph/graph.h"
+#include "pgsim/graph/vf2.h"
 #include "pgsim/mining/feature_miner.h"
 #include "pgsim/prob/probabilistic_graph.h"
 
@@ -84,6 +85,14 @@ class ProbabilisticMatrixIndex {
 
   /// Indexed features (row headers).
   const std::vector<Feature>& features() const { return features_; }
+
+  /// Compiled VF2 match plans, one per feature, built once with the index
+  /// (features are immutable afterwards). The pruner's PrepareQuery runs
+  /// these against every relaxed query instead of recompiling a plan per
+  /// (feature, rq) test.
+  const std::vector<MatchPlan>& feature_plans() const {
+    return feature_plans_;
+  }
 
   /// Number of graph columns.
   uint32_t num_graphs() const { return num_graphs_; }
@@ -151,7 +160,12 @@ class ProbabilisticMatrixIndex {
   /// Rebuilds the columnar storage from sparse feature-sorted columns.
   void SetColumns(std::vector<std::vector<PmiEntry>>&& columns);
 
+  /// Recompiles feature_plans_ from features_ (Build/Load call this once
+  /// the feature set is final).
+  void RebuildFeaturePlans();
+
   std::vector<Feature> features_;
+  std::vector<MatchPlan> feature_plans_;
   uint32_t num_graphs_ = 0;
   // Per-graph sorted feature-id lists (CSR) — the sparse structure backing
   // EntriesFor and the serialized format.

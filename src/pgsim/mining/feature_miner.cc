@@ -158,6 +158,17 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
   std::vector<const Feature*> frontier;
   for (const Feature& f : out.features) frontier.push_back(&f);
 
+  // Compiled match plans parallel to out.features, extended as levels land:
+  // Phase B's subfeature tests reuse them across every candidate instead of
+  // recompiling per (prior, candidate) pair. Default (max-degree) seeds keep
+  // the enumeration order — and thus the mined feature set — bit-identical
+  // to the reference engine.
+  std::vector<MatchPlan> feature_plans;
+  feature_plans.reserve(out.features.capacity());
+  for (const Feature& f : out.features) {
+    feature_plans.push_back(CompileMatchPlan(f.graph));
+  }
+
   Vf2Options emb_options;
   emb_options.max_embeddings = options.max_growth_embeddings;
   emb_options.dedup_by_edge_set = true;
@@ -197,12 +208,16 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
         ParentCandidates& slot = per_parent[wi];
         PatternPool parent_pool;
         const Graph& pg = parent->graph;
+        // One plan + scratch per parent, reused across its support graphs.
+        const MatchPlan parent_plan = CompileMatchPlan(pg);
+        Vf2Scratch vf2;
         size_t graphs_used = 0;
         for (uint32_t gi : parent->support) {
           if (graphs_used++ >= options.max_growth_graphs) break;
           const Graph& data = database[gi];
           EnumerateEmbeddings(
-              pg, data, emb_options, [&](const Embedding& emb) {
+              parent_plan, data, emb_options, &vf2,
+              [&](const Embedding& emb) {
                 ++slot.embeddings_examined;
                 // Reverse map: data vertex -> pattern vertex.
                 std::unordered_map<VertexId, VertexId> reverse;
@@ -280,6 +295,10 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
     ForEachIndex(workers, candidates.size(), 1, [&](size_t ci) {
       Candidate& cand = candidates[ci];
       ScoredCandidate& slot = scored[ci];
+      // One plan per candidate, reused across its whole parent support (and
+      // one scratch for every enumeration/test this candidate runs).
+      const MatchPlan cand_plan = CompileMatchPlan(cand.graph);
+      Vf2Scratch vf2;
       // Support and alpha-qualified support.
       std::vector<uint32_t> support;
       size_t alpha_qualified = 0;
@@ -287,8 +306,9 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
         ++slot.isomorphism_tests;
         bool truncated = false;
         const std::vector<EdgeBitset> embeddings =
-            EmbeddingEdgeSets(cand.graph, database[gi],
-                              options.max_embeddings_per_graph, &truncated);
+            EmbeddingEdgeSets(cand_plan, database[gi],
+                              options.max_embeddings_per_graph, &truncated,
+                              &vf2);
         if (embeddings.empty()) continue;
         support.push_back(gi);
         const size_t disjoint = GreedyDisjointCount(embeddings);
@@ -306,10 +326,13 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
       {
         std::vector<uint32_t> intersection;
         bool first = true;
-        for (const Feature& prior : out.features) {
+        for (size_t pi = 0; pi < out.features.size(); ++pi) {
+          const Feature& prior = out.features[pi];
           if (prior.graph.NumEdges() >= cand.graph.NumEdges()) continue;
           ++slot.isomorphism_tests;
-          if (!IsSubgraphIsomorphic(prior.graph, cand.graph)) continue;
+          if (!IsSubgraphIsomorphic(feature_plans[pi], cand.graph, &vf2)) {
+            continue;
+          }
           if (first) {
             intersection = prior.support;
             first = false;
@@ -362,6 +385,7 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
     for (Feature& f : accepted) {
       out.features.push_back(std::move(f));
       frontier.push_back(&out.features.back());
+      feature_plans.push_back(CompileMatchPlan(out.features.back().graph));
     }
   }
 

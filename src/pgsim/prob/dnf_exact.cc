@@ -9,10 +9,15 @@ namespace pgsim {
 
 std::vector<EdgeBitset> AbsorbDnfTerms(std::vector<EdgeBitset> terms) {
   // Sort by population count: a superset can only absorb into something
-  // smaller or equal, so scanning smaller terms first suffices.
+  // smaller or equal, so scanning smaller terms first suffices. Equal
+  // counts break by content so the output — and every downstream
+  // floating-point accumulation order — is a pure function of the term
+  // *set*, independent of the order the caller collected it in.
   std::sort(terms.begin(), terms.end(),
             [](const EdgeBitset& a, const EdgeBitset& b) {
-              return a.Count() < b.Count();
+              const size_t ca = a.Count(), cb = b.Count();
+              if (ca != cb) return ca < cb;
+              return a.words() < b.words();
             });
   std::vector<EdgeBitset> kept;
   for (const EdgeBitset& t : terms) {

@@ -26,12 +26,14 @@ BatchQueryCache::Lookup BatchQueryCache::Find(const Graph& q) {
     if (it->second.exact_key == lk.exact_key) {
       lk.relaxed = it->second.relaxed;
       lk.prepared = it->second.prepared;
+      lk.plans = it->second.plans;
     }
     lk.counts = it->second.counts;
   }
   lk.relaxed != nullptr ? ++stats_.relax_hits : ++stats_.relax_misses;
   lk.counts != nullptr ? ++stats_.counts_hits : ++stats_.counts_misses;
   lk.prepared != nullptr ? ++stats_.prepared_hits : ++stats_.prepared_misses;
+  lk.plans != nullptr ? ++stats_.plans_hits : ++stats_.plans_misses;
   return lk;
 }
 
@@ -61,6 +63,15 @@ void BatchQueryCache::StorePrepared(
   const auto it = classes_.find(lk.canonical_key);
   if (it == classes_.end() || it->second.exact_key != lk.exact_key) return;
   if (it->second.prepared == nullptr) it->second.prepared = std::move(prepared);
+}
+
+void BatchQueryCache::StorePlans(
+    const Lookup& lk, std::shared_ptr<const std::vector<MatchPlan>> plans) {
+  if (!lk.cacheable) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = classes_.find(lk.canonical_key);
+  if (it == classes_.end() || it->second.exact_key != lk.exact_key) return;
+  if (it->second.plans == nullptr) it->second.plans = std::move(plans);
 }
 
 BatchCacheStats BatchQueryCache::stats() const {

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "pgsim/graph/graph.h"
+#include "pgsim/graph/vf2.h"
 #include "pgsim/query/prob_pruner.h"
 #include "pgsim/query/structural_filter.h"
 
@@ -55,6 +56,8 @@ struct BatchCacheStats {
   size_t counts_misses = 0;
   size_t prepared_hits = 0;   ///< pruner relations reused (exact duplicates)
   size_t prepared_misses = 0;
+  size_t plans_hits = 0;      ///< rq match-plan sets reused (exact duplicates)
+  size_t plans_misses = 0;
   size_t uncacheable = 0;     ///< canonical code over budget; query ran cold
 };
 
@@ -74,6 +77,11 @@ class BatchQueryCache {
     /// Non-null on a pruner-relations hit (byte-identical query; the
     /// relations are a function of U, which is reused under the same key).
     std::shared_ptr<const PreparedQueryRelations> prepared;
+    /// Non-null on a match-plan hit: one compiled MatchPlan per relaxed
+    /// query, in U's order — a pure function of U (plus the processor's
+    /// fixed database label frequencies), so exact-key semantics apply as
+    /// for `relaxed`.
+    std::shared_ptr<const std::vector<MatchPlan>> plans;
   };
 
   /// Computes both keys of `q`, probes the cache, and bumps counters.
@@ -94,6 +102,12 @@ class BatchQueryCache {
   void StorePrepared(const Lookup& lk,
                      std::shared_ptr<const PreparedQueryRelations> prepared);
 
+  /// Publishes the compiled relaxed-query match plans for lk's exact form
+  /// (same gating as StorePrepared: the plans must describe the exact U
+  /// that relax-tier hits will reuse).
+  void StorePlans(const Lookup& lk,
+                  std::shared_ptr<const std::vector<MatchPlan>> plans);
+
   /// Counter snapshot (consistent under the cache mutex).
   BatchCacheStats stats() const;
 
@@ -106,6 +120,7 @@ class BatchQueryCache {
     std::shared_ptr<const std::vector<Graph>> relaxed;
     std::shared_ptr<const QueryFeatureCounts> counts;
     std::shared_ptr<const PreparedQueryRelations> prepared;
+    std::shared_ptr<const std::vector<MatchPlan>> plans;
   };
 
   mutable std::mutex mu_;

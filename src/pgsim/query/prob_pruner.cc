@@ -60,8 +60,10 @@ size_t PrunerScratch::CapacityBytes() const {
   return bytes;
 }
 
-void ProbabilisticPruner::PrepareQuery(const std::vector<Graph>& relaxed) {
+void ProbabilisticPruner::PrepareQuery(const std::vector<Graph>& relaxed,
+                                       const std::vector<MatchPlan>* rq_plans) {
   const auto& features = pmi_->features();
+  const auto& feature_plans = pmi_->feature_plans();
   auto prepared = std::make_shared<PreparedQueryRelations>();
   prepared->universe_size = relaxed.size();
   prepared->feature_sub_rqs.assign(features.size(), {});
@@ -69,6 +71,19 @@ void ProbabilisticPruner::PrepareQuery(const std::vector<Graph>& relaxed) {
   prepared->rq_sub_features.assign(relaxed.size(), {});
   prepared->rq_super_features.assign(relaxed.size(), {});
   prepare_iso_tests_ = 0;
+
+  // Relaxed-query plans: the processor's shared per-query set when given,
+  // else compiled here — either way one plan per rq for the whole |F| x |U|
+  // sweep (the pre-plan engine recompiled per executed test).
+  std::vector<MatchPlan> local_plans;
+  if (rq_plans == nullptr) {
+    local_plans.reserve(relaxed.size());
+    for (const Graph& rq : relaxed) {
+      local_plans.push_back(CompileMatchPlan(rq));
+    }
+    rq_plans = &local_plans;
+  }
+  Vf2Scratch vf2;
 
   // Label-multiset guard inputs: a VF2 monomorphism needs the pattern's
   // vertex/edge label multiset covered by the target's, so pairs failing
@@ -90,7 +105,7 @@ void ProbabilisticPruner::PrepareQuery(const std::vector<Graph>& relaxed) {
           f.NumVertices() <= rq.NumVertices() &&
           HistogramCoversPattern(rq_hist[ri], feature_hist[fi])) {
         ++prepare_iso_tests_;
-        if (IsSubgraphIsomorphic(f, rq)) {
+        if (IsSubgraphIsomorphic(feature_plans[fi], rq, &vf2)) {
           prepared->feature_sub_rqs[fi].push_back(ri);
           prepared->rq_sub_features[ri].push_back(fi);
         }
@@ -99,7 +114,7 @@ void ProbabilisticPruner::PrepareQuery(const std::vector<Graph>& relaxed) {
           rq.NumVertices() <= f.NumVertices() &&
           HistogramCoversPattern(feature_hist[fi], rq_hist[ri])) {
         ++prepare_iso_tests_;
-        if (IsSubgraphIsomorphic(rq, f)) {
+        if (IsSubgraphIsomorphic((*rq_plans)[ri], f, &vf2)) {
           prepared->feature_super_rqs[fi].push_back(ri);
           prepared->rq_super_features[ri].push_back(fi);
         }

@@ -35,6 +35,7 @@
 #include "pgsim/common/random.h"
 #include "pgsim/common/status.h"
 #include "pgsim/graph/graph.h"
+#include "pgsim/graph/vf2.h"
 #include "pgsim/index/pmi.h"
 #include "pgsim/query/quadratic_program.h"
 #include "pgsim/query/set_cover.h"
@@ -149,8 +150,12 @@ class ProbabilisticPruner {
   /// once — they are shared by every graph of the database — and compiles
   /// the bound program. A label-multiset/size guard skips VF2 tests that
   /// provably cannot match; prepare_isomorphism_tests() counts only the VF2
-  /// tests actually executed.
-  void PrepareQuery(const std::vector<Graph>& relaxed);
+  /// tests actually executed. Feature-side match plans come precompiled
+  /// from the PMI; `rq_plans`, when non-null, supplies one compiled plan
+  /// per relaxed query (the processor's per-query shared set) — otherwise
+  /// plans are compiled here, once per rq rather than once per (f, rq).
+  void PrepareQuery(const std::vector<Graph>& relaxed,
+                    const std::vector<MatchPlan>* rq_plans = nullptr);
 
   /// Adopts relations computed by a previous PrepareQuery over an identical
   /// relaxed set (the batch cache's exact-duplicate tier) — skips every VF2

@@ -9,6 +9,17 @@
 
 namespace pgsim {
 
+QueryProcessor::QueryProcessor(const std::vector<ProbabilisticGraph>* database,
+                               const ProbabilisticMatrixIndex* pmi,
+                               const StructuralFilter* structural)
+    : database_(database), pmi_(pmi), structural_(structural) {
+  if (database_ != nullptr) {
+    for (const ProbabilisticGraph& g : *database_) {
+      AccumulateVertexLabelFrequencies(g.certain(), &db_label_freq_);
+    }
+  }
+}
+
 Result<std::vector<uint32_t>> QueryProcessor::Query(
     const Graph& q, const QueryOptions& options, QueryStats* stats) const {
   QueryContext ctx;
@@ -71,6 +82,36 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
   local.num_relaxed_queries = relaxed->size();
   local.relax_seconds = relax_timer.Seconds();
 
+  // ---- Relaxed-query match plans. ----
+  // One compiled MatchPlan per rq, seeded rarest-database-label-first,
+  // shared by the filter's exact check, the pruner's PrepareQuery, and
+  // every stage-3 candidate — and reused across byte-identical queries
+  // through the batch cache (a pure function of U + the processor's fixed
+  // label frequencies, so the exact-key tier applies).
+  const std::vector<MatchPlan>* rq_plans = nullptr;
+  std::shared_ptr<const std::vector<MatchPlan>> plans_hold;
+  if (cached.plans != nullptr) {
+    plans_hold = cached.plans;
+    rq_plans = plans_hold.get();
+  } else {
+    MatchPlanOptions plan_options;
+    plan_options.label_freq = &db_label_freq_;
+    ctx->rq_plans.clear();
+    ctx->rq_plans.reserve(relaxed->size());
+    for (const Graph& rq : *relaxed) {
+      ctx->rq_plans.push_back(CompileMatchPlan(rq, plan_options));
+    }
+    if (cached.cacheable) {
+      plans_hold = std::make_shared<const std::vector<MatchPlan>>(
+          std::move(ctx->rq_plans));
+      ctx->rq_plans.clear();
+      rq_plans = plans_hold.get();
+      ctx->cache->StorePlans(cached, plans_hold);
+    } else {
+      rq_plans = &ctx->rq_plans;
+    }
+  }
+
   // ---- Stage 1: structural pruning (Theorem 1). ----
   WallTimer structural_timer;
   std::vector<uint32_t>& sc_q = ctx->structural_candidates;
@@ -83,7 +124,7 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
     }
     structural_->Filter(q, *relaxed, options.delta, &sc_q,
                         &ctx->filter_scratch, &local.structural_detail, counts,
-                        computed.get());
+                        computed.get(), rq_plans);
     if (computed != nullptr) {
       ctx->cache->StoreCounts(cached, std::move(computed));
     }
@@ -104,7 +145,7 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
       local.prepared_cache_hit = true;
       pruner.PrepareFromCache(cached.prepared);
     } else {
-      pruner.PrepareQuery(*relaxed);
+      pruner.PrepareQuery(*relaxed, rq_plans);
       if (cached.cacheable) {
         ctx->cache->StorePrepared(cached, pruner.SharePrepared());
       }
@@ -148,11 +189,11 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
     const uint32_t gi = to_verify[k];
     const Result<double> ssp =
         options.verify_mode == QueryOptions::VerifyMode::kExact
-            ? ExactSubgraphSimilarityProbability(db[gi], *relaxed,
-                                                 options.verifier, scratch)
+            ? ExactSubgraphSimilarityProbability(
+                  db[gi], *relaxed, options.verifier, scratch, rq_plans)
             : SampleSubgraphSimilarityProbability(
                   db[gi], *relaxed, options.verifier, &verify_rngs[k],
-                  scratch);
+                  scratch, rq_plans);
     if (!ssp.ok()) {
       verdicts[k] = kVerifyFailed;
     } else {
@@ -274,6 +315,8 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
       agg.counts_cache_misses = cache_stats.counts_misses;
       agg.prepared_cache_hits = cache_stats.prepared_hits;
       agg.prepared_cache_misses = cache_stats.prepared_misses;
+      agg.plans_cache_hits = cache_stats.plans_hits;
+      agg.plans_cache_misses = cache_stats.plans_misses;
       agg.cache_uncacheable = cache_stats.uncacheable;
     }
     agg.wall_seconds = wall_timer.Seconds();

@@ -128,6 +128,8 @@ struct BatchStats {
   size_t counts_cache_misses = 0;
   size_t prepared_cache_hits = 0;     ///< pruner relations reused (duplicates)
   size_t prepared_cache_misses = 0;
+  size_t plans_cache_hits = 0;        ///< rq match-plan sets reused (dups)
+  size_t plans_cache_misses = 0;
   size_t cache_uncacheable = 0;       ///< canonical code over budget
   uint32_t threads_used = 0;          ///< threads that actually ran (1 when
                                       ///< the inline fallback was taken)
@@ -147,11 +149,12 @@ struct BatchQueryResult {
 class QueryProcessor {
  public:
   /// `pmi` and/or `structural` may be null; the corresponding stage is then
-  /// skipped regardless of QueryOptions.
+  /// skipped regardless of QueryOptions. Aggregates the database's vertex
+  /// label frequencies once — every query's relaxed-query match plans are
+  /// compiled against them (rarest-label-first seed ordering).
   QueryProcessor(const std::vector<ProbabilisticGraph>* database,
                  const ProbabilisticMatrixIndex* pmi,
-                 const StructuralFilter* structural)
-      : database_(database), pmi_(pmi), structural_(structural) {}
+                 const StructuralFilter* structural);
 
   /// Runs the full pipeline; returns answer graph ids (sorted).
   Result<std::vector<uint32_t>> Query(const Graph& q,
@@ -184,6 +187,9 @@ class QueryProcessor {
   const std::vector<ProbabilisticGraph>* database_;
   const ProbabilisticMatrixIndex* pmi_;
   const StructuralFilter* structural_;
+  /// Vertex-label frequencies summed over the database (index = LabelId):
+  /// the MatchPlanOptions::label_freq input for per-query plan compilation.
+  std::vector<uint32_t> db_label_freq_;
 };
 
 }  // namespace pgsim

@@ -35,6 +35,9 @@ struct QueryContext {
   BatchQueryCache* cache = nullptr;
   /// Relaxation output U = {rq1..rqa}.
   std::vector<Graph> relaxed;
+  /// Compiled match plans for U (uncacheable-query fallback storage; the
+  /// cacheable path holds them in a shared_ptr published to the cache).
+  std::vector<MatchPlan> rq_plans;
   /// Stage 1 output SCq.
   std::vector<uint32_t> structural_candidates;
   /// Stage 2 output: candidates needing verification.
@@ -73,6 +76,7 @@ struct QueryContext {
   void Reset(uint64_t seed) {
     rng = Rng(seed);
     relaxed.clear();
+    rq_plans.clear();
     structural_candidates.clear();
     to_verify.clear();
     answers.clear();

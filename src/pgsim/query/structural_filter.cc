@@ -71,6 +71,19 @@ StructuralFilter StructuralFilter::Build(
   filter.num_graphs_ = static_cast<uint32_t>(certain_db.size());
   filter.counts_.assign(features.size() * certain_db.size(), 0);
 
+  // Compile each feature's match plan once; build-time counting and every
+  // query-time CountQueryFeatures run these instead of recompiling.
+  filter.feature_plans_.reserve(features.size());
+  for (const Feature& f : features) {
+    filter.feature_plans_.push_back(CompileMatchPlan(f.graph));
+  }
+  // Database-aggregate label frequencies: the exact check compiles relaxed
+  // queries' plans against them so seed positions start at the rarest label
+  // across the candidate population.
+  for (const Graph& g : certain_db) {
+    AccumulateVertexLabelFrequencies(g, &filter.label_freq_);
+  }
+
   // Invert support lists so each worker owns one graph's cells outright
   // (fixed column of every feature row); cell values are pure functions of
   // (feature, graph), so the matrix is bit-identical at any thread count.
@@ -85,11 +98,12 @@ StructuralFilter StructuralFilter::Build(
 
   const ScopedPool pool(options.num_threads, options.pool);
   ForEachIndex(pool.get(), certain_db.size(), 4, [&](size_t gi) {
+    Vf2Scratch vf2;  // reused across this graph's features
     for (uint32_t fi : features_of_graph[gi]) {
       bool truncated = false;
       const auto embeddings =
-          EmbeddingEdgeSets(features[fi].graph, certain_db[gi],
-                            options.max_count, &truncated);
+          EmbeddingEdgeSets(filter.feature_plans_[fi], certain_db[gi],
+                            options.max_count, &truncated, &vf2);
       filter.counts_[static_cast<size_t>(fi) * certain_db.size() + gi] =
           truncated ? static_cast<uint16_t>(0xFFFF)
                     : static_cast<uint16_t>(embeddings.size());
@@ -123,14 +137,15 @@ std::vector<uint32_t> StructuralFilter::Filter(
 void StructuralFilter::CountQueryFeatures(const Graph& q,
                                           std::vector<uint32_t>* per_edge,
                                           uint64_t* isomorphism_tests,
+                                          Vf2Scratch* vf2,
                                           QueryFeatureCounts* out) const {
   out->entries.clear();
   for (size_t fi = 0; fi < feature_graphs_.size(); ++fi) {
     const Graph& feature = *feature_graphs_[fi];
     if (feature.NumEdges() > q.NumEdges()) continue;
     bool truncated = false;
-    const auto embeddings =
-        EmbeddingEdgeSets(feature, q, options_.max_query_count, &truncated);
+    const auto embeddings = EmbeddingEdgeSets(
+        feature_plans_[fi], q, options_.max_query_count, &truncated, vf2);
     if (isomorphism_tests != nullptr) ++*isomorphism_tests;
     if (truncated || embeddings.empty()) continue;
     per_edge->assign(q.NumEdges(), 0);
@@ -149,7 +164,8 @@ QueryFeatureCounts StructuralFilter::ComputeQueryCounts(
     const Graph& q, uint64_t* isomorphism_tests) const {
   QueryFeatureCounts counts;
   std::vector<uint32_t> per_edge;
-  CountQueryFeatures(q, &per_edge, isomorphism_tests, &counts);
+  Vf2Scratch vf2;
+  CountQueryFeatures(q, &per_edge, isomorphism_tests, &vf2, &counts);
   return counts;
 }
 
@@ -158,7 +174,8 @@ void StructuralFilter::Filter(const Graph& q, const std::vector<Graph>& relaxed,
                               StructuralFilterScratch* scratch,
                               StructuralFilterStats* stats,
                               const QueryFeatureCounts* precomputed,
-                              QueryFeatureCounts* computed_counts) const {
+                              QueryFeatureCounts* computed_counts,
+                              const std::vector<MatchPlan>* rq_plans) const {
   WallTimer timer;
   StructuralFilterStats local;
 
@@ -168,7 +185,7 @@ void StructuralFilter::Filter(const Graph& q, const std::vector<Graph>& relaxed,
   const QueryFeatureCounts* counts = precomputed;
   if (counts == nullptr) {
     CountQueryFeatures(q, &scratch->per_edge, &local.isomorphism_tests,
-                       &scratch->counts);
+                       &scratch->vf2, &scratch->counts);
     counts = &scratch->counts;
     if (computed_counts != nullptr) *computed_counts = scratch->counts;
   }
@@ -253,6 +270,20 @@ void StructuralFilter::Filter(const Graph& q, const std::vector<Graph>& relaxed,
     for (uint32_t ri = 0; ri < relaxed.size(); ++ri) {
       BuildLabelHistogram(relaxed[ri], &rq_hist[ri]);
     }
+    // One compiled plan per rq for the whole survivor sweep: passed in by
+    // the processor, or compiled here (seeded rarest-database-label-first —
+    // the hit/miss answer per (rq, gc) pair is plan-independent, so the
+    // survivor set cannot change).
+    if (rq_plans == nullptr) {
+      scratch->rq_plans.clear();
+      scratch->rq_plans.reserve(relaxed.size());
+      MatchPlanOptions plan_options;
+      plan_options.label_freq = &label_freq_;
+      for (const Graph& rq : relaxed) {
+        scratch->rq_plans.push_back(CompileMatchPlan(rq, plan_options));
+      }
+      rq_plans = &scratch->rq_plans;
+    }
 
     // Compact survivors in place: read index scans the count-filter output,
     // write index keeps exact hits (both ascend, so order is preserved).
@@ -269,7 +300,7 @@ void StructuralFilter::Filter(const Graph& q, const std::vector<Graph>& relaxed,
         }
         if (!HistogramCoversPattern(graph_hist_[gi], rq_hist[ri])) continue;
         ++local.isomorphism_tests;
-        if (IsSubgraphIsomorphic(rq, gc)) {
+        if (IsSubgraphIsomorphic((*rq_plans)[ri], gc, &scratch->vf2)) {
           similar = true;
           break;
         }

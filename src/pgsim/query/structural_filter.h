@@ -28,6 +28,7 @@
 #include "pgsim/common/bitset.h"
 #include "pgsim/common/status.h"
 #include "pgsim/graph/graph.h"
+#include "pgsim/graph/vf2.h"
 #include "pgsim/mining/feature_miner.h"
 
 namespace pgsim {
@@ -103,6 +104,10 @@ struct StructuralFilterScratch {
   std::vector<LabelHistogram> rq_hist;
   /// Per-query feature counts when no precomputed ones are supplied.
   QueryFeatureCounts counts;
+  /// VF2 matcher state (query feature counting + the exact check).
+  Vf2Scratch vf2;
+  /// Relaxed-query plans compiled locally when the caller passes none.
+  std::vector<MatchPlan> rq_plans;
 };
 
 /// Precomputed per-graph feature-embedding counts + the exact checker.
@@ -131,12 +136,18 @@ class StructuralFilter {
   /// thresholds derived from them are bit-identical to a fresh computation.
   /// When `computed_counts` is non-null and the counts were computed here,
   /// they are copied out so the caller can cache them.
+  ///
+  /// `rq_plans`, when non-null, supplies one compiled MatchPlan per relaxed
+  /// query for the exact check (the processor's per-query shared set);
+  /// otherwise plans are compiled into the scratch — once per query, reused
+  /// across every surviving candidate.
   void Filter(const Graph& q, const std::vector<Graph>& relaxed,
               uint32_t delta, std::vector<uint32_t>* survivors,
               StructuralFilterScratch* scratch,
               StructuralFilterStats* stats = nullptr,
               const QueryFeatureCounts* precomputed = nullptr,
-              QueryFeatureCounts* computed_counts = nullptr) const;
+              QueryFeatureCounts* computed_counts = nullptr,
+              const std::vector<MatchPlan>* rq_plans = nullptr) const;
 
   /// Counts each indexed feature's embeddings in `q` (the iso-invariant
   /// expensive half of Filter); `isomorphism_tests`, when non-null, is
@@ -166,7 +177,7 @@ class StructuralFilter {
 
  private:
   void CountQueryFeatures(const Graph& q, std::vector<uint32_t>* per_edge,
-                          uint64_t* isomorphism_tests,
+                          uint64_t* isomorphism_tests, Vf2Scratch* vf2,
                           QueryFeatureCounts* out) const;
 
   StructuralFilterOptions options_;
@@ -176,6 +187,12 @@ class StructuralFilter {
   // (callers must keep the containers alive and unmodified).
   std::vector<const Graph*> graphs_;
   std::vector<const Graph*> feature_graphs_;
+  // Compiled match plans, one per feature, built once at Build() and reused
+  // for every count (build-time and query-time).
+  std::vector<MatchPlan> feature_plans_;
+  // Database-aggregate vertex-label frequencies (index = LabelId): seed
+  // ordering input for relaxed-query plans compiled for the exact check.
+  std::vector<uint32_t> label_freq_;
   uint32_t num_graphs_ = 0;
   // Feature-major count matrix: counts_[feature * num_graphs_ + graph],
   // saturating at options_.max_count (0xFFFF = saturated).

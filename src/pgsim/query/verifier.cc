@@ -11,58 +11,6 @@ namespace pgsim {
 
 namespace {
 
-// ---- Open-addressing dedup over EventSetPool rows (slot = row + 1). ----
-
-size_t NextPow2(size_t n) {
-  size_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
-}
-
-void DedupReset(VerifierScratch* s, size_t expected) {
-  const size_t want = std::max<size_t>(64, NextPow2(expected * 2));
-  if (s->dedup.size() < want) {
-    s->dedup.assign(want, 0);
-  } else {
-    std::fill(s->dedup.begin(), s->dedup.end(), 0);
-  }
-}
-
-// Doubles the table and rehashes the `registered` first rows — NOT the
-// in-flight last row DedupInsertLastRow is about to probe for (rehashing it
-// would make the probe find the row itself and drop it as a "duplicate").
-void DedupGrow(VerifierScratch* s, size_t registered) {
-  const size_t new_size = s->dedup.size() * 2;
-  s->dedup.assign(new_size, 0);
-  const size_t mask = new_size - 1;
-  const size_t wpr = s->events.words_per_row();
-  for (size_t r = 0; r < registered; ++r) {
-    size_t pos = EventSetPool::Hash(s->events.Row(r), wpr) & mask;
-    while (s->dedup[pos] != 0) pos = (pos + 1) & mask;
-    s->dedup[pos] = static_cast<uint32_t>(r) + 1;
-  }
-}
-
-// Registers the pool's last row; returns false (and pops it) on duplicate.
-bool DedupInsertLastRow(VerifierScratch* s) {
-  const size_t row = s->events.size() - 1;
-  const size_t wpr = s->events.words_per_row();
-  if ((row + 1) * 4 > s->dedup.size() * 3) DedupGrow(s, row);
-  const size_t mask = s->dedup.size() - 1;
-  const uint64_t* words = s->events.Row(row);
-  size_t pos = EventSetPool::Hash(words, wpr) & mask;
-  while (s->dedup[pos] != 0) {
-    const size_t other = s->dedup[pos] - 1;
-    if (EventSetPool::Equal(s->events.Row(other), words, wpr)) {
-      s->events.PopRow();
-      return false;
-    }
-    pos = (pos + 1) & mask;
-  }
-  s->dedup[pos] = static_cast<uint32_t>(row) + 1;
-  return true;
-}
-
 // In-pool equivalent of AbsorbDnfTerms: drops every event that is a strict
 // superset of another (rows are deduplicated, so ContainsAll of a different
 // row means strict). Marks first, compacts after — compacting inline would
@@ -109,25 +57,40 @@ void ForEachBit(const uint64_t* words, size_t n, Fn&& fn) {
 Status CollectSimilarityEvents(const ProbabilisticGraph& g,
                                const std::vector<Graph>& relaxed,
                                const VerifierOptions& options,
-                               VerifierScratch* scratch) {
+                               VerifierScratch* scratch,
+                               const std::vector<MatchPlan>* plans) {
+  // The pipeline hands in plans compiled once per query; a standalone call
+  // compiles them here, into reused scratch storage, once per call (not
+  // once per relaxed query x candidate as the pre-plan engine did).
+  if (plans == nullptr) {
+    scratch->rq_plans.clear();
+    scratch->rq_plans.reserve(relaxed.size());
+    for (const Graph& rq : relaxed) {
+      scratch->rq_plans.push_back(CompileMatchPlan(rq));
+    }
+    plans = &scratch->rq_plans;
+  }
   EventSetPool& events = scratch->events;
   events.Reset(g.NumEdges());
-  DedupReset(scratch, std::min(options.max_total_embeddings, size_t{512}));
+  scratch->dedup.Reset(std::min(options.max_total_embeddings, size_t{512}));
   Status failure = Status::OK();
-  for (const Graph& rq : relaxed) {
-    Vf2Options vf2;
-    // Enumerate one past the inclusive cap so "exactly at the cap" is
-    // distinguishable from "truncated"; 0 keeps its historical "uncapped"
-    // meaning (and SIZE_MAX wraps to it, same intent).
-    vf2.max_embeddings = options.max_embeddings_per_rq == 0
-                             ? 0
-                             : options.max_embeddings_per_rq + 1;
-    vf2.dedup_by_edge_set = true;
+  Vf2Options vf2;
+  // Enumerate one past the inclusive cap so "exactly at the cap" is
+  // distinguishable from "truncated"; 0 keeps its historical "uncapped"
+  // meaning (and SIZE_MAX wraps to it, same intent).
+  vf2.max_embeddings = options.max_embeddings_per_rq == 0
+                           ? 0
+                           : options.max_embeddings_per_rq + 1;
+  vf2.dedup_by_edge_set = true;
+  for (size_t ri = 0; ri < relaxed.size(); ++ri) {
     const size_t n = EnumerateEmbeddings(
-        rq, g.certain(), vf2, [&](const Embedding& emb) {
+        (*plans)[ri], g.certain(), vf2, &scratch->vf2,
+        [&](const Embedding& emb) {
           const size_t row = events.AddRow();
           for (EdgeId e : emb.edge_map) events.SetBit(row, e);
-          if (!DedupInsertLastRow(scratch)) return true;  // duplicate event
+          if (!scratch->dedup.InsertLastRow(&events)) {
+            return true;  // duplicate event
+          }
           if (events.size() > options.max_total_embeddings) {
             // Inclusive total cap: exactly max_total_embeddings distinct
             // events are allowed; inserting the (max+1)-th is the error.
@@ -188,8 +151,10 @@ Result<double> ExactSubgraphSimilarityProbability(
 
 Result<double> ExactSubgraphSimilarityProbability(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
-    const VerifierOptions& options, VerifierScratch* scratch) {
-  PGSIM_RETURN_NOT_OK(CollectSimilarityEvents(g, relaxed, options, scratch));
+    const VerifierOptions& options, VerifierScratch* scratch,
+    const std::vector<MatchPlan>* plans) {
+  PGSIM_RETURN_NOT_OK(
+      CollectSimilarityEvents(g, relaxed, options, scratch, plans));
   return ExactSspFromEvents(g, options, scratch);
 }
 
@@ -223,8 +188,10 @@ Result<double> SampleSubgraphSimilarityProbability(
 
 Result<double> SampleSubgraphSimilarityProbability(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
-    const VerifierOptions& options, Rng* rng, VerifierScratch* scratch) {
-  PGSIM_RETURN_NOT_OK(CollectSimilarityEvents(g, relaxed, options, scratch));
+    const VerifierOptions& options, Rng* rng, VerifierScratch* scratch,
+    const std::vector<MatchPlan>* plans) {
+  PGSIM_RETURN_NOT_OK(
+      CollectSimilarityEvents(g, relaxed, options, scratch, plans));
   EventSetPool& events = scratch->events;
   if (events.empty()) return 0.0;
   // Absorption shrinks the event list without changing the union.
@@ -258,7 +225,6 @@ Result<double> SampleSubgraphSimilarityProbability(
   // below (the product of each event's conditional ne-set masses).
   std::vector<double>& marginals = scratch->marginals;
   marginals.resize(m);
-  double v = 0.0;
   if (partition) {
     // ---- Compile the per-candidate sampling plan. ----
     // One unconditional step per active ne set: its dense probability table
@@ -338,29 +304,35 @@ Result<double> SampleSubgraphSimilarityProbability(
       }
       ov_row_off[i + 1] = static_cast<uint32_t>(ov_active.size());
       marginals[i] = marginal;
-      v += marginal;
     }
     ov_entry_off.push_back(static_cast<uint32_t>(ov_prob.size()));
   } else {
     for (size_t i = 0; i < m; ++i) {
       scratch->tmp.AssignWords(events.Row(i), num_edges);
       marginals[i] = g.MarginalAllPresent(scratch->tmp, &scratch->sample);
-      v += marginals[i];
     }
   }
-  if (v <= 0.0) return 0.0;
 
   // Descending-marginal order: likely events come first, so the most
   // frequently drawn event sits at position 0 — where canonicity is free.
+  // Exact marginal ties (possible under hand-set uniform probabilities)
+  // break by row content, not insertion order — rows are deduplicated, so
+  // this is a total order and the draw sequence is a pure function of the
+  // event *set* and the model, independent of the enumeration order the
+  // compiled match plans produced the events in.
   std::vector<uint32_t>& order = scratch->order;
   order.resize(m);
   for (size_t i = 0; i < m; ++i) order[i] = static_cast<uint32_t>(i);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](uint32_t a, uint32_t b) {
-                     return marginals[a] > marginals[b];
-                   });
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (marginals[a] != marginals[b]) return marginals[a] > marginals[b];
+    const uint64_t* ra = events.Row(a);
+    const uint64_t* rb = events.Row(b);
+    return std::lexicographical_compare(ra, ra + wpr, rb, rb + wpr);
+  });
 
-  // Cumulative distribution for i ∝ Pr(Bfi)/V, in sorted order.
+  // Cumulative distribution for i ∝ Pr(Bfi)/V, in sorted order. V itself is
+  // the cumulative tail, so it too is summed in sorted order — insertion
+  // order must not leak into any floating-point result.
   std::vector<double>& cumulative = scratch->cumulative;
   cumulative.resize(m);
   double acc = 0.0;
@@ -368,6 +340,8 @@ Result<double> SampleSubgraphSimilarityProbability(
     acc += marginals[order[p]];
     cumulative[p] = acc;
   }
+  const double v = acc;
+  if (v <= 0.0) return 0.0;
 
   // Contiguous copy of the rows in sorted order: the canonicity scan walks
   // events[0..pos) back to back instead of hopping through `order`.

@@ -33,7 +33,11 @@
 // the support restriction) changes which RNG draws happen when — estimates
 // differ draw-by-draw from the pre-scratch engine while concentrating on
 // the same SSP. Determinism contract: equal (graph, relaxed, options, RNG
-// state) produce bit-identical estimates, with or without a reused scratch.
+// state) produce bit-identical estimates, with or without a reused scratch,
+// and independent of the VF2 plan variant that enumerated the events: the
+// sampling order sorts by descending marginal with row-content tie-breaks,
+// so it is a pure function of the (deduplicated) event set and the model,
+// not of event insertion order.
 
 #pragma once
 
@@ -45,6 +49,7 @@
 #include "pgsim/common/random.h"
 #include "pgsim/common/status.h"
 #include "pgsim/graph/graph.h"
+#include "pgsim/graph/vf2.h"
 #include "pgsim/prob/dnf_exact.h"
 #include "pgsim/prob/probabilistic_graph.h"
 
@@ -82,8 +87,8 @@ struct VerifierScratch {
   /// The same rows permuted into descending-marginal order — the canonicity
   /// scan walks them contiguously.
   EventSetPool sorted_events;
-  /// Open-addressing dedup table over event rows (slot = row index + 1).
-  std::vector<uint32_t> dedup;
+  /// Open-addressing dedup table over event rows.
+  EventRowDedup dedup;
   /// Pr(Bfi) per pool row.
   std::vector<double> marginals;
   /// Event rows in descending-marginal order.
@@ -107,6 +112,14 @@ struct VerifierScratch {
   WorldSampleScratch sample;
   /// Exact-engine event materialization (element capacity reused).
   std::vector<EdgeBitset> exact_events;
+
+  /// VF2 matcher state for embedding collection (map/used/cursor arrays,
+  /// reused Embedding, pooled edge-set dedup).
+  Vf2Scratch vf2;
+  /// Per-relaxed-query plans compiled locally when the caller supplies none
+  /// (the processor passes its per-query shared plan set instead, so this
+  /// fallback only pays on standalone verifier calls).
+  std::vector<MatchPlan> rq_plans;
 
   /// Partition-model sampling plan, rebuilt per candidate (see verifier.cc:
   /// per active ne set an unconditional compact CDF with per-entry OR-masks,
@@ -133,10 +146,16 @@ struct VerifierScratch {
 /// `scratch->events`. Fails when a cap is hit (the exact engine would be
 /// unsound on a partial list; SMP callers may treat the failure as "fall
 /// back to exact bounds"); the pool contents are unspecified on error.
+///
+/// `plans`, when non-null, supplies one compiled MatchPlan per relaxed
+/// query (same order as `relaxed`) — the query pipeline compiles them once
+/// per query and reuses them for every candidate. When null, plans are
+/// compiled into the scratch per call.
 Status CollectSimilarityEvents(const ProbabilisticGraph& g,
                                const std::vector<Graph>& relaxed,
                                const VerifierOptions& options,
-                               VerifierScratch* scratch);
+                               VerifierScratch* scratch,
+                               const std::vector<MatchPlan>* plans = nullptr);
 
 /// Legacy materializing wrapper around the scratch-based collector.
 Result<std::vector<EdgeBitset>> CollectSimilarityEvents(
@@ -159,10 +178,12 @@ Result<double> ExactSubgraphSimilarityProbability(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
     const VerifierOptions& options = VerifierOptions());
 
-/// As above, drawing all event storage from `*scratch`.
+/// As above, drawing all event storage from `*scratch`; `plans` as in
+/// CollectSimilarityEvents.
 Result<double> ExactSubgraphSimilarityProbability(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
-    const VerifierOptions& options, VerifierScratch* scratch);
+    const VerifierOptions& options, VerifierScratch* scratch,
+    const std::vector<MatchPlan>* plans = nullptr);
 
 /// Definition 9 evaluated literally by possible-world enumeration + subgraph
 /// distance per world. Tiny graphs only; tests' ground truth.
@@ -176,9 +197,13 @@ Result<double> SampleSubgraphSimilarityProbability(
     const VerifierOptions& options, Rng* rng);
 
 /// As above, drawing every event/marginal/world buffer from `*scratch` —
-/// the zero-allocation steady-state hot path QueryProcessor runs.
+/// the zero-allocation steady-state hot path QueryProcessor runs. `plans`
+/// as in CollectSimilarityEvents; event *sets* (and therefore the sampled
+/// estimate's distribution and, absent exact marginal ties, its draws) are
+/// independent of the plan variant used to enumerate them.
 Result<double> SampleSubgraphSimilarityProbability(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
-    const VerifierOptions& options, Rng* rng, VerifierScratch* scratch);
+    const VerifierOptions& options, Rng* rng, VerifierScratch* scratch,
+    const std::vector<MatchPlan>* plans = nullptr);
 
 }  // namespace pgsim
