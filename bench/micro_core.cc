@@ -713,6 +713,107 @@ BENCHMARK(BM_QueryBatch_RelaxationCache)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// ---- Skewed batch (PR 6): mostly-cheap queries plus a few pathological  ----
+// ---- ones, under the chunked vs work-stealing batch schedulers. Small   ----
+// ---- queries are the expensive ones here — nearly every database graph  ----
+// ---- survives the structural filter, so each drags dozens of Karp-Luby  ----
+// ---- verifications behind it — and they sit adjacent at the front of    ----
+// ---- the batch, so under the chunked scheduler one worker's chunk       ----
+// ---- swallows all of them while the rest of the pool drains the cheap   ----
+// ---- tail and idles. The stealing scheduler splits the hot queries'     ----
+// ---- candidates across idle workers. Answers are bit-identical.         ----
+
+const std::vector<Graph>& GetSkewedQueries() {
+  static const std::vector<Graph>* queries = [] {
+    const BatchFixture& f = GetBatchFixture();
+    auto* qs = new std::vector<Graph>();
+    Rng qrng(70);
+    // 3 pathological queries: 3-edge extracts match most of the database.
+    while (qs->size() < 3) {
+      const auto& source = f.db[qrng.Uniform(f.db.size())].certain();
+      auto q = ExtractQuery(source, 3, &qrng);
+      if (q.ok()) qs->push_back(std::move(q).value());
+    }
+    // 21 cheap queries: 7-edge extracts keep few verification candidates.
+    while (qs->size() < 24) {
+      const auto& source = f.db[qrng.Uniform(f.db.size())].certain();
+      auto q = ExtractQuery(source, 7, &qrng);
+      if (q.ok()) qs->push_back(std::move(q).value());
+    }
+    return qs;
+  }();
+  return *queries;
+}
+
+void BM_QueryBatch_Skew(benchmark::State& state) {
+  const BatchFixture& f = GetBatchFixture();
+  const std::vector<Graph>& queries = GetSkewedQueries();
+  const QueryProcessor processor(&f.db, &f.pmi, &f.filter);
+  QueryOptions options;
+  options.delta = 1;
+  options.verifier.mc.min_samples = 1000;
+  options.verifier.mc.max_samples = 1000;
+  BatchOptions batch;
+  batch.scheduler = state.range(0) != 0 ? BatchOptions::Scheduler::kStealing
+                                        : BatchOptions::Scheduler::kChunked;
+  batch.num_threads = static_cast<uint32_t>(state.range(1));
+  size_t answers = 0;
+  size_t stolen = 0;
+  for (auto _ : state) {
+    BatchStats stats;
+    const auto results =
+        processor.QueryBatch(queries, options, batch, &stats);
+    answers += stats.total_answers;
+    stolen += stats.tasks_stolen;
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * queries.size());
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["stolen"] = static_cast<double>(stolen);
+}
+BENCHMARK(BM_QueryBatch_Skew)
+    ->Args({0, 1})  // chunked, 1 thread
+    ->Args({0, 4})  // chunked, 4 threads
+    ->Args({0, 0})  // chunked, all hardware threads
+    ->Args({1, 1})  // stealing, 1 thread
+    ->Args({1, 4})  // stealing, 4 threads
+    ->Args({1, 0})  // stealing, all hardware threads
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---- ThreadPool submission wake-up cost (PR 6 satellite): a burst of   ----
+// ---- trivial tasks via one Submit per task (a futex notify each) vs a  ----
+// ---- single SubmitMany (one lock, one notify_all).                     ----
+
+void BM_ThreadPool_SubmitBurst(benchmark::State& state) {
+  ThreadPool pool(4);
+  constexpr int kBurst = 64;
+  std::atomic<int> sink{0};
+  for (auto _ : state) {
+    if (state.range(0) == 0) {
+      for (int i = 0; i < kBurst; ++i) {
+        pool.Submit([&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+      }
+    } else {
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(kBurst);
+      for (int i = 0; i < kBurst; ++i) {
+        tasks.push_back(
+            [&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+      }
+      pool.SubmitMany(std::move(tasks));
+    }
+    pool.Wait();
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * kBurst);
+  state.counters["ran"] = static_cast<double>(sink.load());
+}
+BENCHMARK(BM_ThreadPool_SubmitBurst)
+    ->Arg(0)  // per-task Submit + notify_one
+    ->Arg(1)  // bulk SubmitMany + one notify_all
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
 // ---- Columnar filter/prune engine (PR 4): a fig10-style workload       ----
 // ---- (Section-6 generator defaults, qsize-6 queries at delta=1) driven ----
 // ---- through stage 1's count scan and stage 2's per-candidate bound    ----

@@ -5,7 +5,15 @@
 //   pgsim_cli index    --db=db.txt --out=index.pmi [--build-threads=N]
 //   pgsim_cli query    --db=db.txt --queries=q.txt [--index=index.pmi]
 //                      [--delta=N] [--epsilon=F] [--threads=N] [--chunk=N]
+//                      [--scheduler=stealing|chunked] [--task-grain=N]
 //                      [--build-threads=N] [--cache=0|1] [--verify-threads=N]
+//
+// --scheduler picks how the batch is distributed across --threads workers:
+// "stealing" (default) decomposes each query into a front-stages task plus
+// per-candidate verification tasks on a work-stealing scheduler (skewed
+// batches keep every worker busy); "chunked" is the plain parallel-for that
+// claims --chunk whole queries at a time. Answers are bit-identical either
+// way. --task-grain sets verification candidates per stealing task.
 //
 // --verify-threads fans each query's verification candidates across a pool
 // (0 = all hardware threads; answers are byte-identical at any setting). It
@@ -196,6 +204,18 @@ int CmdQuery(int argc, char** argv) {
   batch.num_threads = threads < 0 ? 1 : static_cast<uint32_t>(threads);
   batch.chunk_size = chunk < 1 ? 1 : static_cast<uint32_t>(chunk);
   batch.enable_cache = FlagInt(argc, argv, "cache", 1) != 0;
+  const std::string scheduler = FlagStr(argc, argv, "scheduler", "stealing");
+  if (scheduler == "chunked") {
+    batch.scheduler = BatchOptions::Scheduler::kChunked;
+  } else if (scheduler == "stealing") {
+    batch.scheduler = BatchOptions::Scheduler::kStealing;
+  } else {
+    std::fprintf(stderr, "unknown --scheduler=%s (chunked|stealing)\n",
+                 scheduler.c_str());
+    return 2;
+  }
+  const int64_t task_grain = FlagInt(argc, argv, "task-grain", 1);
+  batch.task_grain = task_grain < 1 ? 1 : static_cast<uint32_t>(task_grain);
   const QueryProcessor processor(&setup->db.graphs, &setup->pmi,
                                  &setup->filter);
   BatchStats batch_stats;
@@ -226,6 +246,15 @@ int CmdQuery(int argc, char** argv) {
       batch_stats.wall_seconds > 0.0
           ? batch_stats.num_queries / batch_stats.wall_seconds
           : 0.0);
+  if (batch_stats.tasks_executed > 0) {
+    std::printf(
+        "scheduler: %zu tasks (%zu stolen, %zu steal probes), queue depth "
+        "%zu, %zu overlapped verify tasks, %.1f ms summed queue wait\n",
+        batch_stats.tasks_executed, batch_stats.tasks_stolen,
+        batch_stats.steal_attempts, batch_stats.max_queue_depth,
+        batch_stats.overlapped_verify_tasks,
+        batch_stats.sum_queue_wait_seconds * 1e3);
+  }
   if (batch.enable_cache) {
     std::printf(
         "cache: relax %zu/%zu hits, counts %zu/%zu hits, pruner %zu/%zu "

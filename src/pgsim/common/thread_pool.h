@@ -59,6 +59,22 @@ class ThreadPool {
     wake_.notify_one();
   }
 
+  /// Enqueues a burst of tasks under one lock acquisition and one
+  /// notify_all, instead of a lock + notify_one per task: on small batches
+  /// the per-Submit wake-up (futex syscall while the workers are still
+  /// parking) dominates enqueue cost — BM_ThreadPool_SubmitBurst pins the
+  /// difference. ParallelFor and the work-stealing TaskScheduler submit
+  /// their per-worker loops through this.
+  void SubmitMany(std::vector<std::function<void()>> tasks) {
+    if (tasks.empty()) return;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      pending_ += tasks.size();
+      for (auto& task : tasks) queue_.push(std::move(task));
+    }
+    wake_.notify_all();
+  }
+
   /// Blocks until all tasks submitted so far have completed.
   void Wait() {
     std::unique_lock<std::mutex> lock(mu_);
@@ -75,8 +91,10 @@ class ThreadPool {
     if (n == 0) return;
     if (chunk == 0) chunk = 1;
     auto cursor = std::make_shared<std::atomic<size_t>>(0);
+    std::vector<std::function<void()>> claimers;
+    claimers.reserve(size());
     for (uint32_t rank = 0; rank < size(); ++rank) {
-      Submit([cursor, n, chunk, rank, &fn] {
+      claimers.push_back([cursor, n, chunk, rank, &fn] {
         for (;;) {
           const size_t begin = cursor->fetch_add(chunk);
           if (begin >= n) return;
@@ -85,6 +103,7 @@ class ThreadPool {
         }
       });
     }
+    SubmitMany(std::move(claimers));
     Wait();
   }
 

@@ -3,11 +3,19 @@
 #include <algorithm>
 #include <memory>
 
-#include "pgsim/common/thread_pool.h"
-#include "pgsim/common/timer.h"
+#include "pgsim/common/task_scheduler.h"
 #include "pgsim/query/batch_cache.h"
 
 namespace pgsim {
+
+namespace {
+
+// Per-candidate verdict codes (QueryJob::verdicts).
+constexpr uint8_t kVerifyFailed = 0;
+constexpr uint8_t kVerifyReject = 1;
+constexpr uint8_t kVerifyAccept = 2;
+
+}  // namespace
 
 QueryProcessor::QueryProcessor(const std::vector<ProbabilisticGraph>* database,
                                const ProbabilisticMatrixIndex* pmi,
@@ -20,31 +28,26 @@ QueryProcessor::QueryProcessor(const std::vector<ProbabilisticGraph>* database,
   }
 }
 
-Result<std::vector<uint32_t>> QueryProcessor::Query(
-    const Graph& q, const QueryOptions& options, QueryStats* stats) const {
-  QueryContext ctx;
-  return Query(q, options, &ctx, stats);
-}
+// ---------------------------------------------------------------------------
+// Decomposed pipeline stages. Sequential Query(), the chunked batch path
+// (through Query()) and the stealing batch path all execute exactly these —
+// one code path for the order-sensitive work is what keeps answers
+// bit-identical across schedulers.
+// ---------------------------------------------------------------------------
 
-Result<std::vector<uint32_t>> QueryProcessor::Query(
-    const Graph& q, const QueryOptions& options, QueryContext* ctx,
-    QueryStats* stats) const {
-  WallTimer total_timer;
-  QueryStats local;
+Status QueryProcessor::FrontStagesImpl(const Graph& q,
+                                       const QueryOptions& options,
+                                       QueryContext* ctx,
+                                       QueryJob* job) const {
   const auto& db = *database_;
+  QueryStats& local = job->stats;
   local.database_size = db.size();
-  ctx->Reset(options.seed);
-
-  std::vector<uint32_t>& answers = ctx->answers;
 
   if (options.delta >= q.NumEdges()) {
     // dis(q, g') <= |E(q)| <= delta for every world: SSP = 1 everywhere.
-    answers.resize(db.size());
-    for (uint32_t i = 0; i < db.size(); ++i) answers[i] = i;
-    local.answers = answers.size();
-    local.total_seconds = total_timer.Seconds();
-    if (stats != nullptr) *stats = local;
-    return answers;
+    job->answers.resize(db.size());
+    for (uint32_t i = 0; i < db.size(); ++i) job->answers[i] = i;
+    return Status::OK();
   }
 
   // ---- Batch cache probe (canonical + exact keys). ----
@@ -60,26 +63,26 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
   // query would generate — see batch_cache.h); a cacheable miss generates
   // into a shared vector and publishes it for the rest of the batch.
   WallTimer relax_timer;
-  const std::vector<Graph>* relaxed = &ctx->relaxed;
-  std::shared_ptr<const std::vector<Graph>> relaxed_hold;
   if (cached.relaxed != nullptr) {
     local.relax_cache_hit = true;
-    relaxed_hold = cached.relaxed;
-    relaxed = relaxed_hold.get();
+    job->relaxed_hold = cached.relaxed;
+    job->relaxed = job->relaxed_hold.get();
   } else if (cached.cacheable) {
     auto generated = std::make_shared<std::vector<Graph>>();
     PGSIM_RETURN_NOT_OK(GenerateRelaxedQueriesInto(q, options.delta,
                                                    options.relax,
                                                    generated.get()));
-    relaxed_hold = std::move(generated);
-    relaxed = relaxed_hold.get();
-    ctx->cache->StoreRelaxed(cached, relaxed_hold);
+    job->relaxed_hold = std::move(generated);
+    job->relaxed = job->relaxed_hold.get();
+    ctx->cache->StoreRelaxed(cached, job->relaxed_hold);
   } else {
     PGSIM_RETURN_NOT_OK(GenerateRelaxedQueriesInto(q, options.delta,
                                                    options.relax,
-                                                   &ctx->relaxed));
+                                                   &job->relaxed_storage));
+    job->relaxed = &job->relaxed_storage;
   }
-  local.num_relaxed_queries = relaxed->size();
+  const std::vector<Graph>& relaxed = *job->relaxed;
+  local.num_relaxed_queries = relaxed.size();
   local.relax_seconds = relax_timer.Seconds();
 
   // ---- Relaxed-query match plans. ----
@@ -88,33 +91,31 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
   // every stage-3 candidate — and reused across byte-identical queries
   // through the batch cache (a pure function of U + the processor's fixed
   // label frequencies, so the exact-key tier applies).
-  const std::vector<MatchPlan>* rq_plans = nullptr;
-  std::shared_ptr<const std::vector<MatchPlan>> plans_hold;
   if (cached.plans != nullptr) {
-    plans_hold = cached.plans;
-    rq_plans = plans_hold.get();
+    job->plans_hold = cached.plans;
+    job->rq_plans = job->plans_hold.get();
   } else {
     MatchPlanOptions plan_options;
     plan_options.label_freq = &db_label_freq_;
-    ctx->rq_plans.clear();
-    ctx->rq_plans.reserve(relaxed->size());
-    for (const Graph& rq : *relaxed) {
-      ctx->rq_plans.push_back(CompileMatchPlan(rq, plan_options));
+    job->plans_storage.clear();
+    job->plans_storage.reserve(relaxed.size());
+    for (const Graph& rq : relaxed) {
+      job->plans_storage.push_back(CompileMatchPlan(rq, plan_options));
     }
     if (cached.cacheable) {
-      plans_hold = std::make_shared<const std::vector<MatchPlan>>(
-          std::move(ctx->rq_plans));
-      ctx->rq_plans.clear();
-      rq_plans = plans_hold.get();
-      ctx->cache->StorePlans(cached, plans_hold);
+      job->plans_hold = std::make_shared<const std::vector<MatchPlan>>(
+          std::move(job->plans_storage));
+      job->plans_storage.clear();
+      job->rq_plans = job->plans_hold.get();
+      ctx->cache->StorePlans(cached, job->plans_hold);
     } else {
-      rq_plans = &ctx->rq_plans;
+      job->rq_plans = &job->plans_storage;
     }
   }
 
   // ---- Stage 1: structural pruning (Theorem 1). ----
   WallTimer structural_timer;
-  std::vector<uint32_t>& sc_q = ctx->structural_candidates;
+  std::vector<uint32_t>& sc_q = job->structural_candidates;
   if (options.use_structural_filter && structural_ != nullptr) {
     const QueryFeatureCounts* counts = cached.counts.get();
     local.counts_cache_hit = counts != nullptr;
@@ -122,9 +123,9 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
     if (cached.cacheable && counts == nullptr) {
       computed = std::make_shared<QueryFeatureCounts>();
     }
-    structural_->Filter(q, *relaxed, options.delta, &sc_q,
+    structural_->Filter(q, relaxed, options.delta, &sc_q,
                         &ctx->filter_scratch, &local.structural_detail, counts,
-                        computed.get(), rq_plans);
+                        computed.get(), job->rq_plans);
     if (computed != nullptr) {
       ctx->cache->StoreCounts(cached, std::move(computed));
     }
@@ -138,14 +139,14 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
   // ---- Stage 2: probabilistic pruning (Theorems 3-4). ----
   WallTimer prob_timer;
   Rng& rng = ctx->rng;
-  std::vector<uint32_t>& to_verify = ctx->to_verify;
+  std::vector<uint32_t>& to_verify = job->to_verify;
   if (options.use_probabilistic_pruning && pmi_ != nullptr) {
     ProbabilisticPruner pruner(pmi_, options.pruner);
     if (cached.prepared != nullptr) {
       local.prepared_cache_hit = true;
       pruner.PrepareFromCache(cached.prepared);
     } else {
-      pruner.PrepareQuery(*relaxed, rq_plans);
+      pruner.PrepareQuery(relaxed, job->rq_plans);
       if (cached.cacheable) {
         ctx->cache->StorePrepared(cached, pruner.SharePrepared());
       }
@@ -159,7 +160,7 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
           break;
         case PruneOutcome::kAccepted:
           ++local.accepted_by_lower;
-          answers.push_back(gi);
+          job->answers.push_back(gi);
           break;
         case PruneOutcome::kCandidate:
           to_verify.push_back(gi);
@@ -172,81 +173,271 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
   local.verification_candidates = to_verify.size();
   local.prob_seconds = prob_timer.Seconds();
 
-  // ---- Stage 3: verification (Section 5). ----
-  // Candidates verify independently: each one gets a sequentially pre-forked
-  // RNG (so draws do not depend on which thread claims it) and a per-rank
-  // VerifierScratch, and verdicts are merged in candidate order. Answers are
-  // therefore byte-identical at every verify_threads setting.
-  WallTimer verify_timer;
-  std::vector<Rng>& verify_rngs = ctx->verify_rngs;
+  // ---- Stage 3 setup: pre-fork per-candidate RNGs. ----
+  // Sequential forks in candidate order pin every candidate's random draws
+  // before any verification runs, so verdicts are independent of which
+  // worker (or steal schedule) executes each candidate.
+  job->verify_rngs.reserve(to_verify.size());
   for (size_t k = 0; k < to_verify.size(); ++k) {
-    verify_rngs.push_back(rng.Fork());
+    job->verify_rngs.push_back(rng.Fork());
   }
-  enum : uint8_t { kVerifyFailed = 0, kVerifyReject = 1, kVerifyAccept = 2 };
-  std::vector<uint8_t>& verdicts = ctx->verify_verdicts;
-  verdicts.assign(to_verify.size(), kVerifyFailed);
-  auto verify_one = [&](size_t k, VerifierScratch* scratch) {
-    const uint32_t gi = to_verify[k];
-    const Result<double> ssp =
-        options.verify_mode == QueryOptions::VerifyMode::kExact
-            ? ExactSubgraphSimilarityProbability(
-                  db[gi], *relaxed, options.verifier, scratch, rq_plans)
-            : SampleSubgraphSimilarityProbability(
-                  db[gi], *relaxed, options.verifier, &verify_rngs[k],
-                  scratch, rq_plans);
-    if (!ssp.ok()) {
-      verdicts[k] = kVerifyFailed;
-    } else {
-      verdicts[k] =
-          ssp.value() >= options.epsilon ? kVerifyAccept : kVerifyReject;
+  job->verdicts.assign(to_verify.size(), kVerifyFailed);
+  return Status::OK();
+}
+
+void QueryProcessor::RunFrontStages(const Graph& q,
+                                    const QueryOptions& options,
+                                    QueryContext* ctx, QueryJob* job) const {
+  job->Clear();
+  job->query = &q;
+  job->total_timer.Restart();
+  ctx->Reset(options.seed);
+  job->status = FrontStagesImpl(q, options, ctx, job);
+  job->verify_timer.Restart();
+}
+
+void QueryProcessor::VerifyCandidate(const QueryOptions& options,
+                                     QueryJob* job, size_t k,
+                                     VerifierScratch* scratch) const {
+  const auto& db = *database_;
+  const uint32_t gi = job->to_verify[k];
+  const Result<double> ssp =
+      options.verify_mode == QueryOptions::VerifyMode::kExact
+          ? ExactSubgraphSimilarityProbability(db[gi], *job->relaxed,
+                                               options.verifier, scratch,
+                                               job->rq_plans)
+          : SampleSubgraphSimilarityProbability(db[gi], *job->relaxed,
+                                                options.verifier,
+                                                &job->verify_rngs[k], scratch,
+                                                job->rq_plans);
+  if (!ssp.ok()) {
+    job->verdicts[k] = kVerifyFailed;
+  } else {
+    job->verdicts[k] =
+        ssp.value() >= options.epsilon ? kVerifyAccept : kVerifyReject;
+  }
+}
+
+void QueryProcessor::FinishQuery(QueryJob* job) const {
+  QueryStats& local = job->stats;
+  if (job->status.ok()) {
+    for (size_t k = 0; k < job->to_verify.size(); ++k) {
+      switch (job->verdicts[k]) {
+        case kVerifyFailed:
+          ++local.verification_failures;
+          break;
+        case kVerifyAccept:
+          job->answers.push_back(job->to_verify[k]);
+          break;
+        default:
+          break;
+      }
     }
-  };
+    std::sort(job->answers.begin(), job->answers.end());
+    local.answers = job->answers.size();
+  }
+  local.verify_seconds = job->verify_timer.Seconds();
+  local.total_seconds = job->total_timer.Seconds();
+}
+
+// ---------------------------------------------------------------------------
+// Sequential entry point.
+// ---------------------------------------------------------------------------
+
+Result<std::vector<uint32_t>> QueryProcessor::Query(
+    const Graph& q, const QueryOptions& options, QueryStats* stats) const {
+  QueryContext ctx;
+  return Query(q, options, &ctx, stats);
+}
+
+Result<std::vector<uint32_t>> QueryProcessor::Query(
+    const Graph& q, const QueryOptions& options, QueryContext* ctx,
+    QueryStats* stats) const {
+  QueryJob& job = ctx->job;
+  RunFrontStages(q, options, ctx, &job);
+  if (!job.status.ok()) return job.status;
+
+  // ---- Stage 3: verification (Section 5). ----
+  // Candidates verify independently against pre-forked RNGs and per-rank
+  // scratch; verdicts merge in candidate order (FinishQuery). Answers are
+  // therefore byte-identical at every verify_threads setting.
+  const size_t n = job.to_verify.size();
   const uint32_t verify_threads = options.verify_threads == 0
                                       ? ThreadPool::DefaultThreads()
                                       : options.verify_threads;
-  ThreadPool* verify_pool =
-      to_verify.size() > 1 ? ctx->VerifyPool(verify_threads) : nullptr;
+  ThreadPool* verify_pool = n > 1 ? ctx->VerifyPool(verify_threads) : nullptr;
   if (verify_pool == nullptr) {
-    for (size_t k = 0; k < to_verify.size(); ++k) {
-      verify_one(k, &ctx->verifier_scratch);
+    for (size_t k = 0; k < n; ++k) {
+      VerifyCandidate(options, &job, k, &ctx->verifier_scratch);
     }
   } else {
     ctx->verify_scratches.resize(verify_pool->size());
-    verify_pool->ParallelFor(
-        to_verify.size(), /*chunk=*/1,
-        [&](uint32_t rank, size_t begin, size_t end) {
-          for (size_t k = begin; k < end; ++k) {
-            verify_one(k, &ctx->verify_scratches[rank]);
-          }
-        });
+    verify_pool->ParallelFor(n, /*chunk=*/1,
+                             [&](uint32_t rank, size_t begin, size_t end) {
+                               for (size_t k = begin; k < end; ++k) {
+                                 VerifyCandidate(options, &job, k,
+                                                 &ctx->verify_scratches[rank]);
+                               }
+                             });
   }
-  for (size_t k = 0; k < to_verify.size(); ++k) {
-    switch (verdicts[k]) {
-      case kVerifyFailed:
-        ++local.verification_failures;
-        break;
-      case kVerifyAccept:
-        answers.push_back(to_verify[k]);
-        break;
-      default:
-        break;
-    }
-  }
-  local.verify_seconds = verify_timer.Seconds();
 
-  std::sort(answers.begin(), answers.end());
-  local.answers = answers.size();
-  local.total_seconds = total_timer.Seconds();
-  if (stats != nullptr) *stats = local;
-  return answers;
+  FinishQuery(&job);
+  if (stats != nullptr) *stats = job.stats;
+  return job.answers;
 }
 
-std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
+// ---------------------------------------------------------------------------
+// Stealing batch runner: one query -> a front-stages root task + ceil(n /
+// task_grain) verification tasks. The root runs stages 0-2 on whichever
+// worker claims it, then spawns the verification range tasks onto that
+// worker's own deque (newest-first, so the spawning worker proceeds with
+// warm caches while idle workers steal from the other end). The last
+// verification task to finish — whoever executes it — merges verdicts and
+// publishes the result slot.
+// ---------------------------------------------------------------------------
+
+struct StealingBatchRunner {
+  struct Job {
+    QueryJob job;
+    std::atomic<uint32_t> remaining{0};  ///< outstanding verification tasks
+    StealingBatchRunner* run = nullptr;
+    uint32_t qi = 0;
+  };
+
+  explicit StealingBatchRunner(size_t num_queries) : jobs(num_queries) {}
+
+  static void QueryTask(void* ctx, uint32_t worker, uint32_t /*a*/,
+                        uint32_t /*b*/) {
+    Job* j = static_cast<Job*>(ctx);
+    StealingBatchRunner* run = j->run;
+    QueryContext* qctx = run->sched->WorkerState<QueryContext>(worker);
+    qctx->cache = run->cache;
+    const double queue_wait = run->batch_timer->Seconds();
+    run->front_inflight.fetch_add(1, std::memory_order_relaxed);
+    run->proc->RunFrontStages((*run->queries)[j->qi], *run->options, qctx,
+                              &j->job);
+    run->front_inflight.fetch_sub(1, std::memory_order_relaxed);
+    j->job.stats.queue_wait_seconds = queue_wait;
+
+    const size_t n = j->job.to_verify.size();
+    if (!j->job.status.ok() || n == 0) {
+      run->Finish(j);
+      return;
+    }
+    const size_t grain = run->task_grain == 0 ? 1 : run->task_grain;
+    const size_t num_tasks = (n + grain - 1) / grain;
+    j->remaining.store(static_cast<uint32_t>(num_tasks),
+                       std::memory_order_relaxed);
+    // Reverse spawn order: the owner pops its deque LIFO, so candidate 0's
+    // range runs next on this worker while thieves steal from the tail.
+    for (size_t t = num_tasks; t-- > 0;) {
+      TaskScheduler::Task task;
+      task.fn = &VerifyTask;
+      task.ctx = j;
+      task.a = static_cast<uint32_t>(t * grain);
+      task.b = static_cast<uint32_t>(std::min(n, (t + 1) * grain));
+      run->sched->Spawn(worker, task);
+    }
+  }
+
+  static void VerifyTask(void* ctx, uint32_t worker, uint32_t a, uint32_t b) {
+    Job* j = static_cast<Job*>(ctx);
+    StealingBatchRunner* run = j->run;
+    if (run->front_inflight.load(std::memory_order_relaxed) > 0) {
+      // Stage-level pipelining observed: some other query is still in its
+      // front stages while this verification unit runs.
+      run->overlapped_verify.fetch_add(1, std::memory_order_relaxed);
+    }
+    QueryContext* qctx = run->sched->WorkerState<QueryContext>(worker);
+    for (uint32_t k = a; k < b; ++k) {
+      run->proc->VerifyCandidate(*run->options, &j->job, k,
+                                 &qctx->verifier_scratch);
+    }
+    // acq_rel: the last finisher must observe every other task's verdict
+    // writes before merging.
+    if (j->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      run->Finish(j);
+    }
+  }
+
+  void Finish(Job* j) {
+    proc->FinishQuery(&j->job);
+    BatchQueryResult& slot = (*results)[j->qi];
+    if (j->job.status.ok()) {
+      slot.stats = j->job.stats;
+      slot.answers = std::move(j->job.answers);
+    } else {
+      slot.status = j->job.status;
+    }
+  }
+
+  const QueryProcessor* proc = nullptr;
+  const std::vector<Graph>* queries = nullptr;
+  const QueryOptions* options = nullptr;
+  std::vector<BatchQueryResult>* results = nullptr;
+  BatchQueryCache* cache = nullptr;
+  TaskScheduler* sched = nullptr;
+  size_t task_grain = 1;
+  const WallTimer* batch_timer = nullptr;
+  std::vector<Job> jobs;
+  std::atomic<uint32_t> front_inflight{0};
+  std::atomic<uint64_t> overlapped_verify{0};
+};
+
+std::vector<BatchQueryResult> QueryProcessor::QueryBatchStealing(
     const std::vector<Graph>& queries, const QueryOptions& options,
-    const BatchOptions& batch, BatchStats* batch_stats) const {
-  WallTimer wall_timer;
-  const uint32_t num_threads =
-      ThreadPool::ResolveThreads(batch.num_threads, batch.pool);
+    const BatchOptions& batch, BatchQueryCache* cache, uint32_t num_threads,
+    const WallTimer& batch_timer, uint32_t* threads_used,
+    BatchStats* batch_stats) const {
+  std::unique_ptr<TaskScheduler> owned;
+  TaskScheduler* sched = batch.stealer;
+  if (sched == nullptr) {
+    owned = batch.pool != nullptr
+                ? std::make_unique<TaskScheduler>(batch.pool)
+                : std::make_unique<TaskScheduler>(num_threads);
+    sched = owned.get();
+  }
+  *threads_used = sched->num_workers();
+
+  std::vector<BatchQueryResult> results(queries.size());
+  StealingBatchRunner run(queries.size());
+  run.proc = this;
+  run.queries = &queries;
+  run.options = &options;
+  run.results = &results;
+  run.cache = cache;
+  run.sched = sched;
+  run.task_grain = batch.task_grain;
+  run.batch_timer = &batch_timer;
+
+  std::vector<TaskScheduler::Task> roots(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    run.jobs[qi].run = &run;
+    run.jobs[qi].qi = static_cast<uint32_t>(qi);
+    roots[qi].fn = &StealingBatchRunner::QueryTask;
+    roots[qi].ctx = &run.jobs[qi];
+  }
+  const SchedulerRunStats sched_stats = sched->Run(roots, /*root_chunk=*/1);
+
+  if (batch_stats != nullptr) {
+    batch_stats->tasks_executed = sched_stats.tasks_executed;
+    batch_stats->tasks_stolen = sched_stats.tasks_stolen;
+    batch_stats->steal_attempts = sched_stats.steal_attempts;
+    batch_stats->max_queue_depth = sched_stats.max_queue_depth;
+    batch_stats->overlapped_verify_tasks =
+        run.overlapped_verify.load(std::memory_order_relaxed);
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Chunked batch runner (the original parallel-for path).
+// ---------------------------------------------------------------------------
+
+std::vector<BatchQueryResult> QueryProcessor::QueryBatchChunked(
+    const std::vector<Graph>& queries, const QueryOptions& options,
+    const BatchOptions& batch, BatchQueryCache* cache, uint32_t num_threads,
+    uint32_t* threads_used) const {
   std::vector<BatchQueryResult> results(queries.size());
 
   // Each slot is written by exactly one worker; each worker reruns the
@@ -261,16 +452,11 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
     }
   };
 
-  // One artifact cache for the whole batch (see batch_cache.h): workers
-  // share relaxation sets and feature counts; answers stay bit-identical.
-  std::unique_ptr<BatchQueryCache> cache;
-  if (batch.enable_cache) cache = std::make_unique<BatchQueryCache>();
-
-  uint32_t threads_used = num_threads;
+  *threads_used = num_threads;
   if (batch.pool == nullptr && (num_threads <= 1 || queries.size() <= 1)) {
-    threads_used = 1;
+    *threads_used = 1;
     QueryContext ctx;
-    ctx.cache = cache.get();
+    ctx.cache = cache;
     for (size_t qi = 0; qi < queries.size(); ++qi) run_one(&ctx, qi);
   } else {
     // Use the caller's pool when provided; otherwise spawn a transient one.
@@ -281,7 +467,7 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
       pool = owned.get();
     }
     std::vector<QueryContext> contexts(pool->size());
-    for (QueryContext& ctx : contexts) ctx.cache = cache.get();
+    for (QueryContext& ctx : contexts) ctx.cache = cache;
     pool->ParallelFor(queries.size(), batch.chunk_size,
                       [&](uint32_t rank, size_t begin, size_t end) {
                         for (size_t qi = begin; qi < end; ++qi) {
@@ -289,11 +475,49 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
                         }
                       });
   }
+  return results;
+}
+
+std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
+    const std::vector<Graph>& queries, const QueryOptions& options,
+    const BatchOptions& batch, BatchStats* batch_stats) const {
+  WallTimer wall_timer;
+  const uint32_t num_threads =
+      ThreadPool::ResolveThreads(batch.num_threads, batch.pool);
+
+  // One artifact cache for the whole batch (see batch_cache.h): workers
+  // share relaxation sets and feature counts; answers stay bit-identical.
+  std::unique_ptr<BatchQueryCache> cache;
+  if (batch.enable_cache) cache = std::make_unique<BatchQueryCache>();
+
+  // The stealing scheduler needs either an execution vehicle worth sharing
+  // (a caller scheduler/pool) or genuine batch parallelism; a 1-thread,
+  // no-pool batch runs the plain inline chunked path — answers are
+  // bit-identical either way, so this is purely an overhead call.
+  const bool use_stealing =
+      batch.scheduler == BatchOptions::Scheduler::kStealing &&
+      (batch.stealer != nullptr || batch.pool != nullptr ||
+       (num_threads > 1 && queries.size() > 1));
+
+  uint32_t threads_used = num_threads;
+  BatchStats sched_counters;
+  std::vector<BatchQueryResult> results =
+      use_stealing
+          ? QueryBatchStealing(queries, options, batch, cache.get(),
+                               num_threads, wall_timer, &threads_used,
+                               &sched_counters)
+          : QueryBatchChunked(queries, options, batch, cache.get(),
+                              num_threads, &threads_used);
 
   if (batch_stats != nullptr) {
     BatchStats agg;
     agg.num_queries = queries.size();
     agg.threads_used = threads_used;
+    agg.tasks_executed = sched_counters.tasks_executed;
+    agg.tasks_stolen = sched_counters.tasks_stolen;
+    agg.steal_attempts = sched_counters.steal_attempts;
+    agg.max_queue_depth = sched_counters.max_queue_depth;
+    agg.overlapped_verify_tasks = sched_counters.overlapped_verify_tasks;
     for (const BatchQueryResult& r : results) {
       if (!r.status.ok()) {
         ++agg.failed_queries;
@@ -304,6 +528,7 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
       agg.pruned_by_upper += r.stats.pruned_by_upper;
       agg.accepted_by_lower += r.stats.accepted_by_lower;
       agg.verification_candidates += r.stats.verification_candidates;
+      agg.sum_queue_wait_seconds += r.stats.queue_wait_seconds;
       agg.sum_query_seconds += r.stats.total_seconds;
       agg.cache_seconds += r.stats.cache_seconds;
     }

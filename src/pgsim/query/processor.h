@@ -5,28 +5,46 @@
 // an optional structural filter into the three-stage pipeline and reports
 // per-stage statistics (the quantities plotted in Figures 9–13). Queries can
 // run one at a time (Query, optionally with a caller-owned QueryContext for
-// allocation reuse) or as a batch fanned across a thread pool in chunks
-// (QueryBatch), with identical answers either way: each query is seeded
-// independently from QueryOptions::seed.
+// allocation reuse) or as a batch (QueryBatch) under one of two schedulers:
+//
+//   - Scheduler::kChunked: the original chunked parallel-for — workers
+//     claim `chunk_size` whole queries at a time from an atomic cursor.
+//     Cheap and predictable, but one pathological query stalls its chunk.
+//   - Scheduler::kStealing (default): each query decomposes into a
+//     front-stages task (relaxation -> filter -> pruning) plus per-candidate
+//     verification tasks on a work-stealing TaskScheduler, so stages 1–2 of
+//     query B run while query A verifies, and a hot query's candidates are
+//     stolen by idle workers.
+//
+// Answers are bit-identical across both schedulers, any worker count, and
+// any task grain: each query reruns its pipeline from QueryOptions::seed,
+// stage-3 candidates draw from sequentially pre-forked per-candidate RNGs,
+// and verdicts are merged in candidate order (golden_pipeline_test pins
+// this).
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "pgsim/common/random.h"
 #include "pgsim/common/status.h"
+#include "pgsim/common/thread_pool.h"
+#include "pgsim/common/timer.h"
 #include "pgsim/graph/graph.h"
 #include "pgsim/graph/relaxation.h"
 #include "pgsim/index/pmi.h"
 #include "pgsim/query/prob_pruner.h"
-#include "pgsim/query/query_context.h"
 #include "pgsim/query/structural_filter.h"
 #include "pgsim/query/verifier.h"
 
 namespace pgsim {
 
-class ThreadPool;
+class BatchQueryCache;
+class TaskScheduler;
+struct QueryContext;
 
 /// One T-PS query's parameters and pipeline switches.
 struct QueryOptions {
@@ -41,14 +59,14 @@ struct QueryOptions {
   /// Verification engine for surviving candidates.
   enum class VerifyMode { kSample, kExact };
   VerifyMode verify_mode = VerifyMode::kSample;
-  /// Intra-query verification parallelism: stage 3 fans the surviving
-  /// candidates across this many threads (1 = inline on the calling thread,
-  /// 0 = all hardware threads). Every candidate draws from its own RNG,
-  /// pre-forked sequentially in candidate order, and verdicts are merged in
-  /// candidate order — answers are byte-identical at every setting. Composes
-  /// multiplicatively with BatchOptions::num_threads (each batch worker owns
-  /// a verify pool of this width), so batch servers usually keep it at 1 and
-  /// latency-sensitive single-query callers raise it.
+  /// Intra-query verification parallelism for the single-query Query()
+  /// entry point and the chunked batch scheduler: stage 3 fans the
+  /// surviving candidates across this many threads (1 = inline on the
+  /// calling thread, 0 = all hardware threads). Every candidate draws from
+  /// its own RNG, pre-forked sequentially in candidate order, and verdicts
+  /// are merged in candidate order — answers are byte-identical at every
+  /// setting. The stealing batch scheduler subsumes this knob (candidates
+  /// become scheduler tasks that any idle worker steals) and ignores it.
   uint32_t verify_threads = 1;
   uint64_t seed = 7;       ///< randomized pruning/verification seed
 };
@@ -56,14 +74,18 @@ struct QueryOptions {
 /// Per-stage counters and timings of one query run.
 ///
 /// Counter fields (`database_size` .. `answers`) are deterministic: equal
-/// for the same (query, options, index) regardless of batching, thread
-/// count, or cache hits — with one documented exception: on a cache hit
-/// `structural_detail.isomorphism_tests` omits the tests the cache skipped.
-/// `isomorphism_tests` counts VF2 invocations actually executed; pairs
-/// dismissed by the pre-VF2 label-multiset/size guard are not counted (see
-/// StructuralFilterStats), so the value shrank when the guard landed while
-/// every survivor set stayed identical.
+/// for the same (query, options, index) regardless of batching, scheduler,
+/// thread count, or cache hits — with one documented exception: on a cache
+/// hit `structural_detail.isomorphism_tests` omits the tests the cache
+/// skipped. `isomorphism_tests` counts VF2 invocations actually executed;
+/// pairs dismissed by the pre-VF2 label-multiset/size guard are not counted
+/// (see StructuralFilterStats), so the value shrank when the guard landed
+/// while every survivor set stayed identical.
 /// `*_seconds` fields are wall-clock measurements and vary run to run.
+/// Under the stealing scheduler `verify_seconds` spans front-stages-end to
+/// last-verdict wall clock (candidate tasks may queue behind other queries'
+/// work), and `queue_wait_seconds` reports how long the query waited from
+/// batch admission to the start of its front stages.
 /// Offline index-build timings live with the index itself: PmiStats
 /// (mining/bounds/total seconds, build_threads) and
 /// StructuralFilterBuildStats (seconds, counted_pairs, build_threads).
@@ -84,22 +106,147 @@ struct QueryStats {
   double prob_seconds = 0.0;       ///< stage 2 wall clock
   double verify_seconds = 0.0;     ///< stage 3 wall clock
   double cache_seconds = 0.0;      ///< canonicalization + cache probe time
+  double queue_wait_seconds = 0.0; ///< admission -> front-stages start
+                                   ///< (stealing batch scheduler only)
   double total_seconds = 0.0;      ///< whole pipeline wall clock
   StructuralFilterStats structural_detail;
 };
 
+/// Decomposed per-query pipeline state: the unit the task-graph execution
+/// path schedules. One query becomes a front-stages task (relaxation ->
+/// match plans -> structural filter -> probabilistic pruning, which also
+/// pre-forks the per-candidate verification RNGs in candidate order) plus
+/// ceil(|to_verify| / task_grain) verification tasks that any worker may
+/// execute; the last one to finish merges verdicts in candidate order.
+/// Everything order-sensitive therefore lives here — the job must outlive
+/// the worker that started it — while reusable *scratch* (filter/pruner/
+/// verifier temporaries) stays in the executing worker's QueryContext.
+/// Sequential Query() reuses the job embedded in its QueryContext, so its
+/// steady-state allocation behavior is unchanged.
+struct QueryJob {
+  const Graph* query = nullptr;
+
+  /// Relaxation set U: either a cache-shared hold or local storage.
+  std::shared_ptr<const std::vector<Graph>> relaxed_hold;
+  std::vector<Graph> relaxed_storage;
+  const std::vector<Graph>* relaxed = nullptr;
+  /// Compiled per-rq match plans (same sharing scheme).
+  std::shared_ptr<const std::vector<MatchPlan>> plans_hold;
+  std::vector<MatchPlan> plans_storage;
+  const std::vector<MatchPlan>* rq_plans = nullptr;
+
+  std::vector<uint32_t> structural_candidates;  ///< stage 1 output SCq
+  std::vector<uint32_t> to_verify;              ///< stage 2 output
+  std::vector<uint32_t> answers;                ///< accumulated answer ids
+  /// Per-candidate RNGs, pre-forked sequentially in candidate order so
+  /// verification answers are identical under any schedule.
+  std::vector<Rng> verify_rngs;
+  /// Per-candidate verdicts, merged in candidate order by FinishQuery.
+  std::vector<uint8_t> verdicts;
+
+  QueryStats stats;
+  Status status = Status::OK();
+  WallTimer total_timer;
+  WallTimer verify_timer;
+
+  /// Clears (capacity-preserving) all per-query state.
+  void Clear() {
+    query = nullptr;
+    relaxed_hold.reset();
+    relaxed_storage.clear();
+    relaxed = nullptr;
+    plans_hold.reset();
+    plans_storage.clear();
+    rq_plans = nullptr;
+    structural_candidates.clear();
+    to_verify.clear();
+    answers.clear();
+    verify_rngs.clear();
+    verdicts.clear();
+    stats = QueryStats();
+    status = Status::OK();
+  }
+};
+
+/// Per-thread reusable query scratch.
+///
+/// A QueryContext owns every *reusable* temporary the three-stage pipeline
+/// fills per query (filter/pruner/verifier scratch, RNG, and an embedded
+/// QueryJob for the sequential path). QueryProcessor::Query clears them
+/// between runs instead of reallocating, so a steady-state query loop
+/// performs near-zero heap allocation in the processor itself. The chunked
+/// batch path keeps one context per worker rank; the stealing path keeps
+/// one per scheduler worker (owned by the TaskScheduler, so a thread
+/// reuses its scratch across stolen tasks and across batches). A context
+/// must not be shared by two queries running concurrently.
+struct QueryContext {
+  Rng rng;
+  /// Optional batch-scoped artifact cache (not owned). QueryBatch points
+  /// every worker context at one shared cache; Reset() deliberately leaves
+  /// it attached. Callers wiring it manually must keep QueryOptions fixed
+  /// across all queries probing the same cache (see batch_cache.h).
+  BatchQueryCache* cache = nullptr;
+  /// Per-query pipeline state for the sequential Query() path (batch
+  /// schedulers use per-query jobs that outlive the worker instead).
+  QueryJob job;
+  /// Stage 1 temporaries.
+  StructuralFilterScratch filter_scratch;
+  /// Stage 2 temporaries: the pruner's columnar evaluate path draws every
+  /// per-candidate buffer from here (zero steady-state allocation).
+  PrunerScratch pruner_scratch;
+  /// Stage 3 scratch: the sequential verification path and every stolen
+  /// verification task executed by this context's worker use this.
+  VerifierScratch verifier_scratch;
+  /// Per-rank scratches for intra-query parallel verification
+  /// (QueryOptions::verify_threads > 1 on the Query()/chunked path).
+  std::vector<VerifierScratch> verify_scratches;
+
+  /// The lazily built pool for intra-query parallel verification. Returns
+  /// null when `threads` <= 1 (run inline); otherwise a pool of exactly
+  /// `threads` workers, kept across queries and rebuilt only when the
+  /// requested width changes.
+  ThreadPool* VerifyPool(uint32_t threads) {
+    if (threads <= 1) return nullptr;
+    if (verify_pool_ == nullptr || verify_pool_->size() != threads) {
+      verify_pool_ = std::make_unique<ThreadPool>(threads);
+    }
+    return verify_pool_.get();
+  }
+
+  /// Reseeds the RNG (per-query state is cleared by the pipeline itself).
+  void Reset(uint64_t seed) { rng = Rng(seed); }
+
+ private:
+  std::unique_ptr<ThreadPool> verify_pool_;
+};
+
 /// Batch execution knobs.
 struct BatchOptions {
+  /// How QueryBatch distributes work across workers (see the file comment).
+  /// Answers are bit-identical under either scheduler.
+  enum class Scheduler { kChunked, kStealing };
+  Scheduler scheduler = Scheduler::kStealing;
   /// Worker threads; 0 means ThreadPool::DefaultThreads(). 1 runs the batch
-  /// inline on the calling thread (no pool). Ignored when `pool` is set.
+  /// inline on the calling thread (no pool). Ignored when `pool` or
+  /// `stealer` is set.
   uint32_t num_threads = 0;
-  /// Queries claimed per atomic grab; balances atomic traffic against skewed
-  /// per-query cost.
+  /// Chunked scheduler: queries claimed per atomic grab; balances atomic
+  /// traffic against skewed per-query cost. (The stealing scheduler always
+  /// admits queries one at a time — balancing skew is its job.)
   uint32_t chunk_size = 4;
+  /// Stealing scheduler: stage-3 verification candidates per spawned task.
+  /// 1 (default) exposes maximum steal parallelism; raise it if per-task
+  /// overhead ever shows up on very cheap candidates. 0 behaves as 1.
+  uint32_t task_grain = 1;
   /// Caller-owned pool to run on (not owned; must outlive the call). Server
   /// loops issuing many batches set this to avoid per-batch thread spawns;
   /// when null, QueryBatch builds a transient pool of `num_threads`.
   ThreadPool* pool = nullptr;
+  /// Caller-owned work-stealing scheduler (not owned; must outlive the
+  /// call). Wins over `pool`/`num_threads` when set and `scheduler` is
+  /// kStealing. Reusing one scheduler across batches also reuses its
+  /// per-worker QueryContext scratch (no per-batch warm-up allocation).
+  TaskScheduler* stealer = nullptr;
   /// Share relaxation sets and per-query feature embedding counts across
   /// the batch through a BatchQueryCache keyed by canonical query form.
   /// Answers are bit-identical with the cache on or off (see batch_cache.h
@@ -114,6 +261,12 @@ struct BatchOptions {
 /// workers can both miss on the same class before either store lands, so
 /// parallel batches may report fewer hits than sequential ones. Answers are
 /// unaffected either way (a miss just recomputes the identical artifact).
+/// Scheduler counters (`tasks_*`, `steal_attempts`, `max_queue_depth`,
+/// `overlapped_verify_tasks`, `sum_queue_wait_seconds`) are nonzero only
+/// under the stealing scheduler and vary run to run with the steal
+/// schedule; `overlapped_verify_tasks` counts verification tasks that ran
+/// while some other query's front stages were in flight — direct evidence
+/// of stage-level pipelining.
 struct BatchStats {
   size_t num_queries = 0;
   size_t failed_queries = 0;          ///< queries whose pipeline errored
@@ -133,6 +286,13 @@ struct BatchStats {
   size_t cache_uncacheable = 0;       ///< canonical code over budget
   uint32_t threads_used = 0;          ///< threads that actually ran (1 when
                                       ///< the inline fallback was taken)
+  size_t tasks_executed = 0;          ///< scheduler tasks (front + verify)
+  size_t tasks_stolen = 0;            ///< tasks run by a non-spawning worker
+  size_t steal_attempts = 0;          ///< victim probes (incl. unsuccessful)
+  size_t max_queue_depth = 0;         ///< deepest worker deque observed
+  size_t overlapped_verify_tasks = 0; ///< verify tasks overlapping another
+                                      ///< query's front stages
+  double sum_queue_wait_seconds = 0.0; ///< summed per-query admission waits
   double wall_seconds = 0.0;          ///< batch wall clock
   double sum_query_seconds = 0.0;     ///< summed per-query total_seconds
   double cache_seconds = 0.0;         ///< summed per-query cache_seconds
@@ -168,10 +328,11 @@ class QueryProcessor {
                                       QueryContext* ctx,
                                       QueryStats* stats = nullptr) const;
 
-  /// Runs `queries` across a thread pool in chunks, one QueryContext per
-  /// worker. Results are in input order and bit-identical to sequential
-  /// Query(queries[i], options) calls: every query reruns the pipeline from
-  /// the same options.seed regardless of which worker claims it.
+  /// Runs `queries` under the configured batch scheduler. Results are in
+  /// input order and bit-identical to sequential Query(queries[i], options)
+  /// calls — under either scheduler, at any worker count and task grain:
+  /// every query reruns the pipeline from the same options.seed regardless
+  /// of which worker claims which task.
   std::vector<BatchQueryResult> QueryBatch(
       const std::vector<Graph>& queries, const QueryOptions& options,
       const BatchOptions& batch = BatchOptions(),
@@ -184,6 +345,38 @@ class QueryProcessor {
                                           QueryStats* stats = nullptr) const;
 
  private:
+  friend struct StealingBatchRunner;  // task bodies (processor.cc)
+
+  /// Stage 0–2 of the decomposed pipeline: cache probe, relaxation, match
+  /// plans, structural filter, probabilistic pruning, and the sequential
+  /// pre-fork of per-candidate verification RNGs. Fills `*job`; on return
+  /// job->status reflects any pipeline error, job->to_verify holds the
+  /// candidates awaiting VerifyCandidate, and job->verify_timer is running.
+  void RunFrontStages(const Graph& q, const QueryOptions& options,
+                      QueryContext* ctx, QueryJob* job) const;
+
+  /// Verifies candidate `k` of `job` (writes job->verdicts[k]); safe to
+  /// call concurrently for distinct `k` with distinct scratches.
+  void VerifyCandidate(const QueryOptions& options, QueryJob* job, size_t k,
+                       VerifierScratch* scratch) const;
+
+  /// Merges verdicts in candidate order, sorts answers, finalizes stats.
+  void FinishQuery(QueryJob* job) const;
+
+  Status FrontStagesImpl(const Graph& q, const QueryOptions& options,
+                         QueryContext* ctx, QueryJob* job) const;
+
+  std::vector<BatchQueryResult> QueryBatchChunked(
+      const std::vector<Graph>& queries, const QueryOptions& options,
+      const BatchOptions& batch, BatchQueryCache* cache,
+      uint32_t num_threads, uint32_t* threads_used) const;
+
+  std::vector<BatchQueryResult> QueryBatchStealing(
+      const std::vector<Graph>& queries, const QueryOptions& options,
+      const BatchOptions& batch, BatchQueryCache* cache,
+      uint32_t num_threads, const WallTimer& batch_timer,
+      uint32_t* threads_used, BatchStats* batch_stats) const;
+
   const std::vector<ProbabilisticGraph>* database_;
   const ProbabilisticMatrixIndex* pmi_;
   const StructuralFilter* structural_;

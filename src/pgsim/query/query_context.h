@@ -1,91 +1,13 @@
-// Per-thread reusable query scratch.
+// Forwarding header: QueryContext now lives in pgsim/query/processor.h.
 //
-// A QueryContext owns every container the three-stage T-PS pipeline fills
-// per query (relaxed query set, candidate lists, filter temporaries,
-// verifier scratch, RNG). QueryProcessor::Query clears them between runs
-// instead of reallocating, so a steady-state query loop performs near-zero
-// heap allocation in the processor itself; QueryBatch keeps one context per
-// worker rank. A context must not be shared by two queries running
-// concurrently.
+// The context moved when QueryBatch gained its work-stealing scheduler —
+// per-query pipeline state was split out of the context into QueryJob (the
+// schedulable unit, embedded in both QueryContext and the batch runner's
+// per-query jobs), which made QueryContext and QueryProcessor mutually
+// entangled enough that one header owning both is the honest layout. This
+// shim keeps existing `#include "pgsim/query/query_context.h"` sites
+// working.
 
 #pragma once
 
-#include <cstdint>
-#include <memory>
-#include <vector>
-
-#include "pgsim/common/random.h"
-#include "pgsim/common/thread_pool.h"
-#include "pgsim/graph/graph.h"
-#include "pgsim/query/prob_pruner.h"
-#include "pgsim/query/structural_filter.h"
-#include "pgsim/query/verifier.h"
-
-namespace pgsim {
-
-class BatchQueryCache;
-
-/// Reusable scratch threaded through QueryProcessor's pipeline stages.
-struct QueryContext {
-  Rng rng;
-  /// Optional batch-scoped artifact cache (not owned). QueryBatch points
-  /// every worker context at one shared cache; Reset() deliberately leaves
-  /// it attached. Callers wiring it manually must keep QueryOptions fixed
-  /// across all queries probing the same cache (see batch_cache.h).
-  BatchQueryCache* cache = nullptr;
-  /// Relaxation output U = {rq1..rqa}.
-  std::vector<Graph> relaxed;
-  /// Compiled match plans for U (uncacheable-query fallback storage; the
-  /// cacheable path holds them in a shared_ptr published to the cache).
-  std::vector<MatchPlan> rq_plans;
-  /// Stage 1 output SCq.
-  std::vector<uint32_t> structural_candidates;
-  /// Stage 2 output: candidates needing verification.
-  std::vector<uint32_t> to_verify;
-  /// Accumulated answer ids.
-  std::vector<uint32_t> answers;
-  /// Stage 1 temporaries.
-  StructuralFilterScratch filter_scratch;
-  /// Stage 2 temporaries: the pruner's columnar evaluate path draws every
-  /// per-candidate buffer from here (zero steady-state allocation).
-  PrunerScratch pruner_scratch;
-  /// Stage 3 scratch for the sequential verification path (and rank 0 of
-  /// the parallel path uses verify_scratches[0] instead).
-  VerifierScratch verifier_scratch;
-  /// Per-rank scratches for intra-query parallel verification.
-  std::vector<VerifierScratch> verify_scratches;
-  /// Per-candidate RNGs, pre-forked sequentially in candidate order so
-  /// verification answers are identical at every verify_threads setting.
-  std::vector<Rng> verify_rngs;
-  /// Per-candidate verdicts, merged in candidate order after the fan-out.
-  std::vector<uint8_t> verify_verdicts;
-
-  /// The lazily built pool for intra-query parallel verification. Returns
-  /// null when `threads` <= 1 (run inline); otherwise a pool of exactly
-  /// `threads` workers, kept across queries and rebuilt only when the
-  /// requested width changes.
-  ThreadPool* VerifyPool(uint32_t threads) {
-    if (threads <= 1) return nullptr;
-    if (verify_pool_ == nullptr || verify_pool_->size() != threads) {
-      verify_pool_ = std::make_unique<ThreadPool>(threads);
-    }
-    return verify_pool_.get();
-  }
-
-  /// Reseeds the RNG and clears (capacity-preserving) all per-query state.
-  void Reset(uint64_t seed) {
-    rng = Rng(seed);
-    relaxed.clear();
-    rq_plans.clear();
-    structural_candidates.clear();
-    to_verify.clear();
-    answers.clear();
-    verify_rngs.clear();
-    verify_verdicts.clear();
-  }
-
- private:
-  std::unique_ptr<ThreadPool> verify_pool_;
-};
-
-}  // namespace pgsim
+#include "pgsim/query/processor.h"

@@ -87,13 +87,18 @@ TEST(GoldenPipelineTest, FullPipelineAnswersArePinned) {
   const QueryProcessor processor(&db, &pmi, &filter);
 
   // The pinned values must hold however the batch is executed — including
-  // with stage 3 fanned across an intra-query verification pool.
+  // with stage 3 fanned across an intra-query verification pool, and under
+  // either batch scheduler (the work-stealing task graph must reproduce the
+  // chunked parallel-for's answers bit for bit at any steal schedule).
   for (const bool enable_cache : {true, false}) {
     for (const uint32_t threads : {1u, 4u}) {
       for (const uint32_t verify_threads : {1u, 3u}) {
+      for (const auto scheduler : {BatchOptions::Scheduler::kChunked,
+                                   BatchOptions::Scheduler::kStealing}) {
       BatchOptions batch;
       batch.num_threads = threads;
       batch.enable_cache = enable_cache;
+      batch.scheduler = scheduler;
       options.verify_threads = verify_threads;
       const auto results = processor.QueryBatch(queries, options, batch);
       ASSERT_EQ(results.size(), GoldenQueries().size());
@@ -103,7 +108,8 @@ TEST(GoldenPipelineTest, FullPipelineAnswersArePinned) {
         EXPECT_EQ(results[i].answers, golden.answers)
             << "query " << i << " threads=" << threads
             << " cache=" << enable_cache
-            << " verify_threads=" << verify_threads;
+            << " verify_threads=" << verify_threads << " stealing="
+            << (scheduler == BatchOptions::Scheduler::kStealing);
         EXPECT_EQ(results[i].stats.structural_candidates,
                   golden.structural_candidates)
             << i;
@@ -113,6 +119,7 @@ TEST(GoldenPipelineTest, FullPipelineAnswersArePinned) {
         EXPECT_EQ(results[i].stats.num_relaxed_queries,
                   golden.num_relaxed_queries)
             << i;
+      }
       }
       }
     }
