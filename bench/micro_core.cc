@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "pgsim/bounds/cond_sampler.h"
 #include "pgsim/bounds/embedding_cuts.h"
 #include "pgsim/bounds/max_clique.h"
@@ -812,6 +814,103 @@ BENCHMARK(BM_ThreadPool_SubmitBurst)
     ->Arg(0)  // per-task Submit + notify_one
     ->Arg(1)  // bulk SubmitMany + one notify_all
     ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// ---- Live-database maintenance (PR 7): one AddGraph/RemoveGraph round   ----
+// ---- trip on indexes of different sizes. AddGraph appends a column in   ----
+// ---- place (feature containment + SIP bounds for the new graph only),   ----
+// ---- so per-add cost must be independent of the database size — the     ----
+// ---- regression this bench pins is the old rematerialize-all-columns    ----
+// ---- path, whose cost scaled O(num_graphs x features). Compaction of    ----
+// ---- the accumulated tombstones runs outside the timed region.          ----
+
+ProbabilisticMatrixIndex& GetMaintenancePmi(size_t num_graphs) {
+  static auto* cache = new std::map<size_t, ProbabilisticMatrixIndex*>();
+  auto it = cache->find(num_graphs);
+  if (it == cache->end()) {
+    SyntheticOptions dataset;
+    dataset.num_graphs = num_graphs;
+    dataset.avg_vertices = 12;
+    dataset.num_vertex_labels = 5;
+    dataset.seed = 90;
+    auto db = GenerateDatabase(dataset).value();
+    PmiBuildOptions build;
+    build.miner.beta = 0.2;
+    build.miner.gamma = -1.0;
+    build.miner.max_vertices = 3;
+    build.sip.mc.min_samples = 300;
+    build.sip.mc.max_samples = 300;
+    auto* pmi = new ProbabilisticMatrixIndex(
+        ProbabilisticMatrixIndex::Build(db, build).value());
+    it = cache->emplace(num_graphs, pmi).first;
+  }
+  return *it->second;
+}
+
+void BM_Pmi_AddGraph(benchmark::State& state) {
+  ProbabilisticMatrixIndex& pmi =
+      GetMaintenancePmi(static_cast<size_t>(state.range(0)));
+  const ProbabilisticGraph extra = MakeBenchGraph(91, 12);
+  const SipBoundOptions sip = pmi.sip_options();
+  int since_compact = 0;
+  for (auto _ : state) {
+    auto id = pmi.AddGraph(extra, sip, 7);
+    benchmark::DoNotOptimize(id);
+    if (id.ok()) {
+      const Status removed = pmi.RemoveGraph(*id);
+      benchmark::DoNotOptimize(removed.ok());
+    }
+    if (++since_compact == 64) {
+      state.PauseTiming();
+      pmi.Compact();
+      since_compact = 0;
+      state.ResumeTiming();
+    }
+  }
+  pmi.Compact();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["features"] = static_cast<double>(pmi.num_features());
+  state.counters["graphs"] = static_cast<double>(pmi.num_graphs());
+}
+BENCHMARK(BM_Pmi_AddGraph)
+    ->Arg(64)   // small index
+    ->Arg(512)  // 8x the graphs: per-add time must stay flat
+    ->Unit(benchmark::kMicrosecond);
+
+// ---- Cross-batch answer cache (PR 7): the same 24-query batch served    ----
+// ---- cold (full pipeline every pass) vs warm (every answer from the     ----
+// ---- AnswerCache after the first pass) — the serving-loop speedup the   ----
+// ---- cache exists for. Answers are bit-identical in both modes.         ----
+
+void BM_AnswerCache_HitRate(benchmark::State& state) {
+  const BatchFixture& f = GetBatchFixture();
+  const QueryProcessor processor(&f.db, &f.pmi, &f.filter);
+  QueryOptions options;
+  options.delta = 1;
+  options.verifier.mc.min_samples = 300;
+  options.verifier.mc.max_samples = 300;
+  BatchOptions batch;
+  batch.num_threads = 1;
+  AnswerCache cache;
+  if (state.range(0) != 0) {
+    batch.answer_cache = &cache;
+    // Warm pass outside the timed region: fills every slot.
+    processor.QueryBatch(f.queries, options, batch);
+  }
+  size_t hits = 0;
+  for (auto _ : state) {
+    BatchStats stats;
+    const auto results = processor.QueryBatch(f.queries, options, batch, &stats);
+    hits += stats.answer_cache_hits;
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * f.queries.size());
+  state.counters["hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_AnswerCache_HitRate)
+    ->Arg(0)  // cold: no answer cache
+    ->Arg(1)  // warm: every query served from the cache
+    ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
 // ---- Columnar filter/prune engine (PR 4): a fig10-style workload       ----

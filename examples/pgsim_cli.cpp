@@ -7,6 +7,16 @@
 //                      [--delta=N] [--epsilon=F] [--threads=N] [--chunk=N]
 //                      [--scheduler=stealing|chunked] [--task-grain=N]
 //                      [--build-threads=N] [--cache=0|1] [--verify-threads=N]
+//                      [--answer-cache[=CAP]] [--repeat=N] [--mutate-every=N]
+//
+// --answer-cache keeps one cross-batch AnswerCache (capacity CAP entries,
+// default 1024) across --repeat passes over the query file: repeated passes
+// hit it, and any mutation invalidates by epoch. --repeat defaults to 2 when
+// the answer cache is on (so the second pass demonstrates hits), else 1.
+// --mutate-every=N churns the live database before every Nth pass (adds a
+// copy of graph 0, then removes it): epochs bump, cached answers go stale,
+// and the reported answer counts stay identical — the live-maintenance
+// round-trip guarantee.
 //
 // --scheduler picks how the batch is distributed across --threads workers:
 // "stealing" (default) decomposes each query into a front-stages task plus
@@ -62,6 +72,19 @@ int64_t FlagInt(int argc, char** argv, const char* key, int64_t fallback) {
 double FlagDouble(int argc, char** argv, const char* key, double fallback) {
   const std::string v = FlagStr(argc, argv, key, "");
   return v.empty() ? fallback : std::atof(v.c_str());
+}
+
+// True when --KEY appears, bare or as --KEY=VALUE.
+bool FlagPresent(int argc, char** argv, const char* key) {
+  const std::string bare = std::string("--") + key;
+  const std::string prefix = bare + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (bare == argv[i] ||
+        std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 int Fail(const Status& status) {
@@ -216,56 +239,94 @@ int CmdQuery(int argc, char** argv) {
   }
   const int64_t task_grain = FlagInt(argc, argv, "task-grain", 1);
   batch.task_grain = task_grain < 1 ? 1 : static_cast<uint32_t>(task_grain);
-  const QueryProcessor processor(&setup->db.graphs, &setup->pmi,
-                                 &setup->filter);
-  BatchStats batch_stats;
-  const auto results =
-      processor.QueryBatch(setup->queries, options, batch, &batch_stats);
-  std::printf("%-7s %-8s %-10s %-9s %-9s %-8s\n", "query", "|SCq|",
-              "verified", "answers", "ids", "time_ms");
-  for (size_t qi = 0; qi < results.size(); ++qi) {
-    const BatchQueryResult& r = results[qi];
-    if (!r.status.ok()) {
-      std::printf("q%-6zu %s\n", qi, r.status.ToString().c_str());
-      continue;
+
+  // Cross-batch answer cache + live-mutation churn knobs.
+  const bool answer_cache_on = FlagPresent(argc, argv, "answer-cache");
+  AnswerCacheOptions cache_options;
+  const int64_t cap = FlagInt(argc, argv, "answer-cache", 0);
+  if (cap > 0) cache_options.max_entries = static_cast<size_t>(cap);
+  AnswerCache answer_cache(cache_options);
+  if (answer_cache_on) batch.answer_cache = &answer_cache;
+  const int64_t repeat_flag =
+      FlagInt(argc, argv, "repeat", answer_cache_on ? 2 : 1);
+  const size_t repeat = repeat_flag < 1 ? 1 : static_cast<size_t>(repeat_flag);
+  const int64_t mutate_every = FlagInt(argc, argv, "mutate-every", 0);
+
+  QueryProcessor processor(&setup->db.graphs, &setup->pmi, &setup->filter);
+  for (size_t pass = 0; pass < repeat; ++pass) {
+    if (mutate_every > 0 && pass > 0 &&
+        pass % static_cast<size_t>(mutate_every) == 0) {
+      // Churn the live database: add a copy of graph 0, then remove it.
+      // Ids are stable and the round trip leaves every structure serving
+      // the same answers — only the epoch moves (staling cached answers).
+      const ProbabilisticGraph copy = setup->db.graphs[0];
+      auto added = processor.AddGraph(copy, /*seed=*/1000 + pass);
+      if (!added.ok()) return Fail(added.status());
+      Status removed = processor.RemoveGraph(added.value());
+      if (!removed.ok()) return Fail(removed);
+      std::printf("pass %zu: mutated (add+remove graph copy), epoch now %llu\n",
+                  pass, static_cast<unsigned long long>(processor.epoch()));
     }
-    std::string ids;
-    for (uint32_t gi : r.answers) ids += std::to_string(gi) + " ";
-    std::printf("q%-6zu %-8zu %-10zu %-9zu %-9s %-8.1f\n", qi,
-                r.stats.structural_candidates,
-                r.stats.verification_candidates, r.answers.size(),
-                ids.empty() ? "-" : ids.c_str(),
-                r.stats.total_seconds * 1e3);
-  }
-  std::printf(
-      "batch: %zu queries, %zu answers, %zu failed | %u thread(s) | "
-      "wall %.1f ms, cpu %.1f ms, %.1f queries/s\n",
-      batch_stats.num_queries, batch_stats.total_answers,
-      batch_stats.failed_queries, batch_stats.threads_used,
-      batch_stats.wall_seconds * 1e3, batch_stats.sum_query_seconds * 1e3,
-      batch_stats.wall_seconds > 0.0
-          ? batch_stats.num_queries / batch_stats.wall_seconds
-          : 0.0);
-  if (batch_stats.tasks_executed > 0) {
+    BatchStats batch_stats;
+    const auto results =
+        processor.QueryBatch(setup->queries, options, batch, &batch_stats);
+    if (pass == 0) {
+      std::printf("%-7s %-8s %-10s %-9s %-9s %-8s\n", "query", "|SCq|",
+                  "verified", "answers", "ids", "time_ms");
+      for (size_t qi = 0; qi < results.size(); ++qi) {
+        const BatchQueryResult& r = results[qi];
+        if (!r.status.ok()) {
+          std::printf("q%-6zu %s\n", qi, r.status.ToString().c_str());
+          continue;
+        }
+        std::string ids;
+        for (uint32_t gi : r.answers) ids += std::to_string(gi) + " ";
+        std::printf("q%-6zu %-8zu %-10zu %-9zu %-9s %-8.1f\n", qi,
+                    r.stats.structural_candidates,
+                    r.stats.verification_candidates, r.answers.size(),
+                    ids.empty() ? "-" : ids.c_str(),
+                    r.stats.total_seconds * 1e3);
+      }
+    }
     std::printf(
-        "scheduler: %zu tasks (%zu stolen, %zu steal probes), queue depth "
-        "%zu, %zu overlapped verify tasks, %.1f ms summed queue wait\n",
-        batch_stats.tasks_executed, batch_stats.tasks_stolen,
-        batch_stats.steal_attempts, batch_stats.max_queue_depth,
-        batch_stats.overlapped_verify_tasks,
-        batch_stats.sum_queue_wait_seconds * 1e3);
-  }
-  if (batch.enable_cache) {
-    std::printf(
-        "cache: relax %zu/%zu hits, counts %zu/%zu hits, pruner %zu/%zu "
-        "hits, %zu uncacheable (%.1f ms probing)\n",
-        batch_stats.relax_cache_hits,
-        batch_stats.relax_cache_hits + batch_stats.relax_cache_misses,
-        batch_stats.counts_cache_hits,
-        batch_stats.counts_cache_hits + batch_stats.counts_cache_misses,
-        batch_stats.prepared_cache_hits,
-        batch_stats.prepared_cache_hits + batch_stats.prepared_cache_misses,
-        batch_stats.cache_uncacheable, batch_stats.cache_seconds * 1e3);
+        "pass %zu: %zu queries, %zu answers, %zu failed | %u thread(s) | "
+        "wall %.1f ms, cpu %.1f ms, %.1f queries/s\n",
+        pass, batch_stats.num_queries, batch_stats.total_answers,
+        batch_stats.failed_queries, batch_stats.threads_used,
+        batch_stats.wall_seconds * 1e3, batch_stats.sum_query_seconds * 1e3,
+        batch_stats.wall_seconds > 0.0
+            ? batch_stats.num_queries / batch_stats.wall_seconds
+            : 0.0);
+    if (batch_stats.tasks_executed > 0) {
+      std::printf(
+          "scheduler: %zu tasks (%zu stolen, %zu steal probes), queue depth "
+          "%zu, %zu overlapped verify tasks, %.1f ms summed queue wait\n",
+          batch_stats.tasks_executed, batch_stats.tasks_stolen,
+          batch_stats.steal_attempts, batch_stats.max_queue_depth,
+          batch_stats.overlapped_verify_tasks,
+          batch_stats.sum_queue_wait_seconds * 1e3);
+    }
+    if (batch.enable_cache) {
+      std::printf(
+          "cache: relax %zu/%zu hits, counts %zu/%zu hits, pruner %zu/%zu "
+          "hits, %zu uncacheable (%.1f ms probing)\n",
+          batch_stats.relax_cache_hits,
+          batch_stats.relax_cache_hits + batch_stats.relax_cache_misses,
+          batch_stats.counts_cache_hits,
+          batch_stats.counts_cache_hits + batch_stats.counts_cache_misses,
+          batch_stats.prepared_cache_hits,
+          batch_stats.prepared_cache_hits + batch_stats.prepared_cache_misses,
+          batch_stats.cache_uncacheable, batch_stats.cache_seconds * 1e3);
+    }
+    if (answer_cache_on) {
+      std::printf(
+          "answer-cache: %zu hits, %zu misses (%zu stale), %zu evictions | "
+          "%zu entries, epoch %llu\n",
+          batch_stats.answer_cache_hits, batch_stats.answer_cache_misses,
+          batch_stats.answer_cache_stale, batch_stats.answer_cache_evictions,
+          answer_cache.size(),
+          static_cast<unsigned long long>(processor.epoch()));
+    }
   }
   return 0;
 }

@@ -1,0 +1,49 @@
+// Byte-append fingerprint builder.
+//
+// Serializes a sequence of fixed-width scalars into a byte string whose
+// equality is exactly field-wise equality of the appended values — the
+// cache-key primitive for "same options" tests (see QueryOptionsFingerprint
+// in query/processor.h). Every field is appended at full width (no varint,
+// no hashing), so distinct option vectors can never collide; keys stay tens
+// of bytes, which an unordered_map hashes once anyway.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace pgsim {
+
+/// Accumulates fixed-width fields into an equality-exact byte string.
+class Fingerprint {
+ public:
+  void AddU64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
+  void AddU32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
+  void AddBool(bool v) { bytes_.push_back(v ? '\1' : '\0'); }
+  /// Doubles are fingerprinted by bit pattern: -0.0 != +0.0 and NaNs with
+  /// different payloads differ — stricter than operator==, never wrong for
+  /// a cache key (a spurious mismatch only costs a recompute).
+  void AddDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    AddU64(bits);
+  }
+  /// Length-prefixed so variable-size fields can't alias across boundaries.
+  void AddBytes(const std::string& s) {
+    AddU64(s.size());
+    bytes_.append(s);
+  }
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  void AppendRaw(const void* p, size_t n) {
+    bytes_.append(static_cast<const char*>(p), n);
+  }
+
+  std::string bytes_;
+};
+
+}  // namespace pgsim

@@ -28,7 +28,11 @@ inline uint64_t NextRandom(uint64_t* state) {
 // overwrites an index in [top, bottom), and growth keeps old rings alive).
 class TaskDeque {
  public:
-  TaskDeque() : ring_(NewRing(kInitialCapacity)) {}
+  // NewRing registers the ring in rings_, so it must run in the body (after
+  // every member is constructed), not in the init list: ring_ is declared
+  // before rings_, and a list-initializer would push into a vector whose
+  // constructor hasn't run yet, leaking the initial ring when it does.
+  TaskDeque() { ring_.store(NewRing(kInitialCapacity), std::memory_order_relaxed); }
 
   // Owner only.
   void Push(const TaskScheduler::Task& task) {
@@ -140,7 +144,7 @@ class TaskDeque {
 
   std::atomic<int64_t> top_{0};
   std::atomic<int64_t> bottom_{0};
-  std::atomic<Ring*> ring_;
+  std::atomic<Ring*> ring_{nullptr};
   std::vector<std::unique_ptr<Ring>> rings_;  // owner-touched at Grow only
 };
 

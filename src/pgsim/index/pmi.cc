@@ -12,7 +12,8 @@
 namespace pgsim {
 
 namespace {
-constexpr uint32_t kPmiMagic = 0x504d4931;  // "PMI1"
+constexpr uint32_t kPmiMagic1 = 0x504d4931;  // "PMI1": pre-epoch format
+constexpr uint32_t kPmiMagic2 = 0x504d4932;  // "PMI2": + epoch/tombstones
 }  // namespace
 
 void ProbabilisticMatrixIndex::RebuildFeaturePlans() {
@@ -26,6 +27,8 @@ void ProbabilisticMatrixIndex::RebuildFeaturePlans() {
 void ProbabilisticMatrixIndex::SetColumns(
     std::vector<std::vector<PmiEntry>>&& columns) {
   num_graphs_ = static_cast<uint32_t>(columns.size());
+  num_alive_ = num_graphs_;
+  alive_.assign(num_graphs_, 1);
   const size_t cells = features_.size() * static_cast<size_t>(num_graphs_);
   col_offsets_.assign(1, 0);
   col_offsets_.reserve(columns.size() + 1);
@@ -51,9 +54,33 @@ void ProbabilisticMatrixIndex::SetColumns(
   }
 }
 
+void ProbabilisticMatrixIndex::RecomputeFrequencies() {
+  const double denom = num_alive_ > 0 ? static_cast<double>(num_alive_) : 1.0;
+  for (Feature& f : features_) {
+    f.frequency = static_cast<double>(f.support.size()) / denom;
+  }
+}
+
+PmiMaintenance ProbabilisticMatrixIndex::maintenance() const {
+  PmiMaintenance m;
+  m.epoch = epoch_;
+  m.num_alive = num_alive_;
+  m.num_tombstones = num_graphs_ - num_alive_;
+  m.adds_since_build = adds_since_build_;
+  m.removes_since_build = removes_since_build_;
+  double min_freq = features_.empty() ? 0.0 : 1.0;
+  for (const Feature& f : features_) min_freq = std::min(min_freq, f.frequency);
+  m.min_feature_frequency = min_freq;
+  m.remine_advised = !features_.empty() &&
+                     (adds_since_build_ + removes_since_build_) > 0 &&
+                     min_freq < beta_watermark_;
+  return m;
+}
+
 std::vector<PmiEntry> ProbabilisticMatrixIndex::EntriesFor(
     uint32_t graph_id) const {
   std::vector<PmiEntry> entries;
+  if (!IsAlive(graph_id)) return entries;  // tombstoned: no entries
   entries.reserve(col_offsets_[graph_id + 1] - col_offsets_[graph_id]);
   for (uint32_t k = col_offsets_[graph_id]; k < col_offsets_[graph_id + 1];
        ++k) {
@@ -88,6 +115,8 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Build(
     const PmiBuildOptions& options) {
   WallTimer total_timer;
   ProbabilisticMatrixIndex index;
+  index.sip_options_ = options.sip;
+  index.beta_watermark_ = options.miner.beta;
 
   // One pool serves the whole offline pipeline: candidate mining fan-out,
   // then the per-graph bound columns. 1 thread builds fully inline; the
@@ -173,15 +202,16 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Build(
 }
 
 Result<uint32_t> ProbabilisticMatrixIndex::AddGraph(
-    const ProbabilisticGraph& graph, const SipBoundOptions& sip,
-    uint64_t seed) {
+    const ProbabilisticGraph& graph, const SipBoundOptions& sip, uint64_t seed,
+    std::vector<uint32_t>* contained) {
   const uint32_t graph_id = num_graphs_;
+  const size_t num_features = features_.size();
   // Which existing features occur in the new graph's certain graph?
   std::vector<uint32_t> feature_ids;
   std::vector<const Graph*> feature_graphs;
   std::vector<const MatchPlan*> plan_ptrs;
   Vf2Scratch vf2;
-  for (uint32_t fi = 0; fi < features_.size(); ++fi) {
+  for (uint32_t fi = 0; fi < num_features; ++fi) {
     if (IsSubgraphIsomorphic(feature_plans_[fi], graph.certain(), &vf2)) {
       feature_ids.push_back(fi);
       feature_graphs.push_back(&features_[fi].graph);
@@ -191,30 +221,39 @@ Result<uint32_t> ProbabilisticMatrixIndex::AddGraph(
   Rng rng(seed);
   const std::vector<SipBounds> bounds =
       ComputeSipBoundsBatch(graph, feature_graphs, sip, &rng, &plan_ptrs);
-  std::vector<PmiEntry> column;
-  column.reserve(feature_ids.size());
+
+  // Append one num_features-cell block per matrix in place; graph-major
+  // layout means no existing cell moves, so the cost is O(|F|) regardless
+  // of how many columns already exist (BM_Pmi_AddGraph pins this).
+  const size_t new_cells = (static_cast<size_t>(graph_id) + 1) * num_features;
+  lower_opt_.resize(new_cells, 0.0f);
+  upper_opt_.resize(new_cells, 0.0f);
+  lower_simple_.resize(new_cells, 0.0f);
+  upper_simple_.resize(new_cells, 0.0f);
+  present_.resize(new_cells, 0);
   for (size_t k = 0; k < feature_ids.size(); ++k) {
-    PmiEntry entry;
-    entry.feature_id = feature_ids[k];
-    entry.lower_opt = static_cast<float>(bounds[k].lower_opt);
-    entry.upper_opt = static_cast<float>(bounds[k].upper_opt);
-    entry.lower_simple = static_cast<float>(bounds[k].lower_simple);
-    entry.upper_simple = static_cast<float>(bounds[k].upper_simple);
-    column.push_back(entry);
+    const size_t idx = Flat(feature_ids[k], graph_id);
+    lower_opt_[idx] = static_cast<float>(bounds[k].lower_opt);
+    upper_opt_[idx] = static_cast<float>(bounds[k].upper_opt);
+    lower_simple_[idx] = static_cast<float>(bounds[k].lower_simple);
+    upper_simple_[idx] = static_cast<float>(bounds[k].upper_simple);
+    present_[idx] = 1;
+    // graph_id exceeds every existing id, so the append keeps support sorted.
     features_[feature_ids[k]].support.push_back(graph_id);
   }
-  std::sort(column.begin(), column.end(),
-            [](const PmiEntry& a, const PmiEntry& b) {
-              return a.feature_id < b.feature_id;
-            });
-  std::vector<std::vector<PmiEntry>> columns;
-  columns.reserve(num_graphs_ + 1);
-  for (uint32_t gi = 0; gi < num_graphs_; ++gi) {
-    columns.push_back(EntriesFor(gi));
-  }
-  columns.push_back(std::move(column));
-  SetColumns(std::move(columns));
+  // feature_ids was filled in ascending fi order: already CSR-sorted.
+  col_features_.insert(col_features_.end(), feature_ids.begin(),
+                       feature_ids.end());
+  col_offsets_.push_back(static_cast<uint32_t>(col_features_.size()));
+  alive_.push_back(1);
+  ++num_graphs_;
+  ++num_alive_;
+  stats_.num_entries += feature_ids.size();
+  ++epoch_;
+  ++adds_since_build_;
+  RecomputeFrequencies();
   stats_.size_bytes = SizeBytes();
+  if (contained != nullptr) *contained = std::move(feature_ids);
   return graph_id;
 }
 
@@ -222,41 +261,75 @@ Status ProbabilisticMatrixIndex::RemoveGraph(uint32_t graph_id) {
   if (graph_id >= num_graphs_) {
     return Status::InvalidArgument("RemoveGraph: graph id out of range");
   }
-  std::vector<std::vector<PmiEntry>> columns;
-  columns.reserve(num_graphs_ - 1);
-  for (uint32_t gi = 0; gi < num_graphs_; ++gi) {
-    if (gi != graph_id) columns.push_back(EntriesFor(gi));
+  if (alive_[graph_id] == 0) {
+    return Status::InvalidArgument("RemoveGraph: graph already removed");
   }
-  SetColumns(std::move(columns));
+  // Tombstone: clear the column's contiguous cell block so Lookup/Contains
+  // report absent, drop the id from support lists, and mark it dead. Every
+  // other graph id is untouched — ids are stable until Compact().
+  const size_t num_features = features_.size();
+  const size_t base = static_cast<size_t>(graph_id) * num_features;
+  std::fill_n(lower_opt_.begin() + base, num_features, 0.0f);
+  std::fill_n(upper_opt_.begin() + base, num_features, 0.0f);
+  std::fill_n(lower_simple_.begin() + base, num_features, 0.0f);
+  std::fill_n(upper_simple_.begin() + base, num_features, 0.0f);
+  std::fill_n(present_.begin() + base, num_features, 0);
+  // The CSR range [col_offsets_[g], col_offsets_[g+1]) goes stale here;
+  // EntriesFor/Save skip dead columns, Compact() rebuilds the CSR.
+  stats_.num_entries -= col_offsets_[graph_id + 1] - col_offsets_[graph_id];
   for (Feature& f : features_) {
-    std::vector<uint32_t> updated;
-    updated.reserve(f.support.size());
-    for (uint32_t gi : f.support) {
-      if (gi == graph_id) continue;
-      updated.push_back(gi > graph_id ? gi - 1 : gi);
-    }
-    f.support = std::move(updated);
+    const auto it =
+        std::lower_bound(f.support.begin(), f.support.end(), graph_id);
+    if (it != f.support.end() && *it == graph_id) f.support.erase(it);
   }
+  alive_[graph_id] = 0;
+  --num_alive_;
+  ++epoch_;
+  ++removes_since_build_;
+  RecomputeFrequencies();
   stats_.size_bytes = SizeBytes();
   return Status::OK();
 }
 
+void ProbabilisticMatrixIndex::Compact() {
+  if (num_alive_ == num_graphs_) return;  // nothing to reclaim, epoch keeps
+  // Old id -> new id for alive columns, in order: the only id renumbering
+  // the index ever performs, and it bumps the epoch.
+  std::vector<uint32_t> remap(num_graphs_, 0);
+  std::vector<std::vector<PmiEntry>> columns;
+  columns.reserve(num_alive_);
+  for (uint32_t gi = 0; gi < num_graphs_; ++gi) {
+    if (alive_[gi] == 0) continue;
+    remap[gi] = static_cast<uint32_t>(columns.size());
+    columns.push_back(EntriesFor(gi));
+  }
+  SetColumns(std::move(columns));
+  for (Feature& f : features_) {
+    for (uint32_t& gi : f.support) gi = remap[gi];
+  }
+  ++epoch_;
+  stats_.size_bytes = SizeBytes();
+}
+
 size_t ProbabilisticMatrixIndex::SizeBytes() const {
-  size_t bytes = 16;  // header
+  size_t bytes = 12;  // magic + feature count + graph count
   for (const Feature& f : features_) {
     bytes += GraphByteSize(f.graph) + 4 * f.support.size() + 24;
   }
   for (uint32_t gi = 0; gi < num_graphs_; ++gi) {
-    const size_t column_size = col_offsets_[gi + 1] - col_offsets_[gi];
+    const size_t column_size =
+        IsAlive(gi) ? col_offsets_[gi + 1] - col_offsets_[gi] : 0;
     bytes += 4 + column_size * (4 + 4 * sizeof(float));
   }
+  // PMI2 trailer: epoch + alive bytes + beta watermark + add/remove counts.
+  bytes += 8 + num_graphs_ + 8 + 16;
   return bytes;
 }
 
 Status ProbabilisticMatrixIndex::Save(const std::string& path) const {
   std::ofstream os(path, std::ios::binary);
   if (!os) return Status::NotFound("PMI Save: cannot open " + path);
-  WriteU32(os, kPmiMagic);
+  WriteU32(os, kPmiMagic2);
   WriteU32(os, static_cast<uint32_t>(features_.size()));
   WriteU32(os, num_graphs_);
   for (const Feature& f : features_) {
@@ -268,6 +341,8 @@ Status ProbabilisticMatrixIndex::Save(const std::string& path) const {
     WriteU32(os, f.level);
   }
   for (uint32_t gi = 0; gi < num_graphs_; ++gi) {
+    // A tombstoned column serializes as empty; its alive byte below is what
+    // distinguishes it from a live graph with no features.
     const std::vector<PmiEntry> column = EntriesFor(gi);
     WriteU32(os, static_cast<uint32_t>(column.size()));
     for (const PmiEntry& e : column) {
@@ -278,6 +353,13 @@ Status ProbabilisticMatrixIndex::Save(const std::string& path) const {
       WriteDouble(os, e.upper_simple);
     }
   }
+  WriteU64(os, epoch_);
+  for (uint32_t gi = 0; gi < num_graphs_; ++gi) {
+    os.put(alive_[gi] ? '\1' : '\0');
+  }
+  WriteDouble(os, beta_watermark_);
+  WriteU64(os, adds_since_build_);
+  WriteU64(os, removes_since_build_);
   if (!os.good()) return Status::Internal("PMI Save: write failure");
   return Status::OK();
 }
@@ -287,7 +369,7 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Load(
   std::ifstream is(path, std::ios::binary);
   if (!is) return Status::NotFound("PMI Load: cannot open " + path);
   PGSIM_ASSIGN_OR_RETURN(const uint32_t magic, ReadU32(is));
-  if (magic != kPmiMagic) {
+  if (magic != kPmiMagic1 && magic != kPmiMagic2) {
     return Status::InvalidArgument("PMI Load: bad magic in " + path);
   }
   PGSIM_ASSIGN_OR_RETURN(const uint32_t num_features, ReadU32(is));
@@ -335,6 +417,26 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Load(
   }
   index.RebuildFeaturePlans();
   index.SetColumns(std::move(columns));
+  if (magic == kPmiMagic2) {
+    PGSIM_ASSIGN_OR_RETURN(index.epoch_, ReadU64(is));
+    for (uint32_t gi = 0; gi < num_graphs; ++gi) {
+      const int byte = is.get();
+      if (byte == std::char_traits<char>::eof()) {
+        return Status::InvalidArgument("PMI Load: truncated alive bytes in " +
+                                       path);
+      }
+      if (byte == 0) {
+        // The serialized column was already empty; just mark it dead.
+        index.alive_[gi] = 0;
+        --index.num_alive_;
+      }
+    }
+    PGSIM_ASSIGN_OR_RETURN(index.beta_watermark_, ReadDouble(is));
+    PGSIM_ASSIGN_OR_RETURN(index.adds_since_build_, ReadU64(is));
+    PGSIM_ASSIGN_OR_RETURN(index.removes_since_build_, ReadU64(is));
+  }
+  // PMI1 files predate epochs: everything alive, epoch 0 (SetColumns set
+  // the alive state already).
   index.stats_.num_features = index.features_.size();
   index.stats_.size_bytes = index.SizeBytes();
   return index;

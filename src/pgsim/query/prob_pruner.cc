@@ -288,17 +288,21 @@ PruneDecision ProbabilisticPruner::EvaluateColumnar(
     PrunerScratch* scratch) const {
   PruneDecision decision;
   const BoundProgram& bp = prepared_->program;
-  const size_t stride = pmi_->num_graphs();
+  // Graph-major matrices: this candidate's cells are the contiguous block
+  // [base, base + num_features), so the per-feature gathers below stay in
+  // one cache-resident stripe.
+  const size_t base =
+      static_cast<size_t>(graph_id) * pmi_->num_features();
   const bool opt = options_.sip_variant == SipVariant::kOpt;
   const float* lower =
-      (opt ? pmi_->flat_lower_opt() : pmi_->flat_lower_simple()).data();
+      (opt ? pmi_->flat_lower_opt() : pmi_->flat_lower_simple()).data() + base;
   const float* upper =
-      (opt ? pmi_->flat_upper_opt() : pmi_->flat_upper_simple()).data();
-  const uint8_t* present = pmi_->flat_present().data();
+      (opt ? pmi_->flat_upper_opt() : pmi_->flat_upper_simple()).data() + base;
+  const uint8_t* present = pmi_->flat_present().data() + base;
   // Absent cells hold 0.0f, matching the reference path's "SIP = 0" default,
   // so Usim weights gather without a presence branch.
   const auto upper_of = [&](uint32_t feature_id) -> double {
-    return upper[static_cast<size_t>(feature_id) * stride + graph_id];
+    return upper[feature_id];
   };
 
   // ---- Pruning 1: Usim(q). ----
@@ -350,7 +354,7 @@ PruneDecision ProbabilisticPruner::EvaluateColumnar(
     scratch->lsim_sel_end.clear();
     for (size_t k = 0; k < bp.lsim_ids.size(); ++k) {
       const uint32_t fi = bp.lsim_ids[k];
-      const size_t idx = static_cast<size_t>(fi) * stride + graph_id;
+      const size_t idx = fi;
       if (present[idx] == 0) continue;  // SIP = 0: contributes nothing
       scratch->lsim_sel_ids.push_back(fi);
       scratch->lsim_sel_wl.push_back(lower[idx]);
@@ -384,10 +388,9 @@ PruneDecision ProbabilisticPruner::EvaluateColumnar(
     chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
     double sum_l = 0.0, sum_u = 0.0;
     for (uint32_t fi : chosen) {
-      const size_t idx = static_cast<size_t>(fi) * stride + graph_id;
       // Absent cells are (0, 0): adding them matches the reference skip.
-      sum_l += lower[idx];
-      sum_u += upper[idx];
+      sum_l += lower[fi];
+      sum_u += upper[fi];
     }
     lsim = std::max(0.0, sum_l - sum_u * sum_u);
   }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 
+#include "pgsim/common/fingerprint.h"
 #include "pgsim/common/task_scheduler.h"
 #include "pgsim/query/batch_cache.h"
 
@@ -17,6 +19,36 @@ constexpr uint8_t kVerifyAccept = 2;
 
 }  // namespace
 
+std::string QueryOptionsFingerprint(const QueryOptions& options) {
+  Fingerprint fp;
+  fp.AddU32(options.delta);
+  fp.AddDouble(options.epsilon);
+  fp.AddU64(options.relax.max_combinations);
+  fp.AddU64(options.relax.max_relaxed_graphs);
+  fp.AddU32(static_cast<uint32_t>(options.pruner.selection));
+  fp.AddU32(static_cast<uint32_t>(options.pruner.sip_variant));
+  fp.AddU32(static_cast<uint32_t>(options.pruner.lsim.gradient_iterations));
+  fp.AddU32(static_cast<uint32_t>(options.pruner.lsim.projection_sweeps));
+  fp.AddDouble(options.pruner.lsim.rounding_factor);
+  fp.AddDouble(options.verifier.mc.xi);
+  fp.AddDouble(options.verifier.mc.tau);
+  fp.AddU64(options.verifier.mc.min_samples);
+  fp.AddU64(options.verifier.mc.max_samples);
+  fp.AddBool(options.verifier.adaptive);
+  fp.AddU64(options.verifier.max_embeddings_per_rq);
+  fp.AddU64(options.verifier.max_total_embeddings);
+  fp.AddU64(options.verifier.exact.max_terms);
+  fp.AddU64(options.verifier.exact.max_shannon_nodes);
+  fp.AddU32(options.structural.max_count);
+  fp.AddU32(options.structural.max_query_count);
+  fp.AddBool(options.structural.exact_check);
+  fp.AddBool(options.use_structural_filter);
+  fp.AddBool(options.use_probabilistic_pruning);
+  fp.AddU32(static_cast<uint32_t>(options.verify_mode));
+  fp.AddU64(options.seed);
+  return fp.bytes();
+}
+
 QueryProcessor::QueryProcessor(const std::vector<ProbabilisticGraph>* database,
                                const ProbabilisticMatrixIndex* pmi,
                                const StructuralFilter* structural)
@@ -25,7 +57,146 @@ QueryProcessor::QueryProcessor(const std::vector<ProbabilisticGraph>* database,
     for (const ProbabilisticGraph& g : *database_) {
       AccumulateVertexLabelFrequencies(g.certain(), &db_label_freq_);
     }
+    // Alive view: everything serves, unless the PMI was loaded/mutated with
+    // tombstones and aligns with the database — then inherit its view (and
+    // its epoch), so a Save/Load'd mutated index keeps excluding removed
+    // graphs.
+    alive_.assign(database_->size(), 1);
+    uint32_t alive_count = static_cast<uint32_t>(database_->size());
+    if (pmi_ != nullptr && pmi_->num_graphs() == database_->size()) {
+      for (uint32_t gi = 0; gi < pmi_->num_graphs(); ++gi) {
+        if (!pmi_->IsAlive(gi)) {
+          alive_[gi] = 0;
+          --alive_count;
+        }
+      }
+      // Dead graphs' labels must not steer plan seed ordering.
+      for (uint32_t gi = 0; gi < pmi_->num_graphs(); ++gi) {
+        if (alive_[gi]) continue;
+        for (LabelId l : (*database_)[gi].certain().VertexLabels()) {
+          --db_label_freq_[l];
+        }
+      }
+    }
+    num_alive_.store(alive_count, std::memory_order_release);
   }
+  if (pmi_ != nullptr) {
+    epoch_.store(pmi_->epoch(), std::memory_order_release);
+  }
+}
+
+QueryProcessor::QueryProcessor(std::vector<ProbabilisticGraph>* database,
+                               ProbabilisticMatrixIndex* pmi,
+                               StructuralFilter* structural)
+    : QueryProcessor(
+          static_cast<const std::vector<ProbabilisticGraph>*>(database),
+          static_cast<const ProbabilisticMatrixIndex*>(pmi),
+          static_cast<const StructuralFilter*>(structural)) {
+  mutable_database_ = database;
+  mutable_pmi_ = pmi;
+  mutable_structural_ = structural;
+}
+
+// ---------------------------------------------------------------------------
+// Live mutation API. Each call takes the serving lock exclusively: it waits
+// for in-flight queries, applies the mutation to every structure, bumps the
+// epoch, and returns — queries admitted afterwards see the new state
+// atomically, and the answer cache drops pre-mutation entries on epoch
+// mismatch.
+// ---------------------------------------------------------------------------
+
+Result<uint32_t> QueryProcessor::AddGraph(const ProbabilisticGraph& graph,
+                                          uint64_t seed) {
+  if (mutable_database_ == nullptr) {
+    return Status::InvalidArgument(
+        "AddGraph: processor was built over const structures (read-only)");
+  }
+  std::unique_lock<std::shared_mutex> lock(live_mu_);
+  const uint32_t graph_id = static_cast<uint32_t>(mutable_database_->size());
+  std::vector<uint32_t> contained;
+  if (mutable_pmi_ != nullptr) {
+    PGSIM_ASSIGN_OR_RETURN(
+        const uint32_t pmi_id,
+        mutable_pmi_->AddGraph(graph, mutable_pmi_->sip_options(), seed,
+                               &contained));
+    if (pmi_id != graph_id) {
+      return Status::Internal("AddGraph: PMI and database ids diverged");
+    }
+  }
+  if (mutable_structural_ != nullptr) {
+    const uint32_t filter_id = mutable_structural_->AddGraph(
+        graph.certain(), mutable_pmi_ != nullptr ? &contained : nullptr);
+    if (filter_id != graph_id) {
+      return Status::Internal("AddGraph: filter and database ids diverged");
+    }
+  }
+  mutable_database_->push_back(graph);
+  AccumulateVertexLabelFrequencies(graph.certain(), &db_label_freq_);
+  alive_.push_back(1);
+  num_alive_.fetch_add(1, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  return graph_id;
+}
+
+Status QueryProcessor::RemoveGraph(uint32_t graph_id) {
+  if (mutable_database_ == nullptr) {
+    return Status::InvalidArgument(
+        "RemoveGraph: processor was built over const structures (read-only)");
+  }
+  std::unique_lock<std::shared_mutex> lock(live_mu_);
+  if (graph_id >= alive_.size() || alive_[graph_id] == 0) {
+    return Status::InvalidArgument(
+        "RemoveGraph: graph id out of range or already removed");
+  }
+  if (mutable_pmi_ != nullptr) {
+    PGSIM_RETURN_NOT_OK(mutable_pmi_->RemoveGraph(graph_id));
+  }
+  if (mutable_structural_ != nullptr) {
+    PGSIM_RETURN_NOT_OK(mutable_structural_->RemoveGraph(graph_id));
+  }
+  // Exact label-frequency rollback: an add→remove round trip restores the
+  // frequencies byte-identically, so compiled plans — and therefore every
+  // answer — match the pre-mutation state bit for bit.
+  for (LabelId l : (*mutable_database_)[graph_id].certain().VertexLabels()) {
+    --db_label_freq_[l];
+  }
+  alive_[graph_id] = 0;
+  num_alive_.fetch_sub(1, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  // Auto-compaction: reclaim once tombstones dominate. The extra epoch bump
+  // from CompactLocked() is correct — compaction renumbers ids.
+  const size_t tombstones =
+      alive_.size() - num_alive_.load(std::memory_order_relaxed);
+  if (tombstones >= 16 && tombstones * 2 >= alive_.size()) {
+    CompactLocked();
+  }
+  return Status::OK();
+}
+
+void QueryProcessor::Compact() {
+  if (mutable_database_ == nullptr) return;
+  std::unique_lock<std::shared_mutex> lock(live_mu_);
+  CompactLocked();
+}
+
+void QueryProcessor::CompactLocked() {
+  const uint32_t alive_count = num_alive_.load(std::memory_order_relaxed);
+  if (alive_count == alive_.size()) return;
+  if (mutable_pmi_ != nullptr) mutable_pmi_->Compact();
+  if (mutable_structural_ != nullptr) mutable_structural_->Compact();
+  // All three structures renumber identically: alive ids shift down by the
+  // number of dead slots below them.
+  auto& db = *mutable_database_;
+  size_t write = 0;
+  for (size_t read = 0; read < db.size(); ++read) {
+    if (alive_[read] == 0) continue;
+    if (write != read) db[write] = std::move(db[read]);
+    ++write;
+  }
+  db.resize(write);
+  alive_.assign(write, 1);
+  num_alive_.store(static_cast<uint32_t>(write), std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
 }
 
 // ---------------------------------------------------------------------------
@@ -44,10 +215,30 @@ Status QueryProcessor::FrontStagesImpl(const Graph& q,
   local.database_size = db.size();
 
   if (options.delta >= q.NumEdges()) {
-    // dis(q, g') <= |E(q)| <= delta for every world: SSP = 1 everywhere.
-    job->answers.resize(db.size());
-    for (uint32_t i = 0; i < db.size(); ++i) job->answers[i] = i;
+    // dis(q, g') <= |E(q)| <= delta for every world: SSP = 1 for every
+    // graph that is still alive.
+    for (uint32_t i = 0; i < db.size(); ++i) {
+      if (alive_[i]) job->answers.push_back(i);
+    }
     return Status::OK();
+  }
+
+  // ---- Cross-batch answer cache probe (see answer_cache.h). ----
+  // A hit returns the whole answer set computed under this exact epoch +
+  // options fingerprint; every stage below is skipped. The wiring is copied
+  // into the job so FinishQuery can fill the slot after a miss.
+  if (ctx->answer_cache != nullptr && ctx->answer_fingerprint != nullptr) {
+    WallTimer cache_timer;
+    job->answer_cache = ctx->answer_cache;
+    job->answer_epoch = ctx->answer_epoch;
+    job->answer_probe =
+        ctx->answer_cache->Find(q, *ctx->answer_fingerprint, ctx->answer_epoch);
+    local.cache_seconds += cache_timer.Seconds();
+    if (job->answer_probe.hit) {
+      job->answers = *job->answer_probe.answers;
+      local.answer_cache_hit = true;
+      return Status::OK();
+    }
   }
 
   // ---- Batch cache probe (canonical + exact keys). ----
@@ -55,7 +246,7 @@ Status QueryProcessor::FrontStagesImpl(const Graph& q,
   if (ctx->cache != nullptr) {
     WallTimer cache_timer;
     cached = ctx->cache->Find(q);
-    local.cache_seconds = cache_timer.Seconds();
+    local.cache_seconds += cache_timer.Seconds();
   }
 
   // ---- Relaxation: U = {rq1..rqa}. ----
@@ -130,8 +321,9 @@ Status QueryProcessor::FrontStagesImpl(const Graph& q,
       ctx->cache->StoreCounts(cached, std::move(computed));
     }
   } else {
-    sc_q.resize(db.size());
-    for (uint32_t i = 0; i < db.size(); ++i) sc_q[i] = i;
+    for (uint32_t i = 0; i < db.size(); ++i) {
+      if (alive_[i]) sc_q.push_back(i);
+    }
   }
   local.structural_candidates = sc_q.size();
   local.structural_seconds = structural_timer.Seconds();
@@ -238,10 +430,22 @@ void QueryProcessor::FinishQuery(QueryJob* job) const {
   }
   local.verify_seconds = job->verify_timer.Seconds();
   local.total_seconds = job->total_timer.Seconds();
+  // Fill the answer-cache slot this query's probe addressed (no-op on a hit
+  // or an uncacheable probe). The epoch was captured under the serving lock
+  // the answers were computed at, so a concurrent mutation can never store
+  // pre-mutation answers under a post-mutation epoch.
+  if (job->status.ok() && job->answer_cache != nullptr &&
+      job->answer_probe.cacheable && !job->answer_probe.hit) {
+    job->answer_cache->Store(job->answer_probe, job->answer_epoch,
+                             job->answers);
+  }
 }
 
 // ---------------------------------------------------------------------------
-// Sequential entry point.
+// Sequential entry points. The public overloads take the serving lock shared
+// (so mutations wait for them and vice versa); QueryImpl is the lock-free
+// body the batch schedulers call under the batch-held shared lock — a worker
+// re-acquiring the same shared_mutex would be UB.
 // ---------------------------------------------------------------------------
 
 Result<std::vector<uint32_t>> QueryProcessor::Query(
@@ -251,6 +455,13 @@ Result<std::vector<uint32_t>> QueryProcessor::Query(
 }
 
 Result<std::vector<uint32_t>> QueryProcessor::Query(
+    const Graph& q, const QueryOptions& options, QueryContext* ctx,
+    QueryStats* stats) const {
+  std::shared_lock<std::shared_mutex> lock(live_mu_);
+  return QueryImpl(q, options, ctx, stats);
+}
+
+Result<std::vector<uint32_t>> QueryProcessor::QueryImpl(
     const Graph& q, const QueryOptions& options, QueryContext* ctx,
     QueryStats* stats) const {
   QueryJob& job = ctx->job;
@@ -312,6 +523,9 @@ struct StealingBatchRunner {
     StealingBatchRunner* run = j->run;
     QueryContext* qctx = run->sched->WorkerState<QueryContext>(worker);
     qctx->cache = run->cache;
+    qctx->answer_cache = run->answer_cache;
+    qctx->answer_fingerprint = run->answer_fp;
+    qctx->answer_epoch = run->answer_epoch;
     const double queue_wait = run->batch_timer->Seconds();
     run->front_inflight.fetch_add(1, std::memory_order_relaxed);
     run->proc->RunFrontStages((*run->queries)[j->qi], *run->options, qctx,
@@ -376,6 +590,9 @@ struct StealingBatchRunner {
   const QueryOptions* options = nullptr;
   std::vector<BatchQueryResult>* results = nullptr;
   BatchQueryCache* cache = nullptr;
+  AnswerCache* answer_cache = nullptr;
+  const std::string* answer_fp = nullptr;
+  uint64_t answer_epoch = 0;
   TaskScheduler* sched = nullptr;
   size_t task_grain = 1;
   const WallTimer* batch_timer = nullptr;
@@ -386,7 +603,8 @@ struct StealingBatchRunner {
 
 std::vector<BatchQueryResult> QueryProcessor::QueryBatchStealing(
     const std::vector<Graph>& queries, const QueryOptions& options,
-    const BatchOptions& batch, BatchQueryCache* cache, uint32_t num_threads,
+    const BatchOptions& batch, BatchQueryCache* cache,
+    const AnswerCacheWiring& answers, uint32_t num_threads,
     const WallTimer& batch_timer, uint32_t* threads_used,
     BatchStats* batch_stats) const {
   std::unique_ptr<TaskScheduler> owned;
@@ -406,6 +624,9 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatchStealing(
   run.options = &options;
   run.results = &results;
   run.cache = cache;
+  run.answer_cache = answers.cache;
+  run.answer_fp = answers.fingerprint;
+  run.answer_epoch = answers.epoch;
   run.sched = sched;
   run.task_grain = batch.task_grain;
   run.batch_timer = &batch_timer;
@@ -436,19 +657,28 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatchStealing(
 
 std::vector<BatchQueryResult> QueryProcessor::QueryBatchChunked(
     const std::vector<Graph>& queries, const QueryOptions& options,
-    const BatchOptions& batch, BatchQueryCache* cache, uint32_t num_threads,
+    const BatchOptions& batch, BatchQueryCache* cache,
+    const AnswerCacheWiring& answers, uint32_t num_threads,
     uint32_t* threads_used) const {
   std::vector<BatchQueryResult> results(queries.size());
 
+  const auto wire = [&](QueryContext* ctx) {
+    ctx->cache = cache;
+    ctx->answer_cache = answers.cache;
+    ctx->answer_fingerprint = answers.fingerprint;
+    ctx->answer_epoch = answers.epoch;
+  };
+
   // Each slot is written by exactly one worker; each worker reruns the
   // pipeline from options.seed, so answers match sequential Query exactly.
+  // QueryImpl, not Query: the batch already holds the serving lock.
   auto run_one = [&](QueryContext* ctx, size_t qi) {
     BatchQueryResult& slot = results[qi];
-    auto answers = Query(queries[qi], options, ctx, &slot.stats);
-    if (answers.ok()) {
-      slot.answers = std::move(answers).value();
+    auto query_answers = QueryImpl(queries[qi], options, ctx, &slot.stats);
+    if (query_answers.ok()) {
+      slot.answers = std::move(query_answers).value();
     } else {
-      slot.status = answers.status();
+      slot.status = query_answers.status();
     }
   };
 
@@ -456,7 +686,7 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatchChunked(
   if (batch.pool == nullptr && (num_threads <= 1 || queries.size() <= 1)) {
     *threads_used = 1;
     QueryContext ctx;
-    ctx.cache = cache;
+    wire(&ctx);
     for (size_t qi = 0; qi < queries.size(); ++qi) run_one(&ctx, qi);
   } else {
     // Use the caller's pool when provided; otherwise spawn a transient one.
@@ -467,7 +697,7 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatchChunked(
       pool = owned.get();
     }
     std::vector<QueryContext> contexts(pool->size());
-    for (QueryContext& ctx : contexts) ctx.cache = cache;
+    for (QueryContext& ctx : contexts) wire(&ctx);
     pool->ParallelFor(queries.size(), batch.chunk_size,
                       [&](uint32_t rank, size_t begin, size_t end) {
                         for (size_t qi = begin; qi < end; ++qi) {
@@ -482,6 +712,10 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
     const std::vector<Graph>& queries, const QueryOptions& options,
     const BatchOptions& batch, BatchStats* batch_stats) const {
   WallTimer wall_timer;
+  // One shared serving lock for the WHOLE batch: every worker sees the same
+  // frozen index state (and the same epoch), and a mutation either waits for
+  // the batch or the batch sees it completely.
+  std::shared_lock<std::shared_mutex> serving_lock(live_mu_);
   const uint32_t num_threads =
       ThreadPool::ResolveThreads(batch.num_threads, batch.pool);
 
@@ -489,6 +723,19 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
   // share relaxation sets and feature counts; answers stay bit-identical.
   std::unique_ptr<BatchQueryCache> cache;
   if (batch.enable_cache) cache = std::make_unique<BatchQueryCache>();
+
+  // Cross-batch answer cache wiring: fingerprint once per batch, epoch read
+  // under the serving lock above (it cannot move until the batch finishes).
+  AnswerCacheWiring answers;
+  std::string answer_fingerprint;
+  AnswerCacheStats answer_before;
+  if (batch.answer_cache != nullptr) {
+    answer_fingerprint = QueryOptionsFingerprint(options);
+    answers.cache = batch.answer_cache;
+    answers.fingerprint = &answer_fingerprint;
+    answers.epoch = epoch();
+    answer_before = batch.answer_cache->stats();
+  }
 
   // The stealing scheduler needs either an execution vehicle worth sharing
   // (a caller scheduler/pool) or genuine batch parallelism; a 1-thread,
@@ -503,10 +750,10 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
   BatchStats sched_counters;
   std::vector<BatchQueryResult> results =
       use_stealing
-          ? QueryBatchStealing(queries, options, batch, cache.get(),
+          ? QueryBatchStealing(queries, options, batch, cache.get(), answers,
                                num_threads, wall_timer, &threads_used,
                                &sched_counters)
-          : QueryBatchChunked(queries, options, batch, cache.get(),
+          : QueryBatchChunked(queries, options, batch, cache.get(), answers,
                               num_threads, &threads_used);
 
   if (batch_stats != nullptr) {
@@ -544,6 +791,13 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
       agg.plans_cache_misses = cache_stats.plans_misses;
       agg.cache_uncacheable = cache_stats.uncacheable;
     }
+    if (batch.answer_cache != nullptr) {
+      const AnswerCacheStats after = batch.answer_cache->stats();
+      agg.answer_cache_hits = after.hits - answer_before.hits;
+      agg.answer_cache_misses = after.misses - answer_before.misses;
+      agg.answer_cache_stale = after.stale - answer_before.stale;
+      agg.answer_cache_evictions = after.evictions - answer_before.evictions;
+    }
     agg.wall_seconds = wall_timer.Seconds();
     *batch_stats = agg;
   }
@@ -553,13 +807,16 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
 Result<std::vector<uint32_t>> QueryProcessor::ExactScan(
     const Graph& q, const QueryOptions& options, QueryStats* stats) const {
   WallTimer total_timer;
+  std::shared_lock<std::shared_mutex> lock(live_mu_);
   QueryStats local;
   const auto& db = *database_;
   local.database_size = db.size();
 
   if (options.delta >= q.NumEdges()) {
-    std::vector<uint32_t> all(db.size());
-    for (uint32_t i = 0; i < db.size(); ++i) all[i] = i;
+    std::vector<uint32_t> all;
+    for (uint32_t i = 0; i < db.size(); ++i) {
+      if (alive_[i]) all.push_back(i);
+    }
     local.answers = all.size();
     local.total_seconds = total_timer.Seconds();
     if (stats != nullptr) *stats = local;
@@ -576,6 +833,7 @@ Result<std::vector<uint32_t>> QueryProcessor::ExactScan(
   std::vector<uint32_t> answers;
   WallTimer verify_timer;
   for (uint32_t gi = 0; gi < db.size(); ++gi) {
+    if (!alive_[gi]) continue;
     ++local.verification_candidates;
     const Result<double> ssp =
         ExactSubgraphSimilarityProbability(db[gi], relaxed, options.verifier);

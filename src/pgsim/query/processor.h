@@ -27,6 +27,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "pgsim/common/random.h"
@@ -36,6 +38,7 @@
 #include "pgsim/graph/graph.h"
 #include "pgsim/graph/relaxation.h"
 #include "pgsim/index/pmi.h"
+#include "pgsim/query/answer_cache.h"
 #include "pgsim/query/prob_pruner.h"
 #include "pgsim/query/structural_filter.h"
 #include "pgsim/query/verifier.h"
@@ -71,6 +74,14 @@ struct QueryOptions {
   uint64_t seed = 7;       ///< randomized pruning/verification seed
 };
 
+/// Equality-exact byte fingerprint of every QueryOptions field that can
+/// change a query's ANSWER SET (delta, epsilon, relaxation caps, pruner
+/// config, verifier config, structural knobs, stage switches, verify mode,
+/// seed). Execution-only knobs (verify_threads, thread/pool settings) are
+/// excluded — answers are bit-identical across them by the determinism
+/// doctrine, so they must not fragment the answer-cache key space.
+std::string QueryOptionsFingerprint(const QueryOptions& options);
+
 /// Per-stage counters and timings of one query run.
 ///
 /// Counter fields (`database_size` .. `answers`) are deterministic: equal
@@ -101,6 +112,9 @@ struct QueryStats {
   bool relax_cache_hit = false;   ///< U reused from the batch cache
   bool counts_cache_hit = false;  ///< feature counts reused from the cache
   bool prepared_cache_hit = false; ///< pruner relations reused from the cache
+  bool answer_cache_hit = false;   ///< whole answer set served from the
+                                   ///< cross-batch AnswerCache (stage
+                                   ///< counters below the probe stay 0)
   double relax_seconds = 0.0;      ///< relaxation stage (≈0 on a cache hit)
   double structural_seconds = 0.0; ///< stage 1 wall clock
   double prob_seconds = 0.0;       ///< stage 2 wall clock
@@ -149,6 +163,14 @@ struct QueryJob {
   WallTimer total_timer;
   WallTimer verify_timer;
 
+  /// Cross-batch answer cache wiring, captured at probe time so FinishQuery
+  /// (which may run on a different worker under the stealing scheduler) can
+  /// fill the slot the probe addressed, under the epoch the answer was
+  /// computed at.
+  AnswerCache* answer_cache = nullptr;
+  AnswerCache::Probe answer_probe;
+  uint64_t answer_epoch = 0;
+
   /// Clears (capacity-preserving) all per-query state.
   void Clear() {
     query = nullptr;
@@ -165,6 +187,9 @@ struct QueryJob {
     verdicts.clear();
     stats = QueryStats();
     status = Status::OK();
+    answer_cache = nullptr;
+    answer_probe = AnswerCache::Probe();
+    answer_epoch = 0;
   }
 };
 
@@ -186,6 +211,15 @@ struct QueryContext {
   /// it attached. Callers wiring it manually must keep QueryOptions fixed
   /// across all queries probing the same cache (see batch_cache.h).
   BatchQueryCache* cache = nullptr;
+  /// Optional cross-batch answer cache (not owned; see answer_cache.h).
+  /// When set, `answer_fingerprint` must point at the QueryOptions
+  /// fingerprint of the options being run (QueryOptionsFingerprint) and
+  /// `answer_epoch` must hold the processor's epoch() — QueryBatch wires
+  /// all three from BatchOptions::answer_cache; manual Query() callers do
+  /// the same by hand.
+  AnswerCache* answer_cache = nullptr;
+  const std::string* answer_fingerprint = nullptr;
+  uint64_t answer_epoch = 0;
   /// Per-query pipeline state for the sequential Query() path (batch
   /// schedulers use per-query jobs that outlive the worker instead).
   QueryJob job;
@@ -252,6 +286,14 @@ struct BatchOptions {
   /// Answers are bit-identical with the cache on or off (see batch_cache.h
   /// for the proof sketch); disable only to measure the cold path.
   bool enable_cache = true;
+  /// Caller-owned cross-batch answer cache (not owned; must outlive the
+  /// call). When set, every query probes it before the pipeline and fills
+  /// it after; entries are invalidated exactly by the processor's mutation
+  /// epoch (see answer_cache.h). Answers are bit-identical with the cache
+  /// on or off. Unlike the batch-scoped cache above it survives across
+  /// QueryBatch calls — that is its point — so a serving loop keeps one
+  /// AnswerCache next to its TaskScheduler.
+  AnswerCache* answer_cache = nullptr;
 };
 
 /// Aggregated counters over one QueryBatch call. Cache counters come from
@@ -284,6 +326,14 @@ struct BatchStats {
   size_t plans_cache_hits = 0;        ///< rq match-plan sets reused (dups)
   size_t plans_cache_misses = 0;
   size_t cache_uncacheable = 0;       ///< canonical code over budget
+  /// Cross-batch AnswerCache counter deltas over this batch (all zero when
+  /// BatchOptions::answer_cache is null). hits are whole queries whose
+  /// answer set was served without running the pipeline; stale counts
+  /// entries dropped because the index epoch moved.
+  size_t answer_cache_hits = 0;
+  size_t answer_cache_misses = 0;
+  size_t answer_cache_stale = 0;
+  size_t answer_cache_evictions = 0;
   uint32_t threads_used = 0;          ///< threads that actually ran (1 when
                                       ///< the inline fallback was taken)
   size_t tasks_executed = 0;          ///< scheduler tasks (front + verify)
@@ -306,15 +356,33 @@ struct BatchQueryResult {
 };
 
 /// Three-stage T-PS query pipeline plus the Exact-scan baseline.
+///
+/// Live database contract (mirrors index/pmi.h): a processor constructed
+/// over NON-const structures additionally serves AddGraph/RemoveGraph/
+/// Compact, which thread the mutation through every serving structure
+/// incrementally — database vector, PMI column, filter column, label
+/// frequencies — and bump the mutation epoch(). Queries and mutations
+/// synchronize on an internal reader/writer lock: any number of concurrent
+/// Query/QueryBatch/ExactScan calls run against a frozen index state, and a
+/// mutation waits for in-flight queries, applies atomically, then lets
+/// queries resume (maintenance_test exercises this under TSan). Graph ids
+/// are stable under RemoveGraph (tombstones); only Compact() renumbers.
 class QueryProcessor {
  public:
   /// `pmi` and/or `structural` may be null; the corresponding stage is then
   /// skipped regardless of QueryOptions. Aggregates the database's vertex
   /// label frequencies once — every query's relaxed-query match plans are
-  /// compiled against them (rarest-label-first seed ordering).
+  /// compiled against them (rarest-label-first seed ordering). A processor
+  /// built through this overload is read-only: AddGraph/RemoveGraph error.
   QueryProcessor(const std::vector<ProbabilisticGraph>* database,
                  const ProbabilisticMatrixIndex* pmi,
                  const StructuralFilter* structural);
+
+  /// Mutable overload: same serving behavior, plus the mutation API below
+  /// operates on the caller's structures in place. The caller must not
+  /// mutate them directly while this processor exists.
+  QueryProcessor(std::vector<ProbabilisticGraph>* database,
+                 ProbabilisticMatrixIndex* pmi, StructuralFilter* structural);
 
   /// Runs the full pipeline; returns answer graph ids (sorted).
   Result<std::vector<uint32_t>> Query(const Graph& q,
@@ -344,6 +412,38 @@ class QueryProcessor {
                                           const QueryOptions& options,
                                           QueryStats* stats = nullptr) const;
 
+  // ---- Live mutation API (mutable-ctor processors only). ----
+
+  /// Appends `graph` as a new database member and threads it through every
+  /// serving structure incrementally: PMI column (bounds computed under
+  /// `seed` with the PMI's remembered SIP options), filter column (feature
+  /// containment reused from the PMI's decision), label frequencies, alive
+  /// set. Blocks until in-flight queries drain; bumps epoch(). Returns the
+  /// new graph id.
+  Result<uint32_t> AddGraph(const ProbabilisticGraph& graph, uint64_t seed);
+
+  /// Tombstones `graph_id` in every serving structure. Ids are STABLE (no
+  /// shift); the graph stops appearing in any answer set from the next
+  /// query on. Bumps epoch(). When tombstones exceed the auto-compaction
+  /// threshold (>= 16 and >= half the columns), a Compact() runs
+  /// immediately after under the same lock.
+  Status RemoveGraph(uint32_t graph_id);
+
+  /// Reclaims tombstoned columns in the database vector, PMI, and filter,
+  /// renumbering alive ids downward in order (all three renumber
+  /// identically). Bumps epoch(); callers holding graph ids must re-derive
+  /// them. No-op without tombstones.
+  void Compact();
+
+  /// Monotonically increasing mutation counter: bumped by every AddGraph/
+  /// RemoveGraph/Compact. The AnswerCache invalidates on inequality.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Database members not tombstoned.
+  uint32_t num_alive() const {
+    return num_alive_.load(std::memory_order_acquire);
+  }
+
  private:
   friend struct StealingBatchRunner;  // task bodies (processor.cc)
 
@@ -366,23 +466,61 @@ class QueryProcessor {
   Status FrontStagesImpl(const Graph& q, const QueryOptions& options,
                          QueryContext* ctx, QueryJob* job) const;
 
+  /// Query() without the serving lock — the body every locked entry point
+  /// calls (public Query takes the shared lock; QueryBatch holds it for the
+  /// whole batch, so its workers must not re-acquire).
+  Result<std::vector<uint32_t>> QueryImpl(const Graph& q,
+                                          const QueryOptions& options,
+                                          QueryContext* ctx,
+                                          QueryStats* stats) const;
+
+  /// Answer-cache hookup for one batch: the cache, the options fingerprint
+  /// (computed once per batch), and the epoch the batch serves at.
+  struct AnswerCacheWiring {
+    AnswerCache* cache = nullptr;
+    const std::string* fingerprint = nullptr;
+    uint64_t epoch = 0;
+  };
+
   std::vector<BatchQueryResult> QueryBatchChunked(
       const std::vector<Graph>& queries, const QueryOptions& options,
       const BatchOptions& batch, BatchQueryCache* cache,
-      uint32_t num_threads, uint32_t* threads_used) const;
+      const AnswerCacheWiring& answers, uint32_t num_threads,
+      uint32_t* threads_used) const;
 
   std::vector<BatchQueryResult> QueryBatchStealing(
       const std::vector<Graph>& queries, const QueryOptions& options,
       const BatchOptions& batch, BatchQueryCache* cache,
-      uint32_t num_threads, const WallTimer& batch_timer,
-      uint32_t* threads_used, BatchStats* batch_stats) const;
+      const AnswerCacheWiring& answers, uint32_t num_threads,
+      const WallTimer& batch_timer, uint32_t* threads_used,
+      BatchStats* batch_stats) const;
+
+  /// Compact() body; caller holds the unique serving lock.
+  void CompactLocked();
 
   const std::vector<ProbabilisticGraph>* database_;
   const ProbabilisticMatrixIndex* pmi_;
   const StructuralFilter* structural_;
+  /// Non-null only for mutable-ctor processors (same objects as the const
+  /// pointers above); the mutation API requires them.
+  std::vector<ProbabilisticGraph>* mutable_database_ = nullptr;
+  ProbabilisticMatrixIndex* mutable_pmi_ = nullptr;
+  StructuralFilter* mutable_structural_ = nullptr;
   /// Vertex-label frequencies summed over the database (index = LabelId):
   /// the MatchPlanOptions::label_freq input for per-query plan compilation.
+  /// Maintained exactly under AddGraph/RemoveGraph — an add→remove round
+  /// trip restores it byte-identically, which the add→remove answer
+  /// bit-identity pin depends on (plans compile against these frequencies).
   std::vector<uint32_t> db_label_freq_;
+  /// Per-database-member alive bytes (1 = serving): the tombstone view used
+  /// by the paths that enumerate the whole database (delta shortcut,
+  /// filter-disabled stage 1, ExactScan). Stage-1-filtered queries get the
+  /// same exclusion from the filter's live mask.
+  std::vector<uint8_t> alive_;
+  std::atomic<uint32_t> num_alive_{0};
+  std::atomic<uint64_t> epoch_{0};
+  /// Reader/writer serving lock: queries shared, mutations exclusive.
+  mutable std::shared_mutex live_mu_;
 };
 
 }  // namespace pgsim

@@ -69,7 +69,13 @@ StructuralFilter StructuralFilter::Build(
   filter.feature_graphs_.reserve(features.size());
   for (const Feature& f : features) filter.feature_graphs_.push_back(&f.graph);
   filter.num_graphs_ = static_cast<uint32_t>(certain_db.size());
+  filter.num_alive_ = filter.num_graphs_;
+  // Stride == num_graphs exactly: no padding, so counts() of two builds of
+  // the same database compare equal; AddGraph grows the stride on demand.
+  filter.col_capacity_ = certain_db.size();
   filter.counts_.assign(features.size() * certain_db.size(), 0);
+  filter.live_mask_.ResetTo(certain_db.size());
+  filter.live_mask_.SetAll();
 
   // Compile each feature's match plan once; build-time counting and every
   // query-time CountQueryFeatures run these instead of recompiling.
@@ -210,12 +216,13 @@ void StructuralFilter::Filter(const Graph& q, const std::vector<Graph>& relaxed,
             });
 
   // Columnar count filter: one contiguous feature row per threshold,
-  // visiting only still-alive graphs.
+  // visiting only still-alive graphs. The sweep starts from the live mask —
+  // not all-ones — so tombstoned columns are out even when the query yields
+  // no thresholds at all.
   EdgeBitset& alive = scratch->alive;
-  alive.ResetTo(num_graphs_);
-  alive.SetAll();
+  alive.AssignWords(live_mask_.words().data(), num_graphs_);
   for (const auto& [feature, needed] : thresholds) {
-    const uint16_t* row = counts_.data() + feature * num_graphs_;
+    const uint16_t* row = counts_.data() + feature * col_capacity_;
     // Clamping folds the saturation rule into one unsigned compare:
     // have < min(needed, 0xFFFF) is exactly (have != 0xFFFF && have <
     // needed) — a saturated 0xFFFF cell never fails it ("unknown, never
@@ -312,6 +319,114 @@ void StructuralFilter::Filter(const Graph& q, const std::vector<Graph>& relaxed,
   local.exact_survivors = survivors->size();
   local.seconds = timer.Seconds();
   if (stats != nullptr) *stats = local;
+}
+
+void StructuralFilter::GrowCapacity(size_t capacity) {
+  if (capacity <= col_capacity_) return;
+  const size_t num_features = feature_graphs_.size();
+  std::vector<uint16_t> grown(num_features * capacity, 0);
+  for (size_t fi = 0; fi < num_features; ++fi) {
+    std::copy_n(counts_.begin() + fi * col_capacity_, num_graphs_,
+                grown.begin() + fi * capacity);
+  }
+  counts_ = std::move(grown);
+  // Re-seat the live mask at the new capacity, keeping its bits.
+  const std::vector<uint64_t> live_words = live_mask_.words();
+  live_mask_.ResetTo(capacity);
+  live_mask_.OrWords(live_words.data(), live_words.size());
+  col_capacity_ = capacity;
+}
+
+void StructuralFilter::ReserveGraphCapacity(size_t extra) {
+  GrowCapacity(num_graphs_ + extra);
+}
+
+uint32_t StructuralFilter::AddGraph(
+    const Graph& gc, const std::vector<uint32_t>* contained_features) {
+  if (num_graphs_ >= col_capacity_) {
+    // Amortized doubling keeps the per-add re-stride cost O(1) features-rows
+    // on average; a fresh Build() starts with zero slack.
+    GrowCapacity(std::max<size_t>(16, col_capacity_ * 2));
+  }
+  const uint32_t graph_id = num_graphs_;
+  owned_graphs_.push_back(gc);
+  const Graph& owned = owned_graphs_.back();
+  graphs_.push_back(&owned);
+  AccumulateVertexLabelFrequencies(owned, &label_freq_);
+  if (options_.exact_check) {
+    graph_hist_.emplace_back();
+    BuildLabelHistogram(owned, &graph_hist_.back());
+  }
+  Vf2Scratch vf2;
+  const auto count_cell = [&](uint32_t fi) {
+    const Graph& feature = *feature_graphs_[fi];
+    if (feature.NumEdges() > owned.NumEdges()) return;
+    bool truncated = false;
+    const auto embeddings = EmbeddingEdgeSets(feature_plans_[fi], owned,
+                                              options_.max_count, &truncated,
+                                              &vf2);
+    counts_[static_cast<size_t>(fi) * col_capacity_ + graph_id] =
+        truncated ? static_cast<uint16_t>(0xFFFF)
+                  : static_cast<uint16_t>(embeddings.size());
+  };
+  if (contained_features != nullptr) {
+    // The PMI already decided containment; only those cells can be nonzero.
+    for (uint32_t fi : *contained_features) count_cell(fi);
+  } else {
+    for (uint32_t fi = 0; fi < feature_graphs_.size(); ++fi) count_cell(fi);
+  }
+  live_mask_.Set(graph_id);
+  ++num_graphs_;
+  ++num_alive_;
+  return graph_id;
+}
+
+Status StructuralFilter::RemoveGraph(uint32_t graph_id) {
+  if (graph_id >= num_graphs_) {
+    return Status::InvalidArgument(
+        "StructuralFilter::RemoveGraph: graph id out of range");
+  }
+  if (!live_mask_.Test(graph_id)) {
+    return Status::InvalidArgument(
+        "StructuralFilter::RemoveGraph: graph already removed");
+  }
+  for (size_t fi = 0; fi < feature_graphs_.size(); ++fi) {
+    counts_[fi * col_capacity_ + graph_id] = 0;
+  }
+  // graphs_[graph_id] stays valid (needed here for the exact label-frequency
+  // subtraction, and graph ids are stable until Compact()).
+  for (LabelId l : graphs_[graph_id]->VertexLabels()) --label_freq_[l];
+  live_mask_.Reset(graph_id);
+  --num_alive_;
+  return Status::OK();
+}
+
+void StructuralFilter::Compact() {
+  if (num_alive_ == num_graphs_) return;
+  const std::vector<uint32_t> live = live_mask_.ToVector();  // ascending
+  const size_t num_features = feature_graphs_.size();
+  std::vector<uint16_t> packed(num_features * live.size(), 0);
+  for (size_t fi = 0; fi < num_features; ++fi) {
+    const uint16_t* row = counts_.data() + fi * col_capacity_;
+    uint16_t* out = packed.data() + fi * live.size();
+    for (size_t k = 0; k < live.size(); ++k) out[k] = row[live[k]];
+  }
+  counts_ = std::move(packed);
+  std::vector<const Graph*> packed_graphs;
+  packed_graphs.reserve(live.size());
+  for (uint32_t gi : live) packed_graphs.push_back(graphs_[gi]);
+  graphs_ = std::move(packed_graphs);
+  if (!graph_hist_.empty()) {
+    std::vector<LabelHistogram> packed_hist;
+    packed_hist.reserve(live.size());
+    for (uint32_t gi : live) packed_hist.push_back(std::move(graph_hist_[gi]));
+    graph_hist_ = std::move(packed_hist);
+  }
+  num_graphs_ = static_cast<uint32_t>(live.size());
+  num_alive_ = num_graphs_;
+  col_capacity_ = live.size();
+  live_mask_.ResetTo(num_graphs_);
+  live_mask_.SetAll();
 }
 
 }  // namespace pgsim

@@ -14,15 +14,25 @@
 // relaxed query set U, yielding SCq = {g : q ⊆sim gc} as in the paper.
 //
 // Counts live in one contiguous feature-major uint16 matrix
-// (counts()[feature * num_graphs() + graph]), so each query threshold is a
+// (counts()[feature * col_capacity() + graph]), so each query threshold is a
 // contiguous row sweep narrowing a survivor bitset — thresholds run
 // most-selective-first for early shrinkage. The survivor set is identical to
 // the per-graph formulation (a graph survives iff it passes every
 // threshold); only the memory access order changed.
+//
+// Live maintenance mirrors the PMI contract (see index/pmi.h): AddGraph
+// appends a column in place — the matrix over-allocates its row stride
+// (col_capacity() >= num_graphs()) with amortized doubling, so an append
+// re-strides only when capacity is exhausted — and RemoveGraph tombstones a
+// column without shifting ids (a live mask seeds every sweep, so dead
+// columns can never survive, even for threshold-free queries). Compact()
+// reclaims tombstones and renumbers; callers coordinate it with the PMI's
+// Compact() so both structures renumber identically.
 
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "pgsim/common/bitset.h"
@@ -155,19 +165,32 @@ class StructuralFilter {
   QueryFeatureCounts ComputeQueryCounts(
       const Graph& q, uint64_t* isomorphism_tests = nullptr) const;
 
-  /// Number of graphs indexed.
+  /// Number of graph columns, INCLUDING tombstoned ones (the valid graph-id
+  /// range is [0, num_graphs())).
   size_t num_graphs() const { return num_graphs_; }
+
+  /// Columns still serving.
+  size_t num_alive() const { return num_alive_; }
+
+  /// False for tombstoned or out-of-range ids.
+  bool IsAlive(uint32_t graph_id) const {
+    return graph_id < num_graphs_ && live_mask_.Test(graph_id);
+  }
 
   /// Number of feature rows.
   size_t num_features() const { return feature_graphs_.size(); }
 
+  /// Row stride of counts(): >= num_graphs(); Build() sets it exactly equal,
+  /// AddGraph grows it by doubling.
+  size_t col_capacity() const { return col_capacity_; }
+
   /// The raw saturating count matrix, feature-major:
-  /// counts()[feature * num_graphs() + graph] (tests/diagnostics).
+  /// counts()[feature * col_capacity() + graph] (tests/diagnostics).
   const std::vector<uint16_t>& counts() const { return counts_; }
 
   /// One cell of the count matrix (0xFFFF = saturated/unknown).
   uint16_t CountAt(uint32_t feature, uint32_t graph) const {
-    return counts_[static_cast<size_t>(feature) * num_graphs_ + graph];
+    return counts_[static_cast<size_t>(feature) * col_capacity_ + graph];
   }
 
   /// Build statistics.
@@ -175,28 +198,68 @@ class StructuralFilter {
     return build_stats_;
   }
 
+  /// Incremental maintenance: appends a graph column in place. The filter
+  /// COPIES `gc` into stable internal storage (the Build() aliasing caveat
+  /// does not apply to added graphs). `contained_features`, when non-null,
+  /// lists the features known to embed in gc (PMI::AddGraph's `contained`
+  /// out-param) so only those cells are counted; when null every feature is
+  /// tested. Returns the new graph id == previous num_graphs().
+  uint32_t AddGraph(const Graph& gc,
+                    const std::vector<uint32_t>* contained_features = nullptr);
+
+  /// Incremental maintenance: tombstones a column. Ids are STABLE (no
+  /// shift); the column's cells are zeroed and its live bit cleared, so no
+  /// query — even one with zero pruning thresholds — can emit it.
+  Status RemoveGraph(uint32_t graph_id);
+
+  /// Reclaims tombstoned columns, renumbering alive ids downward in order —
+  /// the same renumbering PMI::Compact() performs, so a caller compacting
+  /// both keeps ids aligned. Storage owned for removed added graphs is NOT
+  /// released (deque addresses must stay stable); it is bounded by the
+  /// number of removed adds. No-op when there are no tombstones.
+  void Compact();
+
+  /// Pre-grows the column stride so the next `extra` AddGraph calls skip the
+  /// re-stride entirely.
+  void ReserveGraphCapacity(size_t extra);
+
  private:
   void CountQueryFeatures(const Graph& q, std::vector<uint32_t>* per_edge,
                           uint64_t* isomorphism_tests, Vf2Scratch* vf2,
                           QueryFeatureCounts* out) const;
 
+  /// Grows col_capacity_ to at least `capacity`, re-striding every feature
+  /// row (the amortized half of AddGraph).
+  void GrowCapacity(size_t capacity);
+
   StructuralFilterOptions options_;
   StructuralFilterBuildStats build_stats_;
   // Pointers to the caller's graphs/features — element pointers, stable
   // under moves of this filter and of the owning containers' *objects*
-  // (callers must keep the containers alive and unmodified).
+  // (callers must keep the containers alive and unmodified). Graphs
+  // appended by AddGraph instead point into owned_graphs_.
   std::vector<const Graph*> graphs_;
   std::vector<const Graph*> feature_graphs_;
+  // Stable-address storage for graphs added after Build() (deque: growth
+  // never moves existing elements, so graphs_ pointers stay valid).
+  std::deque<Graph> owned_graphs_;
   // Compiled match plans, one per feature, built once at Build() and reused
   // for every count (build-time and query-time).
   std::vector<MatchPlan> feature_plans_;
   // Database-aggregate vertex-label frequencies (index = LabelId): seed
   // ordering input for relaxed-query plans compiled for the exact check.
+  // Maintained exactly under AddGraph/RemoveGraph (dead graphs subtracted).
   std::vector<uint32_t> label_freq_;
   uint32_t num_graphs_ = 0;
-  // Feature-major count matrix: counts_[feature * num_graphs_ + graph],
+  uint32_t num_alive_ = 0;
+  // Row stride of counts_ (>= num_graphs_; slack makes AddGraph in-place).
+  size_t col_capacity_ = 0;
+  // Feature-major count matrix: counts_[feature * col_capacity_ + graph],
   // saturating at options_.max_count (0xFFFF = saturated).
   std::vector<uint16_t> counts_;
+  // Bit g set iff column g is alive; seeds every sweep's survivor bitset so
+  // tombstoned columns never surface. Capacity tracks col_capacity_.
+  EdgeBitset live_mask_;
   // Per-graph label histograms for the exact check's pre-VF2 guard.
   std::vector<LabelHistogram> graph_hist_;
 };
