@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <map>
 
 #include "pgsim/bounds/cond_sampler.h"
@@ -21,6 +22,7 @@
 #include "pgsim/query/set_cover.h"
 #include "pgsim/query/top_k.h"
 #include "pgsim/query/verifier.h"
+#include "pgsim/storage/wal.h"
 
 namespace {
 
@@ -1095,6 +1097,67 @@ void BM_Pruner_Evaluate(benchmark::State& state) {
                             static_cast<double>(candidates);
 }
 BENCHMARK(BM_Pruner_Evaluate);
+
+void BM_Wal_Append(benchmark::State& state) {
+  // One iteration = one durable mutation record: encode, single write(),
+  // fsync. Arg is the payload kind: 0 = RemoveGraph (12-byte payload, the
+  // fsync floor), 1 = AddGraph of a ~12-vertex probabilistic graph (the
+  // realistic live-insert record).
+  const std::string path = "/tmp/pgsim_bench_wal.log";
+  std::remove(path.c_str());
+  std::vector<WalRecord> records;
+  auto wal = WriteAheadLog::Open(path, &records).value();
+  const ProbabilisticGraph graph = MakeBenchGraph(901, 12);
+  uint64_t epoch = 0;
+  for (auto _ : state) {
+    if (state.range(0) == 0) {
+      benchmark::DoNotOptimize(wal->AppendRemoveGraph(epoch++, 3));
+    } else {
+      benchmark::DoNotOptimize(wal->AppendAddGraph(epoch++, 7, graph));
+    }
+    // Keep the log from growing unboundedly across iterations.
+    if (wal->SizeBytes() > (64u << 20)) {
+      if (!wal->Reset().ok()) state.SkipWithError("wal reset failed");
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["log_bytes"] = static_cast<double>(wal->SizeBytes());
+  wal.reset();
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_Wal_Append)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_Wal_RecoverReplay(benchmark::State& state) {
+  // One iteration = Open() over a log of `Arg` intact records: scan, CRC
+  // verification, decode. The cost bound on crash-recovery startup per
+  // record.
+  const std::string path = "/tmp/pgsim_bench_wal_recover.log";
+  std::remove(path.c_str());
+  {
+    std::vector<WalRecord> records;
+    auto wal = WriteAheadLog::Open(path, &records).value();
+    const ProbabilisticGraph graph = MakeBenchGraph(907, 10);
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      if (!wal->AppendAddGraph(static_cast<uint64_t>(i), 7, graph).ok()) {
+        state.SkipWithError("append failed");
+        return;
+      }
+    }
+  }
+  size_t replayed = 0;
+  for (auto _ : state) {
+    std::vector<WalRecord> records;
+    auto wal = WriteAheadLog::Open(path, &records);
+    if (!wal.ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    replayed += records.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(replayed));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_Wal_RecoverReplay)->Arg(64)->Arg(512);
 
 }  // namespace
 

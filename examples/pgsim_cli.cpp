@@ -8,6 +8,15 @@
 //                      [--scheduler=stealing|chunked] [--task-grain=N]
 //                      [--build-threads=N] [--cache=0|1] [--verify-threads=N]
 //                      [--answer-cache[=CAP]] [--repeat=N] [--mutate-every=N]
+//                      [--wal-dir=DIR] [--snapshot-every=N]
+//
+// --wal-dir serves from a crash-consistent durable database in DIR: the
+// first run initializes it from --db (snapshot generation 0 + empty WAL);
+// later runs recover from the checksummed snapshot + WAL tail and ignore
+// --db's graphs (--db is still read for its label table, so query label
+// names resolve). Mutations (--mutate-every) are WAL-logged and survive a
+// kill -9. --snapshot-every=N checkpoints automatically after N mutations,
+// truncating the WAL; 0 (default) never checkpoints automatically.
 //
 // --answer-cache keeps one cross-batch AnswerCache (capacity CAP entries,
 // default 1024) across --repeat passes over the query file: repeated passes
@@ -39,6 +48,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "pgsim/datasets/stats.h"
@@ -48,6 +58,7 @@
 #include "pgsim/query/processor.h"
 #include "pgsim/query/structural_filter.h"
 #include "pgsim/query/top_k.h"
+#include "pgsim/storage/durable_db.h"
 
 using namespace pgsim;
 
@@ -180,30 +191,35 @@ struct LoadedSetup {
   std::vector<Graph> queries;
 };
 
-Result<LoadedSetup> LoadSetup(int argc, char** argv) {
+// Loads --db and --queries; builds (or loads) the PMI + structural filter
+// unless `need_index` is false (the durable --wal-dir path owns its own
+// index inside the snapshot and only needs the label table + queries here).
+Result<LoadedSetup> LoadSetup(int argc, char** argv, bool need_index = true) {
   LoadedSetup s;
   PGSIM_ASSIGN_OR_RETURN(
       s.db, LoadDatabaseText(FlagStr(argc, argv, "db", "pgsim_db.txt")));
-  const std::string index_path = FlagStr(argc, argv, "index", "");
   const uint32_t build_threads = BuildThreadsFlag(argc, argv);
-  if (index_path.empty()) {
-    PmiBuildOptions build;
-    build.miner.gamma = -1.0;
-    build.num_threads = build_threads;
-    PGSIM_ASSIGN_OR_RETURN(s.pmi,
-                           ProbabilisticMatrixIndex::Build(s.db.graphs, build));
-  } else {
-    PGSIM_ASSIGN_OR_RETURN(s.pmi, ProbabilisticMatrixIndex::Load(index_path));
-    if (s.pmi.num_graphs() != s.db.graphs.size()) {
-      return Status::InvalidArgument(
-          "index was built for a different database size");
+  if (need_index) {
+    const std::string index_path = FlagStr(argc, argv, "index", "");
+    if (index_path.empty()) {
+      PmiBuildOptions build;
+      build.miner.gamma = -1.0;
+      build.num_threads = build_threads;
+      PGSIM_ASSIGN_OR_RETURN(
+          s.pmi, ProbabilisticMatrixIndex::Build(s.db.graphs, build));
+    } else {
+      PGSIM_ASSIGN_OR_RETURN(s.pmi, ProbabilisticMatrixIndex::Load(index_path));
+      if (s.pmi.num_graphs() != s.db.graphs.size()) {
+        return Status::InvalidArgument(
+            "index was built for a different database size");
+      }
     }
+    for (const auto& g : s.db.graphs) s.certain.push_back(g.certain());
+    StructuralFilterOptions filter_options;
+    filter_options.num_threads = build_threads;
+    s.filter = StructuralFilter::Build(s.certain, s.pmi.features(),
+                                       filter_options);
   }
-  for (const auto& g : s.db.graphs) s.certain.push_back(g.certain());
-  StructuralFilterOptions filter_options;
-  filter_options.num_threads = build_threads;
-  s.filter = StructuralFilter::Build(s.certain, s.pmi.features(),
-                                     filter_options);
   PGSIM_ASSIGN_OR_RETURN(
       s.queries,
       LoadQueriesText(FlagStr(argc, argv, "queries", "pgsim_queries.txt"),
@@ -211,8 +227,16 @@ Result<LoadedSetup> LoadSetup(int argc, char** argv) {
   return s;
 }
 
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
 int CmdQuery(int argc, char** argv) {
-  auto setup = LoadSetup(argc, argv);
+  const std::string wal_dir = FlagStr(argc, argv, "wal-dir", "");
+  auto setup = LoadSetup(argc, argv, /*need_index=*/wal_dir.empty());
   if (!setup.ok()) return Fail(setup.status());
   QueryOptions options;
   options.delta = FlagInt(argc, argv, "delta", 1);
@@ -252,24 +276,70 @@ int CmdQuery(int argc, char** argv) {
   const size_t repeat = repeat_flag < 1 ? 1 : static_cast<size_t>(repeat_flag);
   const int64_t mutate_every = FlagInt(argc, argv, "mutate-every", 0);
 
-  QueryProcessor processor(&setup->db.graphs, &setup->pmi, &setup->filter);
+  // --wal-dir: serve from a crash-consistent durable database instead of
+  // the in-memory setup. First run seeds it from --db; later runs recover
+  // snapshot + WAL and --db contributes only its label table.
+  std::unique_ptr<DurableDatabase> durable;
+  std::unique_ptr<QueryProcessor> local;
+  QueryProcessor* processor = nullptr;
+  if (!wal_dir.empty()) {
+    DurableDbOptions durable_options;
+    const int64_t every = FlagInt(argc, argv, "snapshot-every", 0);
+    durable_options.snapshot_every =
+        every < 0 ? 0 : static_cast<uint32_t>(every);
+    if (FileExists(wal_dir + "/MANIFEST")) {
+      auto opened = DurableDatabase::Open(wal_dir, durable_options);
+      if (!opened.ok()) return Fail(opened.status());
+      durable = std::move(*opened);
+      const RecoveryStats& rec = durable->recovery();
+      std::printf(
+          "wal-dir %s: recovered generation %llu (epoch %llu), replayed "
+          "%zu of %zu WAL records (%zu already in snapshot)%s\n",
+          wal_dir.c_str(), static_cast<unsigned long long>(rec.snapshot_gen),
+          static_cast<unsigned long long>(rec.snapshot_epoch),
+          rec.wal_records_replayed, rec.wal_records_seen,
+          rec.wal_records_skipped,
+          rec.wal_tail_truncated ? ", torn tail truncated" : "");
+    } else {
+      PmiBuildOptions build;
+      build.miner.gamma = -1.0;
+      build.num_threads = BuildThreadsFlag(argc, argv);
+      StructuralFilterOptions filter_options;
+      filter_options.num_threads = build.num_threads;
+      auto created = DurableDatabase::Create(wal_dir, setup->db.graphs, build,
+                                             filter_options, durable_options);
+      if (!created.ok()) return Fail(created.status());
+      durable = std::move(*created);
+      std::printf("wal-dir %s: initialized with %zu graphs (generation 0)\n",
+                  wal_dir.c_str(), setup->db.graphs.size());
+    }
+    processor = &durable->processor();
+  } else {
+    local = std::make_unique<QueryProcessor>(&setup->db.graphs, &setup->pmi,
+                                             &setup->filter);
+    processor = local.get();
+  }
   for (size_t pass = 0; pass < repeat; ++pass) {
     if (mutate_every > 0 && pass > 0 &&
         pass % static_cast<size_t>(mutate_every) == 0) {
       // Churn the live database: add a copy of graph 0, then remove it.
       // Ids are stable and the round trip leaves every structure serving
       // the same answers — only the epoch moves (staling cached answers).
+      // With --wal-dir the pair is logged and fsync'd, so it survives a
+      // crash at any point between the two.
       const ProbabilisticGraph copy = setup->db.graphs[0];
-      auto added = processor.AddGraph(copy, /*seed=*/1000 + pass);
+      auto added = durable ? durable->AddGraph(copy, /*seed=*/1000 + pass)
+                           : processor->AddGraph(copy, /*seed=*/1000 + pass);
       if (!added.ok()) return Fail(added.status());
-      Status removed = processor.RemoveGraph(added.value());
+      Status removed = durable ? durable->RemoveGraph(added.value())
+                               : processor->RemoveGraph(added.value());
       if (!removed.ok()) return Fail(removed);
       std::printf("pass %zu: mutated (add+remove graph copy), epoch now %llu\n",
-                  pass, static_cast<unsigned long long>(processor.epoch()));
+                  pass, static_cast<unsigned long long>(processor->epoch()));
     }
     BatchStats batch_stats;
     const auto results =
-        processor.QueryBatch(setup->queries, options, batch, &batch_stats);
+        processor->QueryBatch(setup->queries, options, batch, &batch_stats);
     if (pass == 0) {
       std::printf("%-7s %-8s %-10s %-9s %-9s %-8s\n", "query", "|SCq|",
                   "verified", "answers", "ids", "time_ms");
@@ -325,8 +395,18 @@ int CmdQuery(int argc, char** argv) {
           batch_stats.answer_cache_hits, batch_stats.answer_cache_misses,
           batch_stats.answer_cache_stale, batch_stats.answer_cache_evictions,
           answer_cache.size(),
-          static_cast<unsigned long long>(processor.epoch()));
+          static_cast<unsigned long long>(processor->epoch()));
     }
+  }
+  if (durable) {
+    std::printf(
+        "wal-dir %s: generation %llu, epoch %llu, %llu mutations since "
+        "checkpoint, wal %llu bytes\n",
+        wal_dir.c_str(),
+        static_cast<unsigned long long>(durable->snapshot_generation()),
+        static_cast<unsigned long long>(durable->epoch()),
+        static_cast<unsigned long long>(durable->mutations_since_checkpoint()),
+        static_cast<unsigned long long>(durable->wal_size_bytes()));
   }
   return 0;
 }

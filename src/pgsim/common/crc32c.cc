@@ -1,0 +1,66 @@
+#include "pgsim/common/crc32c.h"
+
+namespace pgsim {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+// Slice-by-4 tables: table_[0] is the plain byte-at-a-time table; tables
+// 1..3 fold 4 input bytes per step. Built once at first use (thread-safe
+// under C++11 static initialization).
+struct Tables {
+  uint32_t t[4][256];
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables instance;
+  return instance;
+}
+
+}  // namespace
+
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t n) {
+  const Tables& tb = tables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Head: align to 4 bytes.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 3u) != 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFFu];
+    --n;
+  }
+  // Body: 4 bytes per step.
+  while (n >= 4) {
+    const uint32_t w = crc ^ (static_cast<uint32_t>(p[0]) |
+                              static_cast<uint32_t>(p[1]) << 8 |
+                              static_cast<uint32_t>(p[2]) << 16 |
+                              static_cast<uint32_t>(p[3]) << 24);
+    crc = tb.t[3][w & 0xFFu] ^ tb.t[2][(w >> 8) & 0xFFu] ^
+          tb.t[1][(w >> 16) & 0xFFu] ^ tb.t[0][(w >> 24) & 0xFFu];
+    p += 4;
+    n -= 4;
+  }
+  // Tail.
+  while (n > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFFu];
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace pgsim

@@ -1,0 +1,24 @@
+// CRC32C (Castagnoli) — the checksum guarding every on-disk artifact: WAL
+// records, snapshot sections, and whole-file footers. The Castagnoli
+// polynomial (0x1EDC6F41, reflected 0x82F63B78) is the same one RocksDB,
+// LevelDB, and ext4 use; a software slice-by-4 table implementation keeps it
+// portable (no SSE4.2 requirement) at several GB/s — far above the fsync
+// floor of the paths it protects.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pgsim {
+
+/// Extends `crc` (a previous Crc32c result, or 0 for a fresh stream) with
+/// `n` bytes at `data`. Crc32c(data) == ExtendCrc32c(0, data, n).
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t n);
+
+/// CRC32C of one contiguous buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return ExtendCrc32c(0, data, n);
+}
+
+}  // namespace pgsim

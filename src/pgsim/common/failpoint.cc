@@ -1,0 +1,221 @@
+#include "pgsim/common/failpoint.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+
+namespace pgsim {
+
+namespace {
+
+// Fast path: sites check this counter with one relaxed load and bail when no
+// failpoint is armed anywhere, so the framework costs nothing in production.
+std::atomic<int> g_active_count{0};
+
+std::mutex g_mu;
+std::map<std::string, FailpointSpec>& ArmedMap() {
+  static auto* m = new std::map<std::string, FailpointSpec>();
+  return *m;
+}
+std::set<std::string>& KnownSites() {
+  static auto* s = new std::set<std::string>();
+  return *s;
+}
+
+void RegisterSite(const char* site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  KnownSites().insert(site);
+}
+
+// Looks up `site` under the lock. Decrements the skip count on a hit that is
+// still being skipped; disarms (one-shot) on a hit that fires. Returns kOff
+// in `*spec` when the site should not fire this time.
+void Hit(const char* site, FailpointSpec* spec) {
+  spec->mode = FailpointMode::kOff;
+  std::lock_guard<std::mutex> lock(g_mu);
+  KnownSites().insert(site);
+  auto& armed = ArmedMap();
+  auto it = armed.find(site);
+  if (it == armed.end()) return;
+  if (it->second.skip > 0) {
+    --it->second.skip;
+    return;
+  }
+  *spec = it->second;
+  armed.erase(it);
+  g_active_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+[[noreturn]] void CrashNow() {
+  // A literal process kill: no stream flushes, no destructors, no atexit.
+  _exit(kFailpointCrashExitCode);
+}
+
+Status InjectedError(const char* site) {
+  return Status::Internal(std::string("failpoint '") + site +
+                          "' injected error");
+}
+
+}  // namespace
+
+void FailpointSet(const std::string& site, const FailpointSpec& spec) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  KnownSites().insert(site);
+  auto& armed = ArmedMap();
+  auto it = armed.find(site);
+  if (spec.mode == FailpointMode::kOff) {
+    if (it != armed.end()) {
+      armed.erase(it);
+      g_active_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (it == armed.end()) {
+    armed.emplace(site, spec);
+    g_active_count.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    it->second = spec;
+  }
+}
+
+void FailpointClear(const std::string& site) {
+  FailpointSet(site, FailpointSpec{});
+}
+
+void FailpointClearAll() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_active_count.fetch_sub(static_cast<int>(ArmedMap().size()),
+                           std::memory_order_relaxed);
+  ArmedMap().clear();
+}
+
+Status FailpointSetFromString(const std::string& config) {
+  size_t pos = 0;
+  while (pos < config.size()) {
+    size_t end = config.find(';', pos);
+    if (end == std::string::npos) end = config.size();
+    std::string entry = config.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint entry '" + entry +
+                                     "' is not of the form site=mode");
+    }
+    std::string site = entry.substr(0, eq);
+    std::string rest = entry.substr(eq + 1);
+
+    FailpointSpec spec;
+    // Peel "@skip" then ":keep" suffixes off the mode token.
+    const size_t at = rest.find('@');
+    if (at != std::string::npos) {
+      char* endp = nullptr;
+      const unsigned long v = std::strtoul(rest.c_str() + at + 1, &endp, 10);
+      if (endp == rest.c_str() + at + 1 || *endp != '\0') {
+        return Status::InvalidArgument("failpoint entry '" + entry +
+                                       "' has a malformed @skip count");
+      }
+      spec.skip = static_cast<uint32_t>(v);
+      rest.resize(at);
+    }
+    const size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+      char* endp = nullptr;
+      const unsigned long v = std::strtoul(rest.c_str() + colon + 1, &endp, 10);
+      if (endp == rest.c_str() + colon + 1 || *endp != '\0') {
+        return Status::InvalidArgument("failpoint entry '" + entry +
+                                       "' has a malformed :keep_bytes value");
+      }
+      spec.keep_bytes = static_cast<uint32_t>(v);
+      rest.resize(colon);
+    }
+
+    if (rest == "error") {
+      spec.mode = FailpointMode::kError;
+    } else if (rest == "crash") {
+      spec.mode = FailpointMode::kCrash;
+    } else if (rest == "torn") {
+      spec.mode = FailpointMode::kTornWrite;
+    } else if (rest == "short") {
+      spec.mode = FailpointMode::kShortWrite;
+    } else {
+      return Status::InvalidArgument("failpoint entry '" + entry +
+                                     "' has unknown mode '" + rest + "'");
+    }
+    FailpointSet(site, spec);
+  }
+  return Status::OK();
+}
+
+Status FailpointInstallFromEnv() {
+  const char* env = std::getenv("PGSIM_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return Status::OK();
+  return FailpointSetFromString(env);
+}
+
+Status FailpointCheck(const char* site) {
+  if (g_active_count.load(std::memory_order_relaxed) == 0) {
+    RegisterSite(site);
+    return Status::OK();
+  }
+  FailpointSpec spec;
+  Hit(site, &spec);
+  switch (spec.mode) {
+    case FailpointMode::kOff:
+      return Status::OK();
+    case FailpointMode::kCrash:
+      CrashNow();
+    case FailpointMode::kError:
+    case FailpointMode::kTornWrite:
+    case FailpointMode::kShortWrite:
+      // Non-write sites have no payload to tear; degrade to an error.
+      return InjectedError(site);
+  }
+  return Status::OK();
+}
+
+bool FailpointCheckWrite(const char* site, size_t n, FailpointSpec* spec,
+                         Status* error) {
+  *error = Status::OK();
+  if (g_active_count.load(std::memory_order_relaxed) == 0) {
+    RegisterSite(site);
+    return false;
+  }
+  Hit(site, spec);
+  switch (spec->mode) {
+    case FailpointMode::kOff:
+      return false;
+    case FailpointMode::kCrash:
+      CrashNow();
+    case FailpointMode::kError:
+      *error = InjectedError(site);
+      return false;
+    case FailpointMode::kTornWrite:
+    case FailpointMode::kShortWrite:
+      if (spec->keep_bytes > n) spec->keep_bytes = static_cast<uint32_t>(n);
+      return true;
+  }
+  return false;
+}
+
+Status FailpointAfterPartialWrite(const char* site, const FailpointSpec& spec) {
+  if (spec.mode == FailpointMode::kTornWrite) CrashNow();
+  return Status::DataLoss(std::string("failpoint '") + site +
+                          "' injected short write (" +
+                          std::to_string(spec.keep_bytes) + " bytes kept)");
+}
+
+std::vector<std::string> FailpointKnownSites() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return std::vector<std::string>(KnownSites().begin(), KnownSites().end());
+}
+
+bool FailpointAnyActive() {
+  return g_active_count.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace pgsim

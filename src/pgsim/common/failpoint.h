@@ -1,0 +1,105 @@
+// Failpoint fault-injection framework for the durability layer.
+//
+// Every WAL and snapshot IO path passes through named failpoint *sites*
+// ("wal.append.write", "snapshot.pmi.rename", ...). A site is inert by
+// default — the fast path is one relaxed atomic load of a global counter —
+// and can be armed programmatically (FailpointSet) or through the
+// PGSIM_FAILPOINTS environment variable to inject one of four faults:
+//
+//   error       the site returns Status::Internal to its caller — exercises
+//               the error-propagation path (e.g. a failed write syscall).
+//   crash       the process dies on the spot via _exit (no flushes, no
+//               destructors) — a literal kill -9 at that instruction. The
+//               recovery test harness forks a child, arms a crash failpoint,
+//               runs a mutation, and asserts the reopened database is
+//               bit-identical to the pre- or post-mutation index.
+//   torn-write  a write-site writes only the first `keep_bytes` bytes of its
+//               payload and then crashes — the torn-record case every WAL
+//               and snapshot reader must detect by CRC.
+//   short-write a write-site writes only `keep_bytes` bytes and returns
+//               Status::DataLoss — a lying disk / ENOSPC that the caller
+//               survives in-process (the file tail is garbage).
+//
+// Environment syntax (';'-separated):
+//   PGSIM_FAILPOINTS="wal.append.write=torn:12;snapshot.pmi.rename=crash@1"
+//     mode      := error | crash | torn | short
+//     :N        keep_bytes for torn/short (default 0 = write nothing)
+//     @K        skip the first K hits of the site (default 0 = fire first)
+//
+// Every armed failpoint is ONE-SHOT: it disarms when it fires, so a
+// recovery run over the same code path does not re-trigger the fault.
+// Sites self-register on first evaluation; FailpointKnownSites() lists them
+// so kill matrices can assert full coverage.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pgsim/common/status.h"
+
+namespace pgsim {
+
+enum class FailpointMode : uint8_t {
+  kOff = 0,
+  kError,       ///< return an injected Status::Internal
+  kCrash,       ///< _exit(kFailpointCrashExitCode) immediately
+  kTornWrite,   ///< write keep_bytes, then crash
+  kShortWrite,  ///< write keep_bytes, then return Status::DataLoss
+};
+
+/// Exit code of a crash/torn-write failpoint — lets a forking test harness
+/// distinguish the injected kill from an ordinary failure.
+constexpr int kFailpointCrashExitCode = 73;
+
+struct FailpointSpec {
+  FailpointMode mode = FailpointMode::kOff;
+  /// torn/short-write: bytes of the payload actually written before the
+  /// fault. Values >= the payload size fault AFTER a complete write.
+  uint32_t keep_bytes = 0;
+  /// Hits of the site to let through before firing.
+  uint32_t skip = 0;
+};
+
+/// Arms `site` with `spec` (replacing any previous arming).
+void FailpointSet(const std::string& site, const FailpointSpec& spec);
+
+/// Disarms one site / all sites.
+void FailpointClear(const std::string& site);
+void FailpointClearAll();
+
+/// Parses the PGSIM_FAILPOINTS syntax above and arms every entry. Unknown
+/// modes or malformed entries return InvalidArgument (nothing armed from the
+/// bad entry; prior entries stay armed).
+Status FailpointSetFromString(const std::string& config);
+
+/// Reads PGSIM_FAILPOINTS from the environment (no-op when unset).
+Status FailpointInstallFromEnv();
+
+/// Evaluates a non-write site: kError returns the injected status, kCrash
+/// does not return. Torn/short-write arming on a non-write site behaves as
+/// kError (the site has no payload to tear). OK when unarmed.
+Status FailpointCheck(const char* site);
+
+/// Evaluates a write site carrying an `n`-byte payload. Returns false when
+/// unarmed (caller performs the full write). When armed with torn/short
+/// write, fills `*spec` and returns true: the caller must write
+/// min(spec->keep_bytes, n) bytes and then call FailpointAfterPartialWrite.
+/// kError/kCrash fire here directly (kError via *error).
+bool FailpointCheckWrite(const char* site, size_t n, FailpointSpec* spec,
+                         Status* error);
+
+/// Completes a torn/short write after the partial payload got out: crashes
+/// (torn) or returns the DataLoss the caller propagates (short).
+Status FailpointAfterPartialWrite(const char* site, const FailpointSpec& spec);
+
+/// Sites evaluated at least once in this process, sorted — the kill-matrix
+/// universe. Sites register on first evaluation regardless of arming.
+std::vector<std::string> FailpointKnownSites();
+
+/// True when any site is armed (the fast-path counter is nonzero).
+bool FailpointAnyActive();
+
+}  // namespace pgsim

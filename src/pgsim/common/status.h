@@ -23,6 +23,7 @@ enum class StatusCode {
   kFailedPrecondition,///< Object not in the required state.
   kInternal,         ///< Invariant violation inside the library.
   kUnimplemented,    ///< Feature intentionally not supported.
+  kDataLoss,         ///< On-disk data is torn, truncated, or corrupted.
 };
 
 /// Returns a short stable name for a status code (e.g. "InvalidArgument").
@@ -66,6 +67,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -1,6 +1,10 @@
 #include "pgsim/datasets/text_io.h"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace pgsim {
@@ -73,6 +77,47 @@ Status ParseError(const LineReader& reader, const std::string& what) {
                                  what);
 }
 
+// Strict non-negative integer parse. std::stoul would throw on garbage and
+// silently wrap negatives ("-1" becomes 4294967295), so every digit is
+// checked before conversion.
+Result<uint32_t> ParseU32Token(const std::string& tok,
+                               const std::string& what) {
+  if (tok.empty() || tok.size() > 10) {
+    return Status::InvalidArgument(what + " '" + tok +
+                                   "' is not a non-negative integer");
+  }
+  uint64_t v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(what + " '" + tok +
+                                     "' is not a non-negative integer");
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (v > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(what + " '" + tok + "' is out of range");
+  }
+  return static_cast<uint32_t>(v);
+}
+
+// Strict finite non-negative double parse (a probability weight). std::stod
+// throws on garbage and accepts trailing junk / "nan" / "-0.5"; none of
+// those may reach the JPT.
+Result<double> ParseWeightToken(const std::string& tok) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("probability '" + tok +
+                                   "' is not a number");
+  }
+  if (!std::isfinite(v) || v < 0.0) {
+    return Status::InvalidArgument("probability '" + tok +
+                                   "' must be finite and non-negative");
+  }
+  return v;
+}
+
 }  // namespace
 
 Status SaveDatabaseText(const std::string& path,
@@ -119,10 +164,13 @@ Result<TextDatabase> LoadDatabaseText(const std::string& path) {
         if (tokens.size() != 4) {
           return ParseError(reader, "e <u> <v> <label>");
         }
-        auto e = builder.AddEdge(
-            static_cast<VertexId>(std::stoul(tokens[1])),
-            static_cast<VertexId>(std::stoul(tokens[2])),
-            out.labels.Intern(tokens[3]));
+        auto u = ParseU32Token(tokens[1], "vertex id");
+        if (!u.ok()) return ParseError(reader, u.status().message());
+        auto v = ParseU32Token(tokens[2], "vertex id");
+        if (!v.ok()) return ParseError(reader, v.status().message());
+        auto e = builder.AddEdge(static_cast<VertexId>(*u),
+                                 static_cast<VertexId>(*v),
+                                 out.labels.Intern(tokens[3]));
         if (!e.ok()) return ParseError(reader, e.status().message());
       } else if (kind == "ne") {
         if (!pending_ne.empty()) {
@@ -130,7 +178,9 @@ Result<TextDatabase> LoadDatabaseText(const std::string& path) {
         }
         if (tokens.size() < 2) return ParseError(reader, "ne <edge-id>...");
         for (size_t i = 1; i < tokens.size(); ++i) {
-          pending_ne.push_back(static_cast<EdgeId>(std::stoul(tokens[i])));
+          auto id = ParseU32Token(tokens[i], "edge id");
+          if (!id.ok()) return ParseError(reader, id.status().message());
+          pending_ne.push_back(static_cast<EdgeId>(*id));
         }
       } else if (kind == "t") {
         if (pending_ne.empty()) {
@@ -138,7 +188,9 @@ Result<TextDatabase> LoadDatabaseText(const std::string& path) {
         }
         std::vector<double> weights;
         for (size_t i = 1; i < tokens.size(); ++i) {
-          weights.push_back(std::stod(tokens[i]));
+          auto w = ParseWeightToken(tokens[i]);
+          if (!w.ok()) return ParseError(reader, w.status().message());
+          weights.push_back(*w);
         }
         auto table = JointProbTable::FromWeights(std::move(weights));
         if (!table.ok()) return ParseError(reader, table.status().message());
@@ -211,10 +263,13 @@ Result<std::vector<Graph>> LoadQueriesText(const std::string& path,
       if (tokens[0] == "v" && tokens.size() == 2) {
         builder.AddVertex(labels->Intern(tokens[1]));
       } else if (tokens[0] == "e" && tokens.size() == 4) {
-        auto e = builder.AddEdge(
-            static_cast<VertexId>(std::stoul(tokens[1])),
-            static_cast<VertexId>(std::stoul(tokens[2])),
-            labels->Intern(tokens[3]));
+        auto u = ParseU32Token(tokens[1], "vertex id");
+        if (!u.ok()) return ParseError(reader, u.status().message());
+        auto v = ParseU32Token(tokens[2], "vertex id");
+        if (!v.ok()) return ParseError(reader, v.status().message());
+        auto e = builder.AddEdge(static_cast<VertexId>(*u),
+                                 static_cast<VertexId>(*v),
+                                 labels->Intern(tokens[3]));
         if (!e.ok()) return ParseError(reader, e.status().message());
       } else {
         return ParseError(reader, "unknown record in query");

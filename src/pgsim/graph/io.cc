@@ -3,6 +3,9 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace pgsim {
 
@@ -23,7 +26,7 @@ Result<T> ReadRaw(std::istream& is) {
     return Status::Internal("stream read failed");
   }
   if (is.gcount() != static_cast<std::streamsize>(sizeof(T))) {
-    return Status::OutOfRange("unexpected end of stream");
+    return Status::DataLoss("unexpected end of stream");
   }
   T v;
   std::memcpy(&v, buf, sizeof(T));
@@ -50,7 +53,7 @@ Result<std::string> ReadString(std::istream& is) {
   std::string s(n, '\0');
   is.read(s.data(), n);
   if (is.gcount() != static_cast<std::streamsize>(n)) {
-    return Status::OutOfRange("unexpected end of stream in string");
+    return Status::DataLoss("unexpected end of stream in string");
   }
   return s;
 }
@@ -88,6 +91,45 @@ Result<Graph> ReadGraph(std::istream& is) {
 
 size_t GraphByteSize(const Graph& g) {
   return 8 + 4 * size_t{g.NumVertices()} + 12 * size_t{g.NumEdges()};
+}
+
+void WriteProbabilisticGraph(std::ostream& os, const ProbabilisticGraph& g) {
+  WriteGraph(os, g.certain());
+  WriteU32(os, static_cast<uint32_t>(g.ne_sets().size()));
+  for (const NeighborEdgeSet& ne : g.ne_sets()) {
+    WriteU32(os, static_cast<uint32_t>(ne.edges.size()));
+    for (EdgeId e : ne.edges) WriteU32(os, e);
+    for (double p : ne.table.probs()) WriteDouble(os, p);
+  }
+}
+
+Result<ProbabilisticGraph> ReadProbabilisticGraph(std::istream& is) {
+  PGSIM_ASSIGN_OR_RETURN(Graph certain, ReadGraph(is));
+  PGSIM_ASSIGN_OR_RETURN(const uint32_t num_sets, ReadU32(is));
+  std::vector<NeighborEdgeSet> ne_sets;
+  ne_sets.reserve(num_sets);
+  for (uint32_t i = 0; i < num_sets; ++i) {
+    NeighborEdgeSet ne;
+    PGSIM_ASSIGN_OR_RETURN(const uint32_t num_edges, ReadU32(is));
+    if (num_edges > JointProbTable::kMaxArity) {
+      return Status::DataLoss("neighbor edge set arity " +
+                              std::to_string(num_edges) +
+                              " exceeds kMaxArity; stream is corrupt");
+    }
+    ne.edges.reserve(num_edges);
+    for (uint32_t j = 0; j < num_edges; ++j) {
+      PGSIM_ASSIGN_OR_RETURN(const uint32_t e, ReadU32(is));
+      ne.edges.push_back(e);
+    }
+    std::vector<double> probs(size_t{1} << num_edges);
+    for (double& p : probs) {
+      PGSIM_ASSIGN_OR_RETURN(p, ReadDouble(is));
+    }
+    PGSIM_ASSIGN_OR_RETURN(ne.table,
+                           JointProbTable::FromNormalizedProbs(std::move(probs)));
+    ne_sets.push_back(std::move(ne));
+  }
+  return ProbabilisticGraph::Create(std::move(certain), std::move(ne_sets));
 }
 
 }  // namespace pgsim

@@ -9,6 +9,7 @@
 
 #include "pgsim/common/status.h"
 #include "pgsim/graph/graph.h"
+#include "pgsim/prob/probabilistic_graph.h"
 
 namespace pgsim {
 
@@ -31,5 +32,16 @@ Result<Graph> ReadGraph(std::istream& is);
 
 /// Serialized size in bytes of a graph (for index-size accounting).
 size_t GraphByteSize(const Graph& g);
+
+/// Serializes a probabilistic graph: certain graph, then each neighbor edge
+/// set (edge ids + the raw JPT entries). Entries are written verbatim, so
+/// Write → Read reproduces the graph bit-for-bit — the property WAL replay
+/// and snapshot recovery rely on.
+void WriteProbabilisticGraph(std::ostream& os, const ProbabilisticGraph& g);
+
+/// Deserializes a probabilistic graph written by WriteProbabilisticGraph.
+/// Tables are adopted via JointProbTable::FromNormalizedProbs (no
+/// renormalization); the ne sets are re-validated by Create.
+Result<ProbabilisticGraph> ReadProbabilisticGraph(std::istream& is);
 
 }  // namespace pgsim

@@ -3,17 +3,22 @@
 #include <algorithm>
 #include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "pgsim/common/thread_pool.h"
 #include "pgsim/common/timer.h"
 #include "pgsim/graph/io.h"
 #include "pgsim/graph/vf2.h"
+#include "pgsim/storage/io_util.h"
 
 namespace pgsim {
 
 namespace {
 constexpr uint32_t kPmiMagic1 = 0x504d4931;  // "PMI1": pre-epoch format
 constexpr uint32_t kPmiMagic2 = 0x504d4932;  // "PMI2": + epoch/tombstones
+// "PMI3": checksummed sections, atomic install, sip options persisted.
+constexpr uint32_t kPmiMagic3 = 0x504d4933;
+constexpr uint32_t kPmi3Version = 1;
 }  // namespace
 
 void ProbabilisticMatrixIndex::RebuildFeaturePlans() {
@@ -312,7 +317,9 @@ void ProbabilisticMatrixIndex::Compact() {
 }
 
 size_t ProbabilisticMatrixIndex::SizeBytes() const {
-  size_t bytes = 12;  // magic + feature count + graph count
+  // PMI3 container: header + 3 section frames + footer, plus the feature
+  // section's two leading counts.
+  size_t bytes = 48;
   for (const Feature& f : features_) {
     bytes += GraphByteSize(f.graph) + 4 * f.support.size() + 24;
   }
@@ -321,109 +328,143 @@ size_t ProbabilisticMatrixIndex::SizeBytes() const {
         IsAlive(gi) ? col_offsets_[gi + 1] - col_offsets_[gi] : 0;
     bytes += 4 + column_size * (4 + 4 * sizeof(float));
   }
-  // PMI2 trailer: epoch + alive bytes + beta watermark + add/remove counts.
-  bytes += 8 + num_graphs_ + 8 + 16;
+  // Trailer: epoch + alive bytes + beta watermark + add/remove counts +
+  // the 11 persisted sip-option scalars.
+  bytes += 8 + num_graphs_ + 8 + 16 + 88;
   return bytes;
 }
 
 Status ProbabilisticMatrixIndex::Save(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::NotFound("PMI Save: cannot open " + path);
-  WriteU32(os, kPmiMagic2);
-  WriteU32(os, static_cast<uint32_t>(features_.size()));
-  WriteU32(os, num_graphs_);
+  // PMI3: three checksummed sections (features, columns, trailer) inside the
+  // footer-checksummed snapshot container, installed atomically. Failpoint
+  // sites live under "snapshot.pmi.*".
+  SnapshotWriter writer(kPmiMagic3, kPmi3Version);
+
+  std::ostringstream feat;
+  WriteU32(feat, static_cast<uint32_t>(features_.size()));
+  WriteU32(feat, num_graphs_);
   for (const Feature& f : features_) {
-    WriteGraph(os, f.graph);
-    WriteU32(os, static_cast<uint32_t>(f.support.size()));
-    for (uint32_t gi : f.support) WriteU32(os, gi);
-    WriteDouble(os, f.frequency);
-    WriteDouble(os, f.discriminative);
-    WriteU32(os, f.level);
+    WriteGraph(feat, f.graph);
+    WriteU32(feat, static_cast<uint32_t>(f.support.size()));
+    for (uint32_t gi : f.support) WriteU32(feat, gi);
+    WriteDouble(feat, f.frequency);
+    WriteDouble(feat, f.discriminative);
+    WriteU32(feat, f.level);
   }
+  writer.AddSection(feat.str());
+
+  std::ostringstream cols;
   for (uint32_t gi = 0; gi < num_graphs_; ++gi) {
-    // A tombstoned column serializes as empty; its alive byte below is what
-    // distinguishes it from a live graph with no features.
+    // A tombstoned column serializes as empty; its alive byte in the trailer
+    // is what distinguishes it from a live graph with no features.
     const std::vector<PmiEntry> column = EntriesFor(gi);
-    WriteU32(os, static_cast<uint32_t>(column.size()));
+    WriteU32(cols, static_cast<uint32_t>(column.size()));
     for (const PmiEntry& e : column) {
-      WriteU32(os, e.feature_id);
-      WriteDouble(os, e.lower_opt);
-      WriteDouble(os, e.upper_opt);
-      WriteDouble(os, e.lower_simple);
-      WriteDouble(os, e.upper_simple);
+      WriteU32(cols, e.feature_id);
+      WriteDouble(cols, e.lower_opt);
+      WriteDouble(cols, e.upper_opt);
+      WriteDouble(cols, e.lower_simple);
+      WriteDouble(cols, e.upper_simple);
     }
   }
-  WriteU64(os, epoch_);
+  writer.AddSection(cols.str());
+
+  std::ostringstream tr;
+  WriteU64(tr, epoch_);
   for (uint32_t gi = 0; gi < num_graphs_; ++gi) {
-    os.put(alive_[gi] ? '\1' : '\0');
+    tr.put(alive_[gi] ? '\1' : '\0');
   }
-  WriteDouble(os, beta_watermark_);
-  WriteU64(os, adds_since_build_);
-  WriteU64(os, removes_since_build_);
-  if (!os.good()) return Status::Internal("PMI Save: write failure");
-  return Status::OK();
+  WriteDouble(tr, beta_watermark_);
+  WriteU64(tr, adds_since_build_);
+  WriteU64(tr, removes_since_build_);
+  // Sip options — PMI1/PMI2 lost these across Load; PMI3 persists them so a
+  // recovered server keeps adding graphs with the build-time knobs.
+  WriteU64(tr, sip_options_.max_embeddings);
+  WriteU64(tr, sip_options_.max_cut_embeddings);
+  WriteU64(tr, sip_options_.cuts.max_cuts);
+  WriteU64(tr, sip_options_.cuts.max_cut_size);
+  WriteU64(tr, sip_options_.cuts.max_nodes);
+  WriteDouble(tr, sip_options_.mc.xi);
+  WriteDouble(tr, sip_options_.mc.tau);
+  WriteU64(tr, sip_options_.mc.min_samples);
+  WriteU64(tr, sip_options_.mc.max_samples);
+  WriteU64(tr, sip_options_.clique.exact_node_limit);
+  WriteU64(tr, sip_options_.clique.max_bb_nodes);
+  writer.AddSection(tr.str());
+
+  return writer.Commit(path, "snapshot.pmi");
 }
 
 Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Load(
     const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return Status::NotFound("PMI Load: cannot open " + path);
-  PGSIM_ASSIGN_OR_RETURN(const uint32_t magic, ReadU32(is));
-  if (magic != kPmiMagic1 && magic != kPmiMagic2) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) return Status::NotFound("PMI Load: cannot open " + path);
+  PGSIM_ASSIGN_OR_RETURN(const uint32_t magic, ReadU32(probe));
+  if (magic != kPmiMagic1 && magic != kPmiMagic2 && magic != kPmiMagic3) {
     return Status::InvalidArgument("PMI Load: bad magic in " + path);
   }
-  PGSIM_ASSIGN_OR_RETURN(const uint32_t num_features, ReadU32(is));
-  PGSIM_ASSIGN_OR_RETURN(const uint32_t num_graphs, ReadU32(is));
+  probe.close();
+
   ProbabilisticMatrixIndex index;
-  index.features_.reserve(num_features);
-  for (uint32_t fi = 0; fi < num_features; ++fi) {
-    Feature f;
-    PGSIM_ASSIGN_OR_RETURN(f.graph, ReadGraph(is));
-    PGSIM_ASSIGN_OR_RETURN(const uint32_t support_size, ReadU32(is));
-    f.support.reserve(support_size);
-    for (uint32_t i = 0; i < support_size; ++i) {
-      PGSIM_ASSIGN_OR_RETURN(const uint32_t gi, ReadU32(is));
-      f.support.push_back(gi);
-    }
-    PGSIM_ASSIGN_OR_RETURN(f.frequency, ReadDouble(is));
-    PGSIM_ASSIGN_OR_RETURN(f.discriminative, ReadDouble(is));
-    PGSIM_ASSIGN_OR_RETURN(f.level, ReadU32(is));
-    index.features_.push_back(std::move(f));
-  }
-  std::vector<std::vector<PmiEntry>> columns(num_graphs);
-  for (uint32_t gi = 0; gi < num_graphs; ++gi) {
-    PGSIM_ASSIGN_OR_RETURN(const uint32_t column_size, ReadU32(is));
-    auto& column = columns[gi];
-    column.reserve(column_size);
-    for (uint32_t k = 0; k < column_size; ++k) {
-      PmiEntry e;
-      PGSIM_ASSIGN_OR_RETURN(e.feature_id, ReadU32(is));
-      if (e.feature_id >= num_features) {
-        // The columnar rebuild indexes flat matrices by feature id, so a
-        // malformed file must fail here rather than write out of range.
-        return Status::InvalidArgument("PMI Load: feature id out of range in " +
-                                       path);
+
+  // Shared body parsers — the feature and column encodings are identical in
+  // every format version; only the framing around them changed.
+  auto read_features = [&index, &path](std::istream& is,
+                                       uint32_t num_features) -> Status {
+    index.features_.reserve(num_features);
+    for (uint32_t fi = 0; fi < num_features; ++fi) {
+      Feature f;
+      PGSIM_ASSIGN_OR_RETURN(f.graph, ReadGraph(is));
+      PGSIM_ASSIGN_OR_RETURN(const uint32_t support_size, ReadU32(is));
+      f.support.reserve(support_size);
+      for (uint32_t i = 0; i < support_size; ++i) {
+        PGSIM_ASSIGN_OR_RETURN(const uint32_t gi, ReadU32(is));
+        f.support.push_back(gi);
       }
-      PGSIM_ASSIGN_OR_RETURN(const double lo, ReadDouble(is));
-      PGSIM_ASSIGN_OR_RETURN(const double uo, ReadDouble(is));
-      PGSIM_ASSIGN_OR_RETURN(const double ls, ReadDouble(is));
-      PGSIM_ASSIGN_OR_RETURN(const double us, ReadDouble(is));
-      e.lower_opt = static_cast<float>(lo);
-      e.upper_opt = static_cast<float>(uo);
-      e.lower_simple = static_cast<float>(ls);
-      e.upper_simple = static_cast<float>(us);
-      column.push_back(e);
+      PGSIM_ASSIGN_OR_RETURN(f.frequency, ReadDouble(is));
+      PGSIM_ASSIGN_OR_RETURN(f.discriminative, ReadDouble(is));
+      PGSIM_ASSIGN_OR_RETURN(f.level, ReadU32(is));
+      index.features_.push_back(std::move(f));
     }
-  }
-  index.RebuildFeaturePlans();
-  index.SetColumns(std::move(columns));
-  if (magic == kPmiMagic2) {
-    PGSIM_ASSIGN_OR_RETURN(index.epoch_, ReadU64(is));
+    (void)path;
+    return Status::OK();
+  };
+  auto read_columns =
+      [&path](std::istream& is, uint32_t num_features, uint32_t num_graphs,
+              std::vector<std::vector<PmiEntry>>* columns) -> Status {
+    columns->resize(num_graphs);
+    for (uint32_t gi = 0; gi < num_graphs; ++gi) {
+      PGSIM_ASSIGN_OR_RETURN(const uint32_t column_size, ReadU32(is));
+      auto& column = (*columns)[gi];
+      column.reserve(column_size);
+      for (uint32_t k = 0; k < column_size; ++k) {
+        PmiEntry e;
+        PGSIM_ASSIGN_OR_RETURN(e.feature_id, ReadU32(is));
+        if (e.feature_id >= num_features) {
+          // The columnar rebuild indexes flat matrices by feature id, so a
+          // malformed file must fail here rather than write out of range.
+          return Status::InvalidArgument(
+              "PMI Load: feature id out of range in " + path);
+        }
+        PGSIM_ASSIGN_OR_RETURN(const double lo, ReadDouble(is));
+        PGSIM_ASSIGN_OR_RETURN(const double uo, ReadDouble(is));
+        PGSIM_ASSIGN_OR_RETURN(const double ls, ReadDouble(is));
+        PGSIM_ASSIGN_OR_RETURN(const double us, ReadDouble(is));
+        e.lower_opt = static_cast<float>(lo);
+        e.upper_opt = static_cast<float>(uo);
+        e.lower_simple = static_cast<float>(ls);
+        e.upper_simple = static_cast<float>(us);
+        column.push_back(e);
+      }
+    }
+    return Status::OK();
+  };
+  auto read_alive = [&index, &path](std::istream& is,
+                                    uint32_t num_graphs) -> Status {
     for (uint32_t gi = 0; gi < num_graphs; ++gi) {
       const int byte = is.get();
       if (byte == std::char_traits<char>::eof()) {
-        return Status::InvalidArgument("PMI Load: truncated alive bytes in " +
-                                       path);
+        return Status::DataLoss("PMI Load: truncated alive bytes in " + path);
       }
       if (byte == 0) {
         // The serialized column was already empty; just mark it dead.
@@ -431,12 +472,73 @@ Result<ProbabilisticMatrixIndex> ProbabilisticMatrixIndex::Load(
         --index.num_alive_;
       }
     }
-    PGSIM_ASSIGN_OR_RETURN(index.beta_watermark_, ReadDouble(is));
-    PGSIM_ASSIGN_OR_RETURN(index.adds_since_build_, ReadU64(is));
-    PGSIM_ASSIGN_OR_RETURN(index.removes_since_build_, ReadU64(is));
+    return Status::OK();
+  };
+
+  if (magic == kPmiMagic3) {
+    PGSIM_ASSIGN_OR_RETURN(SnapshotReader snap,
+                           SnapshotReader::Open(path, kPmiMagic3));
+    if (snap.version() != kPmi3Version) {
+      return Status::InvalidArgument("PMI Load: unsupported PMI3 version " +
+                                     std::to_string(snap.version()));
+    }
+    if (snap.num_sections() != 3) {
+      return Status::DataLoss("PMI Load: expected 3 sections, got " +
+                              std::to_string(snap.num_sections()));
+    }
+    std::istringstream feat(snap.section(0));
+    PGSIM_ASSIGN_OR_RETURN(const uint32_t num_features, ReadU32(feat));
+    PGSIM_ASSIGN_OR_RETURN(const uint32_t num_graphs, ReadU32(feat));
+    PGSIM_RETURN_NOT_OK(read_features(feat, num_features));
+
+    std::istringstream cols(snap.section(1));
+    std::vector<std::vector<PmiEntry>> columns;
+    PGSIM_RETURN_NOT_OK(read_columns(cols, num_features, num_graphs, &columns));
+    index.RebuildFeaturePlans();
+    index.SetColumns(std::move(columns));
+
+    std::istringstream tr(snap.section(2));
+    PGSIM_ASSIGN_OR_RETURN(index.epoch_, ReadU64(tr));
+    PGSIM_RETURN_NOT_OK(read_alive(tr, num_graphs));
+    PGSIM_ASSIGN_OR_RETURN(index.beta_watermark_, ReadDouble(tr));
+    PGSIM_ASSIGN_OR_RETURN(index.adds_since_build_, ReadU64(tr));
+    PGSIM_ASSIGN_OR_RETURN(index.removes_since_build_, ReadU64(tr));
+    SipBoundOptions sip;
+    PGSIM_ASSIGN_OR_RETURN(sip.max_embeddings, ReadU64(tr));
+    PGSIM_ASSIGN_OR_RETURN(sip.max_cut_embeddings, ReadU64(tr));
+    PGSIM_ASSIGN_OR_RETURN(sip.cuts.max_cuts, ReadU64(tr));
+    PGSIM_ASSIGN_OR_RETURN(sip.cuts.max_cut_size, ReadU64(tr));
+    PGSIM_ASSIGN_OR_RETURN(sip.cuts.max_nodes, ReadU64(tr));
+    PGSIM_ASSIGN_OR_RETURN(sip.mc.xi, ReadDouble(tr));
+    PGSIM_ASSIGN_OR_RETURN(sip.mc.tau, ReadDouble(tr));
+    PGSIM_ASSIGN_OR_RETURN(sip.mc.min_samples, ReadU64(tr));
+    PGSIM_ASSIGN_OR_RETURN(sip.mc.max_samples, ReadU64(tr));
+    PGSIM_ASSIGN_OR_RETURN(sip.clique.exact_node_limit, ReadU64(tr));
+    PGSIM_ASSIGN_OR_RETURN(sip.clique.max_bb_nodes, ReadU64(tr));
+    index.sip_options_ = sip;
+  } else {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return Status::NotFound("PMI Load: cannot open " + path);
+    PGSIM_ASSIGN_OR_RETURN(const uint32_t again, ReadU32(is));
+    (void)again;
+    PGSIM_ASSIGN_OR_RETURN(const uint32_t num_features, ReadU32(is));
+    PGSIM_ASSIGN_OR_RETURN(const uint32_t num_graphs, ReadU32(is));
+    PGSIM_RETURN_NOT_OK(read_features(is, num_features));
+    std::vector<std::vector<PmiEntry>> columns;
+    PGSIM_RETURN_NOT_OK(read_columns(is, num_features, num_graphs, &columns));
+    index.RebuildFeaturePlans();
+    index.SetColumns(std::move(columns));
+    if (magic == kPmiMagic2) {
+      PGSIM_ASSIGN_OR_RETURN(index.epoch_, ReadU64(is));
+      PGSIM_RETURN_NOT_OK(read_alive(is, num_graphs));
+      PGSIM_ASSIGN_OR_RETURN(index.beta_watermark_, ReadDouble(is));
+      PGSIM_ASSIGN_OR_RETURN(index.adds_since_build_, ReadU64(is));
+      PGSIM_ASSIGN_OR_RETURN(index.removes_since_build_, ReadU64(is));
+    }
+    // PMI1 files predate epochs: everything alive, epoch 0 (SetColumns set
+    // the alive state already). Neither legacy format carries sip options;
+    // they stay at defaults (callers should re-set them).
   }
-  // PMI1 files predate epochs: everything alive, epoch 0 (SetColumns set
-  // the alive state already).
   index.stats_.num_features = index.features_.size();
   index.stats_.size_bytes = index.SizeBytes();
   return index;

@@ -35,8 +35,11 @@
 //     frequency (documented drift; `maintenance().remine_advised` raises a
 //     flag when any feature falls below the mining beta watermark).
 // The sparse per-graph views (EntriesFor) and the serialized format are
-// materialized from / rebuilt into the columnar storage; Load() also
-// accepts the pre-epoch "PMI1" files (all columns alive, epoch 0).
+// materialized from / rebuilt into the columnar storage. Save() writes the
+// checksummed PMI3 container (per-section CRC32C + whole-file footer,
+// atomic temp+rename install); Load() verifies every checksum — corruption
+// is Status::DataLoss, never a silently wrong index — and still accepts the
+// legacy "PMI2" and pre-epoch "PMI1" stream formats.
 
 #pragma once
 
@@ -187,8 +190,9 @@ class ProbabilisticMatrixIndex {
   const PmiStats& stats() const { return stats_; }
 
   /// SIP-bound options remembered from Build() and reused by AddGraph when
-  /// the caller passes none. Load() resets them to defaults (they are not
-  /// persisted); servers that Load-then-mutate should re-set them.
+  /// the caller passes none. PMI3 files persist them, so Load() restores the
+  /// build-time knobs; only legacy PMI1/PMI2 loads reset them to defaults
+  /// (those callers should re-set them before mutating).
   const SipBoundOptions& sip_options() const { return sip_options_; }
   void set_sip_options(const SipBoundOptions& sip) { sip_options_ = sip; }
 
@@ -199,12 +203,17 @@ class ProbabilisticMatrixIndex {
   /// sparse databases.
   size_t SizeBytes() const;
 
-  /// Persists the index (features, matrix, stats, epoch, tombstones) to a
-  /// binary file. A mutated index round-trips exactly: Save -> Load -> Save
-  /// produces byte-identical files.
+  /// Persists the index (features, matrix, stats, epoch, tombstones, sip
+  /// options) as a checksummed PMI3 file, installed atomically (temp +
+  /// fsync + rename — a crash leaves the old file intact). A mutated index
+  /// round-trips exactly: Save -> Load -> Save produces byte-identical
+  /// files.
   Status Save(const std::string& path) const;
 
-  /// Restores an index saved by Save(); also accepts pre-epoch PMI1 files.
+  /// Restores an index saved by Save(); also accepts legacy PMI2 and
+  /// pre-epoch PMI1 files. Any torn, truncated, or bit-flipped PMI3 file is
+  /// rejected with Status::DataLoss (checksums are verified before any
+  /// section is parsed).
   static Result<ProbabilisticMatrixIndex> Load(const std::string& path);
 
   /// Incremental maintenance: appends a new graph column in place —

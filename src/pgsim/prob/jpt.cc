@@ -35,6 +35,37 @@ Result<JointProbTable> JointProbTable::FromWeights(
   return t;
 }
 
+Result<JointProbTable> JointProbTable::FromNormalizedProbs(
+    std::vector<double> probs) {
+  if (probs.empty() || (probs.size() & (probs.size() - 1)) != 0) {
+    return Status::InvalidArgument(
+        "JPT probs size must be a power of two, got " +
+        std::to_string(probs.size()));
+  }
+  uint32_t arity = 0;
+  while ((1ULL << arity) < probs.size()) ++arity;
+  if (arity > kMaxArity) {
+    return Status::OutOfRange("JPT arity " + std::to_string(arity) +
+                              " exceeds kMaxArity");
+  }
+  double total = 0.0;
+  for (double p : probs) {
+    if (p < 0.0 || !std::isfinite(p)) {
+      return Status::InvalidArgument("JPT probs must be finite and >= 0");
+    }
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    return Status::InvalidArgument(
+        "JPT probs must already sum to 1 (got sum " + std::to_string(total) +
+        "); use FromWeights to renormalize");
+  }
+  JointProbTable t;
+  t.arity_ = arity;
+  t.probs_ = std::move(probs);
+  return t;
+}
+
 Result<JointProbTable> JointProbTable::Independent(
     const std::vector<double>& edge_probs) {
   if (edge_probs.size() > kMaxArity) {

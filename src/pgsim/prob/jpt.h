@@ -27,6 +27,14 @@ class JointProbTable {
   /// 2^arity with arity <= kMaxArity); weights are normalized to sum to 1.
   static Result<JointProbTable> FromWeights(std::vector<double> weights);
 
+  /// Adopts an already-normalized table verbatim — same validation as
+  /// FromWeights but NO renormalizing division, so the entries round-trip
+  /// bit-for-bit. This is the deserialization constructor: WAL replay and
+  /// snapshot loads must reproduce the exact doubles they persisted, and
+  /// `w /= total` would perturb the last ulp. Requires the sum to be within
+  /// 1e-6 of 1.
+  static Result<JointProbTable> FromNormalizedProbs(std::vector<double> probs);
+
   /// The independent-edges table: Pr(mask) = prod p_i^{b_i} (1-p_i)^{1-b_i}.
   /// Used for the IND baseline model of the experiments (Figure 14).
   static Result<JointProbTable> Independent(

@@ -46,6 +46,7 @@
 namespace pgsim {
 
 class BatchQueryCache;
+class DurableDatabase;
 class TaskScheduler;
 struct QueryContext;
 
@@ -383,6 +384,13 @@ class QueryProcessor {
   /// mutate them directly while this processor exists.
   QueryProcessor(std::vector<ProbabilisticGraph>* database,
                  ProbabilisticMatrixIndex* pmi, StructuralFilter* structural);
+
+  /// Recovers a crash-consistent database from `dir` (convenience forwarder
+  /// for DurableDatabase::Open, storage/durable_db.h): loads the last
+  /// checksummed snapshot generation and replays the write-ahead log tail.
+  /// The returned database's processor() serves queries and its mutation
+  /// API is durable. Defined in storage/durable_db.cc.
+  static Result<std::unique_ptr<DurableDatabase>> Open(const std::string& dir);
 
   /// Runs the full pipeline; returns answer graph ids (sorted).
   Result<std::vector<uint32_t>> Query(const Graph& q,

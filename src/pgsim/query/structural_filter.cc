@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
+#include <string>
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -9,7 +11,9 @@
 
 #include "pgsim/common/thread_pool.h"
 #include "pgsim/common/timer.h"
+#include "pgsim/graph/io.h"
 #include "pgsim/graph/vf2.h"
+#include "pgsim/storage/io_util.h"
 
 namespace pgsim {
 
@@ -399,6 +403,147 @@ Status StructuralFilter::RemoveGraph(uint32_t graph_id) {
   live_mask_.Reset(graph_id);
   --num_alive_;
   return Status::OK();
+}
+
+namespace {
+// "PGSF": structural-filter snapshot, checksummed-section container.
+constexpr uint32_t kFilterMagic = 0x50475346u;
+constexpr uint32_t kFilterVersion = 1;
+}  // namespace
+
+Status StructuralFilter::Save(const std::string& path) const {
+  SnapshotWriter writer(kFilterMagic, kFilterVersion);
+
+  std::ostringstream header;
+  WriteU32(header, num_graphs_);
+  WriteU32(header, num_alive_);
+  WriteU32(header, static_cast<uint32_t>(feature_graphs_.size()));
+  WriteU32(header, options_.max_count);
+  WriteU32(header, options_.max_query_count);
+  header.put(options_.exact_check ? '\1' : '\0');
+  writer.AddSection(header.str());
+
+  // Count matrix at stride num_graphs_ (capacity slack is a memory-layout
+  // detail, not state), feature-major, raw little-endian u16 cells.
+  std::string cells;
+  cells.reserve(2 * size_t{num_graphs_} * feature_graphs_.size());
+  for (size_t fi = 0; fi < feature_graphs_.size(); ++fi) {
+    const uint16_t* row = counts_.data() + fi * col_capacity_;
+    for (uint32_t gi = 0; gi < num_graphs_; ++gi) {
+      const uint16_t c = row[gi];
+      cells.push_back(static_cast<char>(c & 0xFF));
+      cells.push_back(static_cast<char>(c >> 8));
+    }
+  }
+  writer.AddSection(cells);
+
+  std::string live(num_graphs_, '\0');
+  for (uint32_t gi = 0; gi < num_graphs_; ++gi) {
+    if (live_mask_.Test(gi)) live[gi] = '\1';
+  }
+  writer.AddSection(live);
+
+  return writer.Commit(path, "snapshot.filter");
+}
+
+Result<StructuralFilter> StructuralFilter::Load(
+    const std::string& path, const std::vector<Graph>& certain_db,
+    const std::vector<Feature>& features) {
+  PGSIM_ASSIGN_OR_RETURN(SnapshotReader snap,
+                         SnapshotReader::Open(path, kFilterMagic));
+  if (snap.version() != kFilterVersion) {
+    return Status::InvalidArgument(
+        "StructuralFilter::Load: unsupported version " +
+        std::to_string(snap.version()));
+  }
+  if (snap.num_sections() != 3) {
+    return Status::DataLoss("StructuralFilter::Load: expected 3 sections in " +
+                            path);
+  }
+
+  const std::string& header = snap.section(0);
+  std::istringstream hs(header);
+  PGSIM_ASSIGN_OR_RETURN(const uint32_t num_graphs, ReadU32(hs));
+  PGSIM_ASSIGN_OR_RETURN(const uint32_t num_alive, ReadU32(hs));
+  PGSIM_ASSIGN_OR_RETURN(const uint32_t num_features, ReadU32(hs));
+  StructuralFilter filter;
+  PGSIM_ASSIGN_OR_RETURN(filter.options_.max_count, ReadU32(hs));
+  PGSIM_ASSIGN_OR_RETURN(filter.options_.max_query_count, ReadU32(hs));
+  const int exact_byte = hs.get();
+  if (exact_byte == std::char_traits<char>::eof()) {
+    return Status::DataLoss("StructuralFilter::Load: truncated header in " +
+                            path);
+  }
+  filter.options_.exact_check = exact_byte != 0;
+
+  if (num_graphs != certain_db.size()) {
+    return Status::InvalidArgument(
+        "StructuralFilter::Load: file has " + std::to_string(num_graphs) +
+        " graphs but certain_db has " + std::to_string(certain_db.size()));
+  }
+  if (num_features != features.size()) {
+    return Status::InvalidArgument(
+        "StructuralFilter::Load: file has " + std::to_string(num_features) +
+        " features but " + std::to_string(features.size()) + " were given");
+  }
+
+  const std::string& cells = snap.section(1);
+  if (cells.size() != 2 * size_t{num_graphs} * num_features) {
+    return Status::DataLoss(
+        "StructuralFilter::Load: count matrix has wrong size in " + path);
+  }
+  const std::string& live = snap.section(2);
+  if (live.size() != num_graphs) {
+    return Status::DataLoss(
+        "StructuralFilter::Load: live mask has wrong size in " + path);
+  }
+
+  filter.num_graphs_ = num_graphs;
+  filter.col_capacity_ = num_graphs;
+  filter.graphs_.reserve(num_graphs);
+  for (const Graph& g : certain_db) filter.graphs_.push_back(&g);
+  filter.feature_graphs_.reserve(num_features);
+  for (const Feature& f : features) filter.feature_graphs_.push_back(&f.graph);
+  filter.feature_plans_.reserve(num_features);
+  for (const Feature& f : features) {
+    filter.feature_plans_.push_back(CompileMatchPlan(f.graph));
+  }
+
+  filter.counts_.resize(size_t{num_features} * num_graphs);
+  for (size_t k = 0; k < filter.counts_.size(); ++k) {
+    filter.counts_[k] =
+        static_cast<uint16_t>(static_cast<uint8_t>(cells[2 * k])) |
+        static_cast<uint16_t>(static_cast<uint8_t>(cells[2 * k + 1])) << 8;
+  }
+
+  filter.live_mask_.ResetTo(num_graphs);
+  filter.num_alive_ = 0;
+  for (uint32_t gi = 0; gi < num_graphs; ++gi) {
+    if (live[gi] != '\0') {
+      filter.live_mask_.Set(gi);
+      ++filter.num_alive_;
+    }
+  }
+  if (filter.num_alive_ != num_alive) {
+    return Status::DataLoss(
+        "StructuralFilter::Load: live mask disagrees with header in " + path);
+  }
+
+  // label_freq_ aggregates ALIVE graphs only (RemoveGraph subtracts), while
+  // graph_hist_ keeps one entry per column, dead or not (Build fills all,
+  // RemoveGraph leaves them — the live mask excludes dead columns upstream).
+  for (uint32_t gi = 0; gi < num_graphs; ++gi) {
+    if (live[gi] != '\0') {
+      AccumulateVertexLabelFrequencies(certain_db[gi], &filter.label_freq_);
+    }
+  }
+  if (filter.options_.exact_check) {
+    filter.graph_hist_.resize(num_graphs);
+    for (uint32_t gi = 0; gi < num_graphs; ++gi) {
+      BuildLabelHistogram(certain_db[gi], &filter.graph_hist_[gi]);
+    }
+  }
+  return filter;
 }
 
 void StructuralFilter::Compact() {

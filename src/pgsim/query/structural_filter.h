@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "pgsim/common/bitset.h"
@@ -197,6 +198,24 @@ class StructuralFilter {
   const StructuralFilterBuildStats& build_stats() const {
     return build_stats_;
   }
+
+  /// Persists the filter state that is NOT derivable from (certain_db,
+  /// features) alone — the count matrix, live mask, and filtering options —
+  /// as a versioned, checksummed "PGSF" file (per-section CRC32C + whole-
+  /// file footer), installed atomically. Counts are written at stride
+  /// num_graphs(), so Save -> Load -> Save is byte-identical.
+  Status Save(const std::string& path) const;
+
+  /// Restores a filter saved by Save(), rebinding it to `certain_db` and
+  /// `features` (which must match the database the filter was saved over:
+  /// sizes are validated, and the usual Build() aliasing contract applies —
+  /// both containers must stay alive and unmodified). Match plans, label
+  /// frequencies, and label histograms are recomputed deterministically.
+  /// Any torn, truncated, or bit-flipped file is rejected with
+  /// Status::DataLoss.
+  static Result<StructuralFilter> Load(const std::string& path,
+                                       const std::vector<Graph>& certain_db,
+                                       const std::vector<Feature>& features);
 
   /// Incremental maintenance: appends a graph column in place. The filter
   /// COPIES `gc` into stable internal storage (the Build() aliasing caveat

@@ -1,0 +1,354 @@
+#include "pgsim/storage/durable_db.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "pgsim/graph/io.h"
+#include "pgsim/storage/io_util.h"
+
+namespace pgsim {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x50474d46u;  // "PGMF"
+constexpr uint32_t kManifestVersion = 1;
+constexpr uint32_t kDbMagic = 0x50474442u;  // "PGDB"
+constexpr uint32_t kDbVersion = 1;
+
+std::string SnapPath(const std::string& dir, uint64_t gen, const char* kind) {
+  return dir + "/snap-" + std::to_string(gen) + "." + kind;
+}
+
+std::string ManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
+std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return Status::Internal("cannot create directory '" + dir +
+                          "': " + std::strerror(errno));
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Create(
+    const std::string& dir, std::vector<ProbabilisticGraph> database,
+    const PmiBuildOptions& build, const StructuralFilterOptions& filter_options,
+    const DurableDbOptions& options) {
+  PGSIM_RETURN_NOT_OK(EnsureDir(dir));
+  if (FileExists(ManifestPath(dir))) {
+    return Status::FailedPrecondition(
+        "'" + dir + "' already holds a durable database; use Open()");
+  }
+
+  std::unique_ptr<DurableDatabase> db(new DurableDatabase());
+  db->dir_ = dir;
+  db->options_ = options;
+  db->database_ = std::move(database);
+  PGSIM_ASSIGN_OR_RETURN(db->pmi_,
+                         ProbabilisticMatrixIndex::Build(db->database_, build));
+  db->certain_.reserve(db->database_.size());
+  for (const ProbabilisticGraph& g : db->database_) {
+    db->certain_.push_back(g.certain());
+  }
+  db->filter_ =
+      StructuralFilter::Build(db->certain_, db->pmi_.features(),
+                              filter_options);
+  db->processor_ = std::make_unique<QueryProcessor>(&db->database_, &db->pmi_,
+                                                    &db->filter_);
+
+  PGSIM_RETURN_NOT_OK(db->WriteSnapshotGeneration(0));
+  db->snapshot_gen_ = 0;
+  db->snapshot_epoch_ = db->processor_->epoch();
+
+  // A leftover log (crash between a previous Create's WAL creation and its
+  // MANIFEST install) is dead weight: the snapshot we just wrote is the
+  // whole state.
+  ::unlink(WalPath(dir).c_str());
+  std::vector<WalRecord> records;
+  PGSIM_ASSIGN_OR_RETURN(db->wal_,
+                         WriteAheadLog::Open(WalPath(dir), &records, nullptr));
+  return db;
+}
+
+Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
+    const std::string& dir, const DurableDbOptions& options) {
+  auto manifest = SnapshotReader::Open(ManifestPath(dir), kManifestMagic);
+  if (!manifest.ok()) {
+    if (manifest.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("'" + dir +
+                              "' is not a durable database (no MANIFEST)");
+    }
+    return manifest.status();
+  }
+  if (manifest->version() != kManifestVersion ||
+      manifest->num_sections() != 1) {
+    return Status::DataLoss("MANIFEST in '" + dir + "' is malformed");
+  }
+  std::istringstream ms(manifest->section(0));
+  uint64_t gen = 0;
+  uint64_t snap_epoch = 0;
+  PGSIM_ASSIGN_OR_RETURN(gen, ReadU64(ms));
+  PGSIM_ASSIGN_OR_RETURN(snap_epoch, ReadU64(ms));
+
+  std::unique_ptr<DurableDatabase> db(new DurableDatabase());
+  db->dir_ = dir;
+  db->options_ = options;
+  db->snapshot_gen_ = gen;
+  db->snapshot_epoch_ = snap_epoch;
+  db->recovery_.snapshot_gen = gen;
+  db->recovery_.snapshot_epoch = snap_epoch;
+
+  // Graphs.
+  PGSIM_ASSIGN_OR_RETURN(
+      SnapshotReader snap,
+      SnapshotReader::Open(SnapPath(dir, gen, "db"), kDbMagic));
+  if (snap.version() != kDbVersion || snap.num_sections() < 1) {
+    return Status::DataLoss("database snapshot in '" + dir + "' is malformed");
+  }
+  std::istringstream hs(snap.section(0));
+  PGSIM_ASSIGN_OR_RETURN(const uint32_t count, ReadU32(hs));
+  PGSIM_ASSIGN_OR_RETURN(const uint64_t db_epoch, ReadU64(hs));
+  if (db_epoch != snap_epoch) {
+    return Status::DataLoss("database snapshot epoch " +
+                            std::to_string(db_epoch) +
+                            " does not match MANIFEST epoch " +
+                            std::to_string(snap_epoch));
+  }
+  if (snap.num_sections() != size_t{count} + 1) {
+    return Status::DataLoss("database snapshot holds " +
+                            std::to_string(snap.num_sections() - 1) +
+                            " graphs, header says " + std::to_string(count));
+  }
+  db->database_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::istringstream gs(snap.section(i + 1));
+    PGSIM_ASSIGN_OR_RETURN(ProbabilisticGraph g, ReadProbabilisticGraph(gs));
+    db->database_.push_back(std::move(g));
+  }
+
+  // Indexes, bound to the recovered graphs.
+  PGSIM_ASSIGN_OR_RETURN(db->pmi_,
+                         ProbabilisticMatrixIndex::Load(
+                             SnapPath(dir, gen, "pmi")));
+  if (db->pmi_.epoch() != snap_epoch) {
+    return Status::DataLoss("PMI snapshot epoch " +
+                            std::to_string(db->pmi_.epoch()) +
+                            " does not match MANIFEST epoch " +
+                            std::to_string(snap_epoch));
+  }
+  if (db->pmi_.num_graphs() != db->database_.size()) {
+    return Status::DataLoss("PMI snapshot has " +
+                            std::to_string(db->pmi_.num_graphs()) +
+                            " columns for " +
+                            std::to_string(db->database_.size()) + " graphs");
+  }
+
+  // WAL: decode intact records, truncate a torn tail, then replay.
+  std::vector<WalRecord> records;
+  WalRecoveryInfo wal_info;
+  PGSIM_ASSIGN_OR_RETURN(db->wal_,
+                         WriteAheadLog::Open(WalPath(dir), &records,
+                                             &wal_info));
+  db->recovery_.wal_records_seen = wal_info.records_recovered;
+  db->recovery_.wal_tail_truncated = wal_info.tail_truncated;
+  db->recovery_.wal_bytes_truncated = wal_info.bytes_truncated;
+
+  PGSIM_RETURN_NOT_OK(db->FinishOpen(std::move(records)));
+  return db;
+}
+
+Status DurableDatabase::FinishOpen(std::vector<WalRecord> records) {
+  certain_.reserve(database_.size());
+  for (const ProbabilisticGraph& g : database_) {
+    certain_.push_back(g.certain());
+  }
+  PGSIM_ASSIGN_OR_RETURN(
+      filter_, StructuralFilter::Load(SnapPath(dir_, snapshot_gen_, "filter"),
+                                      certain_, pmi_.features()));
+  // The processor inherits the PMI's epoch and tombstone view, so the epoch
+  // chain below continues exactly where the snapshot left off.
+  processor_ =
+      std::make_unique<QueryProcessor>(&database_, &pmi_, &filter_);
+
+  for (const WalRecord& rec : records) {
+    if (rec.epoch_before < snapshot_epoch_) {
+      // Already folded into the snapshot generation (a crash between
+      // MANIFEST install and WAL truncation leaves such records behind).
+      ++recovery_.wal_records_skipped;
+      continue;
+    }
+    if (rec.epoch_before != processor_->epoch()) {
+      return Status::DataLoss(
+          "WAL epoch chain broken: record expects epoch " +
+          std::to_string(rec.epoch_before) + ", database is at " +
+          std::to_string(processor_->epoch()));
+    }
+    // Re-apply through the live mutation path — the same deterministic code
+    // (including auto-compaction) that ran before the crash.
+    switch (rec.op) {
+      case WalRecord::Op::kAddGraph: {
+        auto id = processor_->AddGraph(rec.graph, rec.seed);
+        if (!id.ok()) {
+          return Status::DataLoss("WAL replay: AddGraph failed: " +
+                                  id.status().ToString());
+        }
+        break;
+      }
+      case WalRecord::Op::kRemoveGraph: {
+        Status s = processor_->RemoveGraph(rec.graph_id);
+        if (!s.ok()) {
+          return Status::DataLoss("WAL replay: RemoveGraph failed: " +
+                                  s.ToString());
+        }
+        break;
+      }
+      case WalRecord::Op::kCompact:
+        processor_->Compact();
+        break;
+    }
+    ++recovery_.wal_records_replayed;
+    ++mutations_since_checkpoint_;
+  }
+  return Status::OK();
+}
+
+Status DurableDatabase::WriteSnapshotGeneration(uint64_t gen) {
+  const uint64_t epoch = processor_->epoch();
+
+  SnapshotWriter db_writer(kDbMagic, kDbVersion);
+  std::ostringstream header;
+  WriteU32(header, static_cast<uint32_t>(database_.size()));
+  WriteU64(header, epoch);
+  db_writer.AddSection(header.str());
+  for (const ProbabilisticGraph& g : database_) {
+    std::ostringstream gs;
+    WriteProbabilisticGraph(gs, g);
+    db_writer.AddSection(gs.str());
+  }
+  PGSIM_RETURN_NOT_OK(
+      db_writer.Commit(SnapPath(dir_, gen, "db"), "snapshot.db"));
+
+  PGSIM_RETURN_NOT_OK(pmi_.Save(SnapPath(dir_, gen, "pmi")));
+  PGSIM_RETURN_NOT_OK(filter_.Save(SnapPath(dir_, gen, "filter")));
+
+  // The MANIFEST rename is the commit point: until it lands, the previous
+  // generation (or nothing, for Create) stays authoritative.
+  SnapshotWriter manifest(kManifestMagic, kManifestVersion);
+  std::ostringstream ms;
+  WriteU64(ms, gen);
+  WriteU64(ms, epoch);
+  manifest.AddSection(ms.str());
+  return manifest.Commit(ManifestPath(dir_), "snapshot.manifest");
+}
+
+Result<uint32_t> DurableDatabase::AddGraph(const ProbabilisticGraph& graph,
+                                           uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  if (wedged_) {
+    return Status::FailedPrecondition(
+        "durable database is wedged (a logged mutation failed to apply); "
+        "reopen to recover");
+  }
+  PGSIM_RETURN_NOT_OK(
+      wal_->AppendAddGraph(processor_->epoch(), seed, graph));
+  auto id = processor_->AddGraph(graph, seed);
+  if (!id.ok()) {
+    wedged_ = true;
+    return Status::Internal("AddGraph was logged but failed to apply: " +
+                            id.status().ToString());
+  }
+  ++mutations_since_checkpoint_;
+  PGSIM_RETURN_NOT_OK(MaybeCheckpointLocked());
+  return *id;
+}
+
+Status DurableDatabase::RemoveGraph(uint32_t graph_id) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  if (wedged_) {
+    return Status::FailedPrecondition(
+        "durable database is wedged (a logged mutation failed to apply); "
+        "reopen to recover");
+  }
+  // Validate BEFORE logging: an invalid remove must leave both the WAL and
+  // the serving state untouched (the processor would reject it anyway, but
+  // by then the record would already be durable).
+  if (!pmi_.IsAlive(graph_id)) {
+    return Status::InvalidArgument(
+        "RemoveGraph: graph id out of range or already removed");
+  }
+  PGSIM_RETURN_NOT_OK(wal_->AppendRemoveGraph(processor_->epoch(), graph_id));
+  Status s = processor_->RemoveGraph(graph_id);
+  if (!s.ok()) {
+    wedged_ = true;
+    return Status::Internal("RemoveGraph was logged but failed to apply: " +
+                            s.ToString());
+  }
+  ++mutations_since_checkpoint_;
+  return MaybeCheckpointLocked();
+}
+
+Status DurableDatabase::Compact() {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  if (wedged_) {
+    return Status::FailedPrecondition(
+        "durable database is wedged (a logged mutation failed to apply); "
+        "reopen to recover");
+  }
+  PGSIM_RETURN_NOT_OK(wal_->AppendCompact(processor_->epoch()));
+  processor_->Compact();
+  ++mutations_since_checkpoint_;
+  return MaybeCheckpointLocked();
+}
+
+Status DurableDatabase::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  if (wedged_) {
+    return Status::FailedPrecondition(
+        "durable database is wedged (a logged mutation failed to apply); "
+        "reopen to recover");
+  }
+  return CheckpointLocked();
+}
+
+Status DurableDatabase::MaybeCheckpointLocked() {
+  if (options_.snapshot_every == 0 ||
+      mutations_since_checkpoint_ < options_.snapshot_every) {
+    return Status::OK();
+  }
+  return CheckpointLocked();
+}
+
+Status DurableDatabase::CheckpointLocked() {
+  const uint64_t gen = snapshot_gen_ + 1;
+  PGSIM_RETURN_NOT_OK(WriteSnapshotGeneration(gen));
+  const uint64_t old_gen = snapshot_gen_;
+  snapshot_gen_ = gen;
+  snapshot_epoch_ = processor_->epoch();
+  mutations_since_checkpoint_ = 0;
+  PGSIM_RETURN_NOT_OK(wal_->Reset());
+  // Best-effort cleanup: a leftover old generation is unreferenced bytes,
+  // not a correctness problem.
+  ::unlink(SnapPath(dir_, old_gen, "db").c_str());
+  ::unlink(SnapPath(dir_, old_gen, "pmi").c_str());
+  ::unlink(SnapPath(dir_, old_gen, "filter").c_str());
+  return Status::OK();
+}
+
+// Forwarder declared in query/processor.h (implemented here to keep the
+// processor header free of a storage dependency).
+Result<std::unique_ptr<DurableDatabase>> QueryProcessor::Open(
+    const std::string& dir) {
+  return DurableDatabase::Open(dir);
+}
+
+}  // namespace pgsim

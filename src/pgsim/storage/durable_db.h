@@ -1,0 +1,174 @@
+// Crash-consistent live database: a mutable QueryProcessor wired through a
+// write-ahead log and checksummed snapshots.
+//
+// Directory layout:
+//
+//   <dir>/MANIFEST        checksummed pointer {generation, epoch}; renamed
+//                         into place atomically — the ONLY commit point
+//   <dir>/snap-<gen>.db      the probabilistic graphs (PGDB container)
+//   <dir>/snap-<gen>.pmi     the PMI (PMI3 container)
+//   <dir>/snap-<gen>.filter  the structural filter (PGSF container)
+//   <dir>/wal.log            the mutation log (storage/wal.h)
+//
+// Durability protocol:
+//
+//   * Every mutation (AddGraph / RemoveGraph / Compact) is appended to the
+//     WAL and fsync'd BEFORE the in-memory serving structures change. The
+//     record carries the processor epoch it was applied at (epoch_before).
+//   * Checkpoint() writes a fresh snapshot generation (each file installed
+//     atomically via temp + fsync + rename), then atomically installs a new
+//     MANIFEST pointing at it, then truncates the WAL and unlinks the old
+//     generation. A crash anywhere leaves either the old generation + full
+//     WAL or the new generation (+ a WAL whose records are skipped by the
+//     epoch rule below) — never a torn state.
+//   * Open() loads the MANIFEST generation, verifies every checksum
+//     (corruption is Status::DataLoss, never a silently wrong database),
+//     replays the WAL tail on top: records with epoch_before < the snapshot
+//     epoch are already inside the snapshot and are skipped; the rest must
+//     chain exactly (record.epoch_before == current epoch) and are
+//     re-applied through the same QueryProcessor mutation code that ran the
+//     first time — including deterministic auto-compaction — so the
+//     recovered processor answers queries bit-identically to the
+//     pre-crash one.
+//
+// Concurrency: queries run on processor() under its own reader/writer lock;
+// mutations and checkpoints additionally serialize on an internal mutex, so
+// an AddGraph issued while a checkpoint is writing simply waits (and a
+// checkpoint observes a frozen mutation state).
+//
+// Every IO step passes through a named failpoint site (common/failpoint.h);
+// the recovery test harness kills the process at each one and asserts the
+// reopened database equals the pre- or post-mutation state.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pgsim/common/status.h"
+#include "pgsim/index/pmi.h"
+#include "pgsim/query/processor.h"
+#include "pgsim/query/structural_filter.h"
+#include "pgsim/storage/wal.h"
+
+namespace pgsim {
+
+/// Durability knobs.
+struct DurableDbOptions {
+  /// Automatically Checkpoint() after this many mutations (0 = only when
+  /// Checkpoint() is called explicitly). Each checkpoint truncates the WAL,
+  /// bounding both recovery replay time and log growth.
+  uint32_t snapshot_every = 0;
+};
+
+/// What Open() did to bring the database back.
+struct RecoveryStats {
+  uint64_t snapshot_gen = 0;    ///< generation the MANIFEST pointed at
+  uint64_t snapshot_epoch = 0;  ///< epoch the snapshot was taken at
+  size_t wal_records_seen = 0;      ///< intact records decoded from the log
+  size_t wal_records_replayed = 0;  ///< records applied on top of the snapshot
+  size_t wal_records_skipped = 0;   ///< records already inside the snapshot
+  bool wal_tail_truncated = false;  ///< a torn/corrupt tail was discarded
+  uint64_t wal_bytes_truncated = 0;
+};
+
+/// A QueryProcessor whose mutations survive crashes.
+class DurableDatabase {
+ public:
+  /// Initializes `dir` as a durable database: builds the PMI and structural
+  /// filter over `database`, writes snapshot generation 0 + MANIFEST, and
+  /// starts an empty WAL. Fails with FailedPrecondition if `dir` already
+  /// holds a durable database (Open it instead).
+  static Result<std::unique_ptr<DurableDatabase>> Create(
+      const std::string& dir, std::vector<ProbabilisticGraph> database,
+      const PmiBuildOptions& build = PmiBuildOptions(),
+      const StructuralFilterOptions& filter_options =
+          StructuralFilterOptions(),
+      const DurableDbOptions& options = DurableDbOptions());
+
+  /// Recovers the database from `dir`: loads the MANIFEST snapshot
+  /// generation (every checksum verified), replays the WAL tail, truncating
+  /// a torn final record. See recovery() for what was done.
+  static Result<std::unique_ptr<DurableDatabase>> Open(
+      const std::string& dir,
+      const DurableDbOptions& options = DurableDbOptions());
+
+  /// The serving pipeline. Queries (Query/QueryBatch/ExactScan) run here
+  /// directly and need no extra coordination with the durability layer.
+  QueryProcessor& processor() { return *processor_; }
+  const QueryProcessor& processor() const { return *processor_; }
+
+  /// Durable mutations: WAL append + fsync, then the in-memory mutation,
+  /// then (when snapshot_every is hit) an automatic checkpoint. On an
+  /// auto-checkpoint failure the mutation itself is already applied AND
+  /// durable in the WAL; only the snapshot write failed, and the error says
+  /// so. Validation errors (e.g. removing a dead id) are detected before
+  /// anything is logged — the WAL and the serving state stay untouched.
+  Result<uint32_t> AddGraph(const ProbabilisticGraph& graph, uint64_t seed);
+  Status RemoveGraph(uint32_t graph_id);
+  Status Compact();
+
+  /// Writes a fresh snapshot generation, installs the MANIFEST, truncates
+  /// the WAL, and unlinks the previous generation. On failure the previous
+  /// generation + WAL remain authoritative.
+  Status Checkpoint();
+
+  /// Current mutation epoch (== processor().epoch()).
+  uint64_t epoch() const { return processor_->epoch(); }
+
+  /// Generation the MANIFEST currently points at.
+  uint64_t snapshot_generation() const { return snapshot_gen_; }
+
+  /// Mutations logged since the last checkpoint.
+  uint64_t mutations_since_checkpoint() const {
+    return mutations_since_checkpoint_;
+  }
+
+  /// WAL file size (header + records).
+  uint64_t wal_size_bytes() const { return wal_->SizeBytes(); }
+
+  /// What the last Open() recovered (zeroed for Create()).
+  const RecoveryStats& recovery() const { return recovery_; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  DurableDatabase() = default;
+
+  /// Binds certain_, builds the processor, opens + replays the WAL.
+  Status FinishOpen(std::vector<WalRecord> records);
+
+  /// Writes snap-<gen>.{db,pmi,filter} and installs MANIFEST{gen, epoch}.
+  Status WriteSnapshotGeneration(uint64_t gen);
+
+  Status CheckpointLocked();
+  Status MaybeCheckpointLocked();
+
+  std::string dir_;
+  DurableDbOptions options_;
+  std::vector<ProbabilisticGraph> database_;
+  /// Stable copies of the certain graphs the filter's pointers bind to;
+  /// sized at Create/Open and never grown (the filter copies graphs added
+  /// later into its own stable storage).
+  std::vector<Graph> certain_;
+  ProbabilisticMatrixIndex pmi_;
+  StructuralFilter filter_;
+  std::unique_ptr<QueryProcessor> processor_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  /// Serializes mutations and checkpoints (queries use the processor's own
+  /// reader/writer lock and never take this).
+  std::mutex mutation_mu_;
+  uint64_t snapshot_gen_ = 0;
+  uint64_t snapshot_epoch_ = 0;
+  uint64_t mutations_since_checkpoint_ = 0;
+  /// Set when a WAL record was durably appended but its in-memory apply
+  /// failed — memory and log may disagree, so further mutations refuse with
+  /// FailedPrecondition (queries keep serving; reopen to recover).
+  bool wedged_ = false;
+  RecoveryStats recovery_;
+};
+
+}  // namespace pgsim

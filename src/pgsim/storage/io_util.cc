@@ -1,0 +1,201 @@
+#include "pgsim/storage/io_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "pgsim/common/crc32c.h"
+#include "pgsim/common/failpoint.h"
+
+namespace pgsim {
+
+namespace {
+
+constexpr uint32_t kFooterMagic = 0x50474654u;  // "PGFT"
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+Result<uint32_t> TakeU32(const std::string& buf, size_t* pos) {
+  if (*pos + 4 > buf.size()) {
+    return Status::DataLoss("snapshot file truncated mid-word");
+  }
+  uint32_t v;
+  std::memcpy(&v, buf.data() + *pos, 4);
+  *pos += 4;
+  return v;
+}
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// write() the full buffer, honoring an armed torn/short-write failpoint at
+// `site`: only spec.keep_bytes bytes reach the fd before the injected fault.
+Status WriteAllWithFailpoint(int fd, const char* data, size_t n,
+                             const std::string& site) {
+  FailpointSpec spec;
+  Status injected;
+  size_t to_write = n;
+  bool partial = false;
+  if (FailpointCheckWrite(site.c_str(), n, &spec, &injected)) {
+    to_write = spec.keep_bytes;
+    partial = true;
+  } else if (!injected.ok()) {
+    return injected;
+  }
+  size_t off = 0;
+  while (off < to_write) {
+    const ssize_t w = ::write(fd, data + off, to_write - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("write failed: ") +
+                              std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  if (partial) return FailpointAfterPartialWrite(site.c_str(), spec);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  if (is.bad()) {
+    return Status::Internal("read failed on '" + path + "'");
+  }
+  return ss.str();
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal(ErrnoMessage("cannot open directory", dir));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal(ErrnoMessage("fsync failed on directory", dir));
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& data,
+                       const std::string& failpoint_prefix) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal(ErrnoMessage("cannot create", tmp));
+  }
+  Status s = WriteAllWithFailpoint(fd, data.data(), data.size(),
+                                   failpoint_prefix + ".write");
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  s = FailpointCheck((failpoint_prefix + ".sync").c_str());
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  if (::fsync(fd) != 0) {
+    s = Status::Internal(ErrnoMessage("fsync failed on", tmp));
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  PGSIM_RETURN_NOT_OK(FailpointCheck((failpoint_prefix + ".rename").c_str()));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal(ErrnoMessage("rename failed installing", path));
+  }
+  return SyncDir(ParentDir(path));
+}
+
+SnapshotWriter::SnapshotWriter(uint32_t magic, uint32_t version) {
+  AppendU32(&buf_, magic);
+  AppendU32(&buf_, version);
+}
+
+void SnapshotWriter::AddSection(const std::string& body) {
+  AppendU32(&buf_, static_cast<uint32_t>(body.size()));
+  AppendU32(&buf_, Crc32c(body.data(), body.size()));
+  buf_ += body;
+}
+
+Status SnapshotWriter::Commit(const std::string& path,
+                              const std::string& failpoint_prefix) {
+  AppendU32(&buf_, kFooterMagic);
+  // The footer CRC covers every byte before it, footer magic included.
+  const uint32_t crc = Crc32c(buf_.data(), buf_.size());
+  AppendU32(&buf_, crc);
+  return AtomicWriteFile(path, buf_, failpoint_prefix);
+}
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
+                                            uint32_t magic) {
+  PGSIM_ASSIGN_OR_RETURN(const std::string buf, ReadFileToString(path));
+  // Header (8) + footer (8) is the minimum valid file.
+  if (buf.size() < 16) {
+    return Status::DataLoss("snapshot '" + path + "' truncated (" +
+                            std::to_string(buf.size()) + " bytes)");
+  }
+  size_t pos = 0;
+  PGSIM_ASSIGN_OR_RETURN(const uint32_t got_magic, TakeU32(buf, &pos));
+  if (got_magic != magic) {
+    return Status::InvalidArgument("'" + path + "' has wrong magic");
+  }
+  // Verify the whole-file footer before trusting any section framing.
+  size_t fpos = buf.size() - 8;
+  PGSIM_ASSIGN_OR_RETURN(const uint32_t footer_magic, TakeU32(buf, &fpos));
+  PGSIM_ASSIGN_OR_RETURN(const uint32_t footer_crc, TakeU32(buf, &fpos));
+  if (footer_magic != kFooterMagic) {
+    return Status::DataLoss("snapshot '" + path +
+                            "' has a missing or torn footer");
+  }
+  if (Crc32c(buf.data(), buf.size() - 4) != footer_crc) {
+    return Status::DataLoss("snapshot '" + path +
+                            "' failed its whole-file checksum");
+  }
+
+  SnapshotReader reader;
+  PGSIM_ASSIGN_OR_RETURN(reader.version_, TakeU32(buf, &pos));
+  const size_t sections_end = buf.size() - 8;
+  while (pos < sections_end) {
+    PGSIM_ASSIGN_OR_RETURN(const uint32_t len, TakeU32(buf, &pos));
+    PGSIM_ASSIGN_OR_RETURN(const uint32_t crc, TakeU32(buf, &pos));
+    if (pos + len > sections_end) {
+      return Status::DataLoss("snapshot '" + path +
+                              "' section overruns the file");
+    }
+    if (Crc32c(buf.data() + pos, len) != crc) {
+      return Status::DataLoss("snapshot '" + path + "' section " +
+                              std::to_string(reader.sections_.size()) +
+                              " failed its checksum");
+    }
+    reader.sections_.emplace_back(buf, pos, len);
+    pos += len;
+  }
+  return reader;
+}
+
+}  // namespace pgsim

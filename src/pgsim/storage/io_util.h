@@ -1,0 +1,79 @@
+// Durable-IO primitives shared by the WAL and the snapshot writers.
+//
+// Two layers live here:
+//
+//   * File helpers — ReadFileToString, SyncDir, and AtomicWriteFile (the
+//     write-temp + fsync + rename + parent-dir-fsync install protocol). Every
+//     syscall on these paths passes through a failpoint site so the recovery
+//     tests can kill or corrupt the process at each step.
+//
+//   * The checksummed snapshot container — SnapshotWriter/SnapshotReader.
+//     A snapshot file is
+//
+//       [u32 magic][u32 version]
+//       repeated:  [u32 len][u32 crc32c(body)][body]
+//       [u32 footer magic][u32 crc32c(everything before the footer)]
+//
+//     The reader verifies the whole-file footer checksum first (catches
+//     truncation and bit rot anywhere), then each per-section CRC (localizes
+//     the damage). Any mismatch is Status::DataLoss — a corrupt snapshot is
+//     rejected, never partially loaded.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pgsim/common/status.h"
+
+namespace pgsim {
+
+/// Reads an entire file. NotFound when the file does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// fsyncs a directory so a prior rename/unlink inside it is durable.
+Status SyncDir(const std::string& dir);
+
+/// Atomically installs `data` at `path`: writes `path`.tmp, fsyncs it,
+/// renames over `path`, fsyncs the parent directory. A crash at any point
+/// leaves either the old file or the new file — never a torn mix. Failpoint
+/// sites: `<failpoint_prefix>.write` (a write site — torn/short apply),
+/// `.sync`, `.rename`.
+Status AtomicWriteFile(const std::string& path, const std::string& data,
+                       const std::string& failpoint_prefix);
+
+/// Accumulates checksummed sections and atomically installs the file.
+class SnapshotWriter {
+ public:
+  SnapshotWriter(uint32_t magic, uint32_t version);
+
+  /// Appends one section (length + CRC32C + body).
+  void AddSection(const std::string& body);
+
+  /// Appends the footer and atomically writes the file (see AtomicWriteFile
+  /// for the failpoint sites under `failpoint_prefix`).
+  Status Commit(const std::string& path, const std::string& failpoint_prefix);
+
+ private:
+  std::string buf_;
+};
+
+/// Parses and verifies a snapshot file written by SnapshotWriter.
+class SnapshotReader {
+ public:
+  /// Reads the whole file, checks magic/footer/section checksums. NotFound
+  /// when missing; DataLoss on any truncation or checksum mismatch;
+  /// InvalidArgument on a wrong magic (not this kind of file at all).
+  static Result<SnapshotReader> Open(const std::string& path, uint32_t magic);
+
+  uint32_t version() const { return version_; }
+  size_t num_sections() const { return sections_.size(); }
+  const std::string& section(size_t i) const { return sections_[i]; }
+
+ private:
+  uint32_t version_ = 0;
+  std::vector<std::string> sections_;
+};
+
+}  // namespace pgsim

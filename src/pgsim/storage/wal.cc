@@ -1,0 +1,272 @@
+#include "pgsim/storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "pgsim/common/crc32c.h"
+#include "pgsim/common/failpoint.h"
+#include "pgsim/graph/io.h"
+#include "pgsim/storage/io_util.h"
+
+namespace pgsim {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x5057414cu;  // "PWAL"
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kWalHeaderBytes = 8;
+constexpr size_t kRecordFrameBytes = 8;  // u32 len + u32 crc
+// op byte + epoch_before: smallest payload any op can produce.
+constexpr size_t kMinPayloadBytes = 9;
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+Status WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("WAL write failed: ") +
+                              std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+// Decodes one payload. Corruption that slipped past the CRC (or a logic
+// change) surfaces as DataLoss so Open() truncates at this record.
+Result<WalRecord> DecodePayload(const std::string& payload) {
+  std::istringstream is(payload);
+  is.exceptions(std::ios::goodbit);
+  char op_byte = 0;
+  is.read(&op_byte, 1);
+  WalRecord rec;
+  PGSIM_ASSIGN_OR_RETURN(rec.epoch_before, ReadU64(is));
+  switch (static_cast<WalRecord::Op>(op_byte)) {
+    case WalRecord::Op::kAddGraph: {
+      rec.op = WalRecord::Op::kAddGraph;
+      PGSIM_ASSIGN_OR_RETURN(rec.seed, ReadU64(is));
+      PGSIM_ASSIGN_OR_RETURN(rec.graph, ReadProbabilisticGraph(is));
+      break;
+    }
+    case WalRecord::Op::kRemoveGraph: {
+      rec.op = WalRecord::Op::kRemoveGraph;
+      PGSIM_ASSIGN_OR_RETURN(rec.graph_id, ReadU32(is));
+      break;
+    }
+    case WalRecord::Op::kCompact:
+      rec.op = WalRecord::Op::kCompact;
+      break;
+    default:
+      return Status::DataLoss("WAL record has unknown op " +
+                              std::to_string(static_cast<int>(op_byte)));
+  }
+  // Trailing junk inside a CRC-valid payload means the encoder and decoder
+  // disagree — refuse rather than replay a half-understood record.
+  if (static_cast<size_t>(is.tellg()) != payload.size()) {
+    return Status::DataLoss("WAL record payload has trailing bytes");
+  }
+  return rec;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path, std::vector<WalRecord>* records,
+    WalRecoveryInfo* info) {
+  records->clear();
+  WalRecoveryInfo local_info;
+  if (info == nullptr) info = &local_info;
+  *info = WalRecoveryInfo{};
+
+  auto contents = ReadFileToString(path);
+  std::string buf;
+  if (contents.ok()) {
+    buf = std::move(contents).value();
+  } else if (contents.status().code() != StatusCode::kNotFound) {
+    return contents.status();
+  }
+
+  const bool fresh = buf.empty();
+  if (!fresh) {
+    if (buf.size() < kWalHeaderBytes || LoadU32(buf.data()) != kWalMagic) {
+      return Status::DataLoss("'" + path + "' is not a WAL (bad header)");
+    }
+    const uint32_t version = LoadU32(buf.data() + 4);
+    if (version != kWalVersion) {
+      return Status::DataLoss("WAL '" + path + "' has unsupported version " +
+                              std::to_string(version));
+    }
+  }
+
+  // Scan records; stop (and truncate) at the first frame that is torn,
+  // overruns the file, fails its CRC, or does not decode.
+  size_t pos = fresh ? 0 : kWalHeaderBytes;
+  size_t valid_end = pos;
+  while (pos + kRecordFrameBytes <= buf.size()) {
+    const uint32_t len = LoadU32(buf.data() + pos);
+    const uint32_t crc = LoadU32(buf.data() + pos + 4);
+    if (len < kMinPayloadBytes ||
+        len > buf.size() - pos - kRecordFrameBytes) {
+      break;
+    }
+    const char* payload = buf.data() + pos + kRecordFrameBytes;
+    if (Crc32c(payload, len) != crc) break;
+    auto rec = DecodePayload(std::string(payload, len));
+    if (!rec.ok()) break;
+    records->push_back(std::move(rec).value());
+    pos += kRecordFrameBytes + len;
+    valid_end = pos;
+  }
+  info->records_recovered = records->size();
+
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open WAL '" + path +
+                            "': " + std::strerror(errno));
+  }
+  auto fail = [fd](Status s) {
+    ::close(fd);
+    return s;
+  };
+
+  if (fresh) {
+    std::string header;
+    AppendU32(&header, kWalMagic);
+    AppendU32(&header, kWalVersion);
+    Status s = WriteAll(fd, header.data(), header.size());
+    if (!s.ok()) return fail(std::move(s));
+    if (::fsync(fd) != 0) {
+      return fail(Status::Internal("fsync failed on new WAL"));
+    }
+    valid_end = kWalHeaderBytes;
+  } else if (valid_end < buf.size()) {
+    info->tail_truncated = true;
+    info->bytes_truncated = buf.size() - valid_end;
+    if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+      return fail(Status::Internal("cannot truncate torn WAL tail: " +
+                                   std::string(std::strerror(errno))));
+    }
+    if (::fsync(fd) != 0) {
+      return fail(Status::Internal("fsync failed after WAL truncation"));
+    }
+  }
+
+  if (::lseek(fd, static_cast<off_t>(valid_end), SEEK_SET) < 0) {
+    return fail(Status::Internal("cannot seek to WAL append position"));
+  }
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, fd, valid_end));
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WriteAheadLog::AppendPayload(const std::string& payload) {
+  PGSIM_RETURN_NOT_OK(FailpointCheck("wal.append"));
+
+  std::string frame;
+  frame.reserve(kRecordFrameBytes + payload.size());
+  AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  AppendU32(&frame, Crc32c(payload.data(), payload.size()));
+  frame += payload;
+
+  // One write() for the whole frame; a torn-write failpoint keeps only a
+  // prefix, which recovery must then discard.
+  FailpointSpec spec;
+  Status injected;
+  size_t to_write = frame.size();
+  bool partial = false;
+  if (FailpointCheckWrite("wal.append.write", frame.size(), &spec,
+                          &injected)) {
+    to_write = spec.keep_bytes;
+    partial = true;
+  } else if (!injected.ok()) {
+    return injected;
+  }
+  PGSIM_RETURN_NOT_OK(WriteAll(fd_, frame.data(), to_write));
+  if (partial) {
+    size_ += to_write;
+    return FailpointAfterPartialWrite("wal.append.write", spec);
+  }
+
+  PGSIM_RETURN_NOT_OK(FailpointCheck("wal.append.sync"));
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(std::string("WAL fsync failed: ") +
+                            std::strerror(errno));
+  }
+  size_ += frame.size();
+  return FailpointCheck("wal.append.after");
+}
+
+Status WriteAheadLog::AppendAddGraph(uint64_t epoch_before, uint64_t seed,
+                                     const ProbabilisticGraph& graph) {
+  std::ostringstream body;
+  WriteProbabilisticGraph(body, graph);
+  std::string payload;
+  payload.push_back(static_cast<char>(WalRecord::Op::kAddGraph));
+  {
+    std::ostringstream head;
+    WriteU64(head, epoch_before);
+    WriteU64(head, seed);
+    payload += head.str();
+  }
+  payload += body.str();
+  return AppendPayload(payload);
+}
+
+Status WriteAheadLog::AppendRemoveGraph(uint64_t epoch_before,
+                                        uint32_t graph_id) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WalRecord::Op::kRemoveGraph));
+  std::ostringstream head;
+  WriteU64(head, epoch_before);
+  WriteU32(head, graph_id);
+  payload += head.str();
+  return AppendPayload(payload);
+}
+
+Status WriteAheadLog::AppendCompact(uint64_t epoch_before) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WalRecord::Op::kCompact));
+  std::ostringstream head;
+  WriteU64(head, epoch_before);
+  payload += head.str();
+  return AppendPayload(payload);
+}
+
+Status WriteAheadLog::Reset() {
+  PGSIM_RETURN_NOT_OK(FailpointCheck("wal.reset"));
+  if (::ftruncate(fd_, static_cast<off_t>(kWalHeaderBytes)) != 0) {
+    return Status::Internal(std::string("WAL reset ftruncate failed: ") +
+                            std::strerror(errno));
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::Internal("WAL reset fsync failed");
+  }
+  if (::lseek(fd_, static_cast<off_t>(kWalHeaderBytes), SEEK_SET) < 0) {
+    return Status::Internal("WAL reset seek failed");
+  }
+  size_ = kWalHeaderBytes;
+  return Status::OK();
+}
+
+}  // namespace pgsim

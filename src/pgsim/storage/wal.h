@@ -1,0 +1,120 @@
+// Write-ahead mutation log for the live database.
+//
+// Every mutation of a durable QueryProcessor (AddGraph / RemoveGraph /
+// Compact) is appended here and fsync'd BEFORE the in-memory structures
+// change, so a crash at any instant loses at most the mutation whose fsync
+// had not yet returned — and that one atomically (its record is torn and
+// discarded on recovery).
+//
+// File layout:
+//
+//   [u32 magic "PWAL"][u32 version]
+//   repeated records: [u32 payload_len][u32 crc32c(payload)][payload]
+//
+// A record payload is
+//
+//   [u8 op][u64 epoch_before][op-specific body]
+//     op 1 = AddGraph:    [u64 seed][probabilistic graph]
+//     op 2 = RemoveGraph: [u32 graph_id]
+//     op 3 = Compact:     (empty body)
+//
+// `epoch_before` is the processor epoch the mutation was applied AT (not the
+// epoch it produced): RemoveGraph can trigger auto-compaction and bump the
+// epoch twice, so the post-epoch is not predictable from the record alone,
+// but the pre-epoch always is. Recovery replays records whose epoch_before
+// is >= the snapshot epoch and skips older ones — that comparison IS the
+// WAL-truncation-keyed-to-snapshot-epoch mechanism.
+//
+// Each record reaches the file in a single write() followed by one fsync.
+// Open() scans the log, bounds-checks every length, verifies every CRC, and
+// truncates the file at the first torn or corrupt record — the crash-
+// recovery contract: a prefix of intact records is replayed, the torn tail
+// is discarded, and nothing after a bad record is ever trusted.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pgsim/common/status.h"
+#include "pgsim/prob/probabilistic_graph.h"
+
+namespace pgsim {
+
+/// One replayable mutation decoded from the log.
+struct WalRecord {
+  enum class Op : uint8_t {
+    kAddGraph = 1,
+    kRemoveGraph = 2,
+    kCompact = 3,
+  };
+
+  Op op = Op::kCompact;
+  /// Processor epoch at the moment the mutation was applied.
+  uint64_t epoch_before = 0;
+  /// AddGraph only: the index-insertion seed and the graph itself.
+  uint64_t seed = 0;
+  ProbabilisticGraph graph;
+  /// RemoveGraph only.
+  uint32_t graph_id = 0;
+};
+
+/// What Open() found while scanning the existing log.
+struct WalRecoveryInfo {
+  /// Intact records decoded (and returned for replay).
+  size_t records_recovered = 0;
+  /// True when a torn/corrupt tail was cut off.
+  bool tail_truncated = false;
+  /// Bytes discarded by the truncation.
+  uint64_t bytes_truncated = 0;
+};
+
+/// Append-only, CRC-framed, fsync-per-record mutation log.
+class WriteAheadLog {
+ public:
+  /// Opens (or creates) the log at `path`. Existing intact records are
+  /// decoded into `*records` for replay; a torn tail is truncated in place
+  /// (ftruncate + fsync) and reported through `*info` (optional). The file
+  /// is then positioned for appending. DataLoss is returned only for damage
+  /// that truncation cannot repair (a torn header).
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path, std::vector<WalRecord>* records,
+      WalRecoveryInfo* info = nullptr);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Append + fsync one mutation record. On return the record is durable.
+  /// Failpoint sites: "wal.append" (pre), "wal.append.write" (write site —
+  /// torn/short-write apply), "wal.append.sync" (pre-fsync),
+  /// "wal.append.after" (durable, pre-apply).
+  Status AppendAddGraph(uint64_t epoch_before, uint64_t seed,
+                        const ProbabilisticGraph& graph);
+  Status AppendRemoveGraph(uint64_t epoch_before, uint32_t graph_id);
+  Status AppendCompact(uint64_t epoch_before);
+
+  /// Truncates the log back to its header — called after a checkpoint made
+  /// every logged mutation part of the durable snapshot generation.
+  /// Failpoint site: "wal.reset".
+  Status Reset();
+
+  /// Current file size in bytes (header + records).
+  uint64_t SizeBytes() const { return size_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WriteAheadLog(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  Status AppendPayload(const std::string& payload);
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t size_ = 0;
+};
+
+}  // namespace pgsim

@@ -1,0 +1,138 @@
+// Tests for the failpoint fault-injection framework: arming/one-shot
+// semantics, skip counts, the PGSIM_FAILPOINTS parser, write-site
+// torn/short-write handling, and site self-registration.
+//
+// Crash modes (_exit) cannot fire in-process; recovery_test covers them
+// through its fork-kill matrix.
+
+#include <gtest/gtest.h>
+
+#include "pgsim/common/failpoint.h"
+
+namespace pgsim {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointClearAll(); }
+  void TearDown() override { FailpointClearAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteIsOk) {
+  EXPECT_TRUE(FailpointCheck("fp_test.unarmed").ok());
+  EXPECT_FALSE(FailpointAnyActive());
+}
+
+TEST_F(FailpointTest, ErrorModeFiresOnce) {
+  FailpointSpec spec;
+  spec.mode = FailpointMode::kError;
+  FailpointSet("fp_test.err", spec);
+  EXPECT_TRUE(FailpointAnyActive());
+
+  const Status s = FailpointCheck("fp_test.err");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  // One-shot: the site disarmed when it fired.
+  EXPECT_TRUE(FailpointCheck("fp_test.err").ok());
+  EXPECT_FALSE(FailpointAnyActive());
+}
+
+TEST_F(FailpointTest, SkipCountDelaysFiring) {
+  FailpointSpec spec;
+  spec.mode = FailpointMode::kError;
+  spec.skip = 2;
+  FailpointSet("fp_test.skip", spec);
+
+  EXPECT_TRUE(FailpointCheck("fp_test.skip").ok());   // hit 1: skipped
+  EXPECT_TRUE(FailpointCheck("fp_test.skip").ok());   // hit 2: skipped
+  EXPECT_FALSE(FailpointCheck("fp_test.skip").ok());  // hit 3: fires
+  EXPECT_TRUE(FailpointCheck("fp_test.skip").ok());   // disarmed
+}
+
+TEST_F(FailpointTest, ClearDisarms) {
+  FailpointSpec spec;
+  spec.mode = FailpointMode::kError;
+  FailpointSet("fp_test.clear", spec);
+  FailpointClear("fp_test.clear");
+  EXPECT_TRUE(FailpointCheck("fp_test.clear").ok());
+  EXPECT_FALSE(FailpointAnyActive());
+}
+
+TEST_F(FailpointTest, ParserArmsMultipleEntries) {
+  ASSERT_TRUE(
+      FailpointSetFromString("fp_test.a=error;fp_test.b=short:12@1").ok());
+  EXPECT_TRUE(FailpointAnyActive());
+  EXPECT_FALSE(FailpointCheck("fp_test.a").ok());
+
+  // fp_test.b: short-write, keep 12 bytes, skip 1 hit.
+  FailpointSpec spec;
+  Status error;
+  EXPECT_FALSE(FailpointCheckWrite("fp_test.b", 100, &spec, &error));
+  EXPECT_TRUE(error.ok());  // hit 1: skipped
+  ASSERT_TRUE(FailpointCheckWrite("fp_test.b", 100, &spec, &error));
+  EXPECT_EQ(spec.mode, FailpointMode::kShortWrite);
+  EXPECT_EQ(spec.keep_bytes, 12u);
+  const Status after = FailpointAfterPartialWrite("fp_test.b", spec);
+  EXPECT_EQ(after.code(), StatusCode::kDataLoss);
+}
+
+TEST_F(FailpointTest, ParserRejectsMalformedEntries) {
+  EXPECT_FALSE(FailpointSetFromString("fp_test.x").ok());          // no '='
+  EXPECT_FALSE(FailpointSetFromString("fp_test.x=banana").ok());   // bad mode
+  EXPECT_FALSE(FailpointSetFromString("fp_test.x=error:1z").ok()); // bad keep
+  EXPECT_FALSE(FailpointSetFromString("fp_test.x=error@ ").ok());  // bad skip
+  EXPECT_FALSE(FailpointSetFromString("=error").ok());             // no site
+  // A bad entry arms nothing from itself, but prior entries stick.
+  EXPECT_FALSE(FailpointSetFromString("fp_test.good=error;fp_test.bad=?").ok());
+  EXPECT_FALSE(FailpointCheck("fp_test.good").ok());
+  EXPECT_TRUE(FailpointCheck("fp_test.bad").ok());
+}
+
+TEST_F(FailpointTest, ShortWriteClampsKeepBytesToPayload) {
+  FailpointSpec spec;
+  spec.mode = FailpointMode::kShortWrite;
+  spec.keep_bytes = 1000;
+  FailpointSet("fp_test.clamp", spec);
+  FailpointSpec out;
+  Status error;
+  ASSERT_TRUE(FailpointCheckWrite("fp_test.clamp", 10, &out, &error));
+  EXPECT_LE(out.keep_bytes, 10u);
+}
+
+TEST_F(FailpointTest, ErrorModeOnWriteSiteFiresThroughErrorOut) {
+  FailpointSpec spec;
+  spec.mode = FailpointMode::kError;
+  FailpointSet("fp_test.werr", spec);
+  FailpointSpec out;
+  Status error;
+  EXPECT_FALSE(FailpointCheckWrite("fp_test.werr", 10, &out, &error));
+  EXPECT_FALSE(error.ok());
+}
+
+TEST_F(FailpointTest, TornArmOnNonWriteSiteDegradesToError) {
+  FailpointSpec spec;
+  spec.mode = FailpointMode::kTornWrite;
+  FailpointSet("fp_test.nonwrite", spec);
+  // FailpointCheck has no payload to tear, so the site must not crash: it
+  // degrades to an injected error.
+  EXPECT_FALSE(FailpointCheck("fp_test.nonwrite").ok());
+}
+
+TEST_F(FailpointTest, SitesSelfRegister) {
+  (void)FailpointCheck("fp_test.registered.1");
+  FailpointSpec spec;
+  Status error;
+  (void)FailpointCheckWrite("fp_test.registered.2", 4, &spec, &error);
+  const auto sites = FailpointKnownSites();
+  auto has = [&](const char* s) {
+    for (const auto& site : sites) {
+      if (site == s) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("fp_test.registered.1"));
+  EXPECT_TRUE(has("fp_test.registered.2"));
+}
+
+}  // namespace
+}  // namespace pgsim

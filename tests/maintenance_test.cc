@@ -352,6 +352,43 @@ TEST(ProcessorMaintenanceTest, AutoCompactionAfterManyRemovals) {
   for (uint32_t gi : answers.value()) EXPECT_LT(gi, 20u);
 }
 
+TEST(ProcessorMaintenanceTest, CompactWithoutTombstonesIsNoOp) {
+  LiveSetup s = BuildLive(6083, 4);
+  QueryProcessor processor(&s.db, &s.pmi, &s.filter);
+  const uint64_t epoch = processor.epoch();
+  processor.Compact();
+  // Nothing to reclaim: no renumbering, no epoch bump (callers' cached ids
+  // and answer-cache entries stay valid).
+  EXPECT_EQ(processor.epoch(), epoch);
+  EXPECT_EQ(processor.num_alive(), 4u);
+  EXPECT_EQ(s.db.size(), 4u);
+}
+
+TEST(ProcessorMaintenanceTest, RemoveAllThenCompactServesEmptyDatabase) {
+  LiveSetup s = BuildLive(6089, 4);
+  QueryProcessor processor(&s.db, &s.pmi, &s.filter);
+  const Graph q = s.db[0].certain();
+  for (uint32_t gi = 0; gi < 4; ++gi) {
+    ASSERT_TRUE(processor.RemoveGraph(gi).ok());
+  }
+  EXPECT_EQ(processor.num_alive(), 0u);
+  processor.Compact();
+  EXPECT_EQ(processor.num_alive(), 0u);
+  EXPECT_EQ(s.db.size(), 0u);
+  EXPECT_EQ(s.pmi.num_graphs(), 0u);
+  // Queries against the emptied database answer cleanly (and emptily).
+  auto answers = processor.Query(q, LiveQueryOptions());
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->empty());
+  // Compacting the already-empty database is a clean no-op.
+  const uint64_t epoch = processor.epoch();
+  processor.Compact();
+  EXPECT_EQ(processor.epoch(), epoch);
+  // Every remove on the empty database is a clean validation error.
+  EXPECT_FALSE(processor.RemoveGraph(0).ok());
+  EXPECT_EQ(processor.epoch(), epoch);
+}
+
 TEST(ProcessorMaintenanceTest, ReadOnlyProcessorRejectsMutation) {
   LiveSetup s = BuildLive(6071, 4);
   const std::vector<ProbabilisticGraph>* const_db = &s.db;

@@ -1,0 +1,396 @@
+// Crash-recovery tests for the durable live database. The centerpiece is a
+// fork-kill matrix: for every failpoint site on the WAL and snapshot IO
+// paths, a forked child arms a crash (or torn-write) failpoint, runs a
+// mutation plus a checkpoint, and dies mid-IO; the parent reopens the
+// directory and asserts the recovered database answers queries bit-
+// identically to either the pre-mutation or the post-mutation state —
+// never anything in between.
+//
+// Also covered: WAL replay on reopen, checkpoint WAL truncation, recovery
+// stats, the wedge-free mutation error paths (satellite: invalid removes
+// and double-creates leave epoch and log untouched), and mutating while a
+// checkpoint is in flight.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pgsim/common/failpoint.h"
+#include "pgsim/common/random.h"
+#include "pgsim/datasets/synthetic.h"
+#include "pgsim/query/processor.h"
+#include "pgsim/storage/durable_db.h"
+
+namespace pgsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<ProbabilisticGraph> SmallDatabase(uint64_t seed, size_t n) {
+  SyntheticOptions options;
+  options.num_graphs = n;
+  options.avg_vertices = 8;
+  options.num_vertex_labels = 4;
+  options.seed = seed;
+  return GenerateDatabase(options).value();
+}
+
+PmiBuildOptions FastBuild() {
+  PmiBuildOptions build;
+  build.miner.beta = 0.2;
+  build.miner.gamma = -1.0;
+  build.miner.max_vertices = 3;
+  build.sip.mc.min_samples = 1000;
+  build.sip.mc.max_samples = 1000;
+  return build;
+}
+
+QueryOptions GoldenOptions() {
+  QueryOptions options;
+  options.delta = 1;
+  options.epsilon = 0.3;
+  options.seed = 17;
+  return options;
+}
+
+StructuralFilterOptions ExactFilter() {
+  StructuralFilterOptions options;
+  options.exact_check = true;
+  return options;
+}
+
+std::string FreshDir(const char* name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<std::vector<uint32_t>> Answers(const QueryProcessor& processor,
+                                           const std::vector<Graph>& queries) {
+  std::vector<std::vector<uint32_t>> out;
+  for (const Graph& q : queries) {
+    out.push_back(processor.Query(q, GoldenOptions()).value());
+  }
+  return out;
+}
+
+TEST(DurableDbTest, CreateServesAndRefusesDoubleCreate) {
+  const std::string dir = FreshDir("pgsim_durable_create");
+  auto db = DurableDatabase::Create(dir, SmallDatabase(7001, 6), FastBuild(),
+                                    ExactFilter());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->epoch(), 0u);
+  EXPECT_EQ((*db)->snapshot_generation(), 0u);
+  auto answers = (*db)->processor().Query(SmallDatabase(7001, 6)[0].certain(),
+                                          GoldenOptions());
+  ASSERT_TRUE(answers.ok());
+
+  // A second Create on the same directory must refuse, not clobber.
+  auto again = DurableDatabase::Create(dir, SmallDatabase(7001, 6),
+                                       FastBuild(), ExactFilter());
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kFailedPrecondition);
+  fs::remove_all(dir);
+}
+
+TEST(DurableDbTest, MutationsReplayFromWalOnReopen) {
+  const std::string dir = FreshDir("pgsim_durable_replay");
+  auto base = SmallDatabase(7011, 6);
+  auto extra = SmallDatabase(7013, 1);
+  const std::vector<Graph> queries = {base[0].certain(), base[3].certain(),
+                                      extra[0].certain()};
+  std::vector<std::vector<uint32_t>> golden;
+  {
+    auto db = DurableDatabase::Create(dir, base, FastBuild(), ExactFilter());
+    ASSERT_TRUE(db.ok());
+    auto id = (*db)->AddGraph(extra[0], 23);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, 6u);
+    ASSERT_TRUE((*db)->RemoveGraph(2).ok());
+    golden = Answers((*db)->processor(), queries);
+    // No checkpoint: the mutations live only in the WAL.
+    EXPECT_EQ((*db)->mutations_since_checkpoint(), 2u);
+  }
+
+  auto reopened = QueryProcessor::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  const RecoveryStats& rec = (*reopened)->recovery();
+  EXPECT_EQ(rec.snapshot_gen, 0u);
+  EXPECT_EQ(rec.wal_records_seen, 2u);
+  EXPECT_EQ(rec.wal_records_replayed, 2u);
+  EXPECT_EQ(rec.wal_records_skipped, 0u);
+  EXPECT_FALSE(rec.wal_tail_truncated);
+  EXPECT_EQ(Answers((*reopened)->processor(), queries), golden);
+  // The recovered database keeps mutating durably.
+  ASSERT_TRUE((*reopened)->RemoveGraph(4).ok());
+  fs::remove_all(dir);
+}
+
+TEST(DurableDbTest, CheckpointTruncatesWalAndSkipsReplay) {
+  const std::string dir = FreshDir("pgsim_durable_ckpt");
+  auto base = SmallDatabase(7021, 6);
+  auto extra = SmallDatabase(7023, 1);
+  const std::vector<Graph> queries = {base[1].certain(), extra[0].certain()};
+  std::vector<std::vector<uint32_t>> golden;
+  uint64_t wal_after_ckpt = 0;
+  {
+    auto db = DurableDatabase::Create(dir, base, FastBuild(), ExactFilter());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->AddGraph(extra[0], 23).ok());
+    const uint64_t wal_with_record = (*db)->wal_size_bytes();
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    EXPECT_EQ((*db)->snapshot_generation(), 1u);
+    EXPECT_EQ((*db)->mutations_since_checkpoint(), 0u);
+    wal_after_ckpt = (*db)->wal_size_bytes();
+    EXPECT_LT(wal_after_ckpt, wal_with_record);
+    golden = Answers((*db)->processor(), queries);
+  }
+  // The old generation was unlinked; the new one is authoritative.
+  EXPECT_FALSE(fs::exists(dir + "/snap-0.db"));
+  EXPECT_TRUE(fs::exists(dir + "/snap-1.db"));
+
+  auto reopened = DurableDatabase::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->recovery().snapshot_gen, 1u);
+  EXPECT_EQ((*reopened)->recovery().wal_records_replayed, 0u);
+  EXPECT_EQ(Answers((*reopened)->processor(), queries), golden);
+  fs::remove_all(dir);
+}
+
+TEST(DurableDbTest, AutoCheckpointAfterThreshold) {
+  const std::string dir = FreshDir("pgsim_durable_auto");
+  DurableDbOptions options;
+  options.snapshot_every = 2;
+  auto db = DurableDatabase::Create(dir, SmallDatabase(7031, 6), FastBuild(),
+                                    ExactFilter(), options);
+  ASSERT_TRUE(db.ok());
+  auto extra = SmallDatabase(7033, 1);
+  ASSERT_TRUE((*db)->AddGraph(extra[0], 5).ok());
+  EXPECT_EQ((*db)->snapshot_generation(), 0u);
+  ASSERT_TRUE((*db)->RemoveGraph(1).ok());  // second mutation: checkpoint
+  EXPECT_EQ((*db)->snapshot_generation(), 1u);
+  EXPECT_EQ((*db)->mutations_since_checkpoint(), 0u);
+  fs::remove_all(dir);
+}
+
+TEST(DurableDbTest, InvalidMutationsLeaveEpochAndWalUntouched) {
+  const std::string dir = FreshDir("pgsim_durable_invalid");
+  auto db = DurableDatabase::Create(dir, SmallDatabase(7041, 6), FastBuild(),
+                                    ExactFilter());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->RemoveGraph(3).ok());
+  const uint64_t epoch = (*db)->epoch();
+  const uint64_t wal_size = (*db)->wal_size_bytes();
+
+  // Unknown id, out-of-range id, and a tombstoned id are all clean
+  // validation errors: nothing reaches the log, the epoch does not move.
+  EXPECT_EQ((*db)->RemoveGraph(99).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*db)->RemoveGraph(3).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*db)->epoch(), epoch);
+  EXPECT_EQ((*db)->wal_size_bytes(), wal_size);
+
+  // The database still serves and mutates normally afterwards.
+  auto extra = SmallDatabase(7043, 1);
+  EXPECT_TRUE((*db)->AddGraph(extra[0], 9).ok());
+  fs::remove_all(dir);
+}
+
+TEST(DurableDbTest, InjectedWalErrorIsCleanAndRecoverable) {
+  const std::string dir = FreshDir("pgsim_durable_walerr");
+  auto db = DurableDatabase::Create(dir, SmallDatabase(7051, 6), FastBuild(),
+                                    ExactFilter());
+  ASSERT_TRUE(db.ok());
+  auto extra = SmallDatabase(7053, 1);
+
+  // The append fails BEFORE anything was applied: no wedge, epoch fixed.
+  FailpointSpec spec;
+  spec.mode = FailpointMode::kError;
+  FailpointSet("wal.append", spec);
+  const uint64_t epoch = (*db)->epoch();
+  EXPECT_FALSE((*db)->AddGraph(extra[0], 9).ok());
+  EXPECT_EQ((*db)->epoch(), epoch);
+  // One-shot failpoint: the retry succeeds.
+  EXPECT_TRUE((*db)->AddGraph(extra[0], 9).ok());
+  FailpointClearAll();
+  fs::remove_all(dir);
+}
+
+TEST(DurableDbTest, MutateWhileCheckpointInFlight) {
+  const std::string dir = FreshDir("pgsim_durable_concurrent");
+  auto db = DurableDatabase::Create(dir, SmallDatabase(7061, 8), FastBuild(),
+                                    ExactFilter());
+  ASSERT_TRUE(db.ok());
+  auto extra = SmallDatabase(7063, 1);
+
+  // Checkpoints and mutations serialize on the internal mutex: an AddGraph
+  // issued while a snapshot is being written simply waits. Hammer both from
+  // two threads; every call must come back clean.
+  std::thread checkpoints([&] {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE((*db)->Checkpoint().ok());
+    }
+  });
+  for (int i = 0; i < 4; ++i) {
+    auto id = (*db)->AddGraph(extra[0], 100 + i);
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE((*db)->RemoveGraph(*id).ok());
+  }
+  checkpoints.join();
+
+  // Everything above is durable: a reopen reproduces the final state.
+  const std::vector<Graph> queries = {extra[0].certain()};
+  const auto golden = Answers((*db)->processor(), queries);
+  db->reset();
+  auto reopened = DurableDatabase::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(Answers((*reopened)->processor(), queries), golden);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// The fork-kill matrix.
+// ---------------------------------------------------------------------------
+
+void CopyDir(const std::string& from, const std::string& to) {
+  fs::remove_all(to);
+  fs::create_directories(to);
+  for (const auto& entry : fs::directory_iterator(from)) {
+    fs::copy(entry.path(), to + "/" + entry.path().filename().string());
+  }
+}
+
+// Child body: arm `site`, reopen the database, run one AddGraph and one
+// Checkpoint. Crash failpoints never return; otherwise exits 0 on success,
+// a distinct nonzero code on unexpected failure.
+[[noreturn]] void ChildMutate(const std::string& dir, const std::string& site,
+                              FailpointMode mode, uint32_t keep_bytes,
+                              const ProbabilisticGraph& extra) {
+  FailpointSpec spec;
+  spec.mode = mode;
+  spec.keep_bytes = keep_bytes;
+  FailpointSet(site, spec);
+  auto db = DurableDatabase::Open(dir);
+  if (!db.ok()) _exit(40);
+  auto id = (*db)->AddGraph(extra, 23);
+  if (!id.ok()) _exit(41);
+  if (!(*db)->Checkpoint().ok()) _exit(42);
+  _exit(0);
+}
+
+TEST(CrashRecoveryTest, KillMatrixRecoversPreOrPostState) {
+  const std::string pristine = FreshDir("pgsim_kill_pristine");
+  auto base = SmallDatabase(7071, 6);
+  auto extra = SmallDatabase(7073, 1);
+  // Small queries (2-edge subgraphs) so answer sets are nonempty and the
+  // added graph actually shows up in them.
+  Rng rng(7079);
+  const std::vector<Graph> queries = {
+      ExtractQuery(base[0].certain(), 2, &rng).value(),
+      ExtractQuery(base[4].certain(), 2, &rng).value(),
+      ExtractQuery(extra[0].certain(), 2, &rng).value()};
+
+  std::vector<std::vector<uint32_t>> before, after;
+  {
+    auto db =
+        DurableDatabase::Create(pristine, base, FastBuild(), ExactFilter());
+    ASSERT_TRUE(db.ok());
+    before = Answers((*db)->processor(), queries);
+  }
+  // Register the full site universe (and compute the post-mutation golden
+  // answers) with one fault-free warmup cycle on a scratch copy.
+  const std::string warmup = FreshDir("pgsim_kill_warmup");
+  CopyDir(pristine, warmup);
+  {
+    auto db = DurableDatabase::Open(warmup);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->AddGraph(extra[0], 23).ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    after = Answers((*db)->processor(), queries);
+  }
+  ASSERT_NE(before, after);  // the mutation must be observable
+
+  std::vector<std::string> sites;
+  for (const std::string& site : FailpointKnownSites()) {
+    if (site.rfind("wal.", 0) == 0 || site.rfind("snapshot.", 0) == 0) {
+      sites.push_back(site);
+    }
+  }
+  // The matrix must cover the whole durability path, not a subset.
+  auto requires_site = [&](const char* s) {
+    ASSERT_NE(std::find(sites.begin(), sites.end(), s), sites.end())
+        << "site " << s << " never registered";
+  };
+  requires_site("wal.append");
+  requires_site("wal.append.write");
+  requires_site("wal.append.sync");
+  requires_site("wal.append.after");
+  requires_site("wal.reset");
+  requires_site("snapshot.db.rename");
+  requires_site("snapshot.pmi.write");
+  requires_site("snapshot.filter.sync");
+  requires_site("snapshot.manifest.rename");
+
+  for (const std::string& site : sites) {
+    // Write sites additionally get a torn-write run (partial payload, then
+    // the kill); every site gets a plain crash run.
+    std::vector<std::pair<FailpointMode, uint32_t>> faults = {
+        {FailpointMode::kCrash, 0}};
+    if (site.size() > 6 && site.compare(site.size() - 6, 6, ".write") == 0) {
+      faults.push_back({FailpointMode::kTornWrite, 6});
+    }
+    for (const auto& [mode, keep] : faults) {
+      const std::string dir = FreshDir("pgsim_kill_run");
+      CopyDir(pristine, dir);
+
+      const pid_t pid = fork();
+      ASSERT_GE(pid, 0);
+      if (pid == 0) {
+        ChildMutate(dir, site, mode, keep, extra[0]);
+      }
+      int wstatus = 0;
+      ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+      ASSERT_TRUE(WIFEXITED(wstatus)) << "site " << site;
+      const int code = WEXITSTATUS(wstatus);
+      ASSERT_TRUE(code == kFailpointCrashExitCode || code == 0)
+          << "site " << site << " exited " << code;
+
+      auto recovered = DurableDatabase::Open(dir);
+      ASSERT_TRUE(recovered.ok())
+          << "site " << site << ": " << recovered.status().ToString();
+      const auto answers = Answers((*recovered)->processor(), queries);
+      if (code == 0) {
+        // The child finished: recovery must see the post-mutation state.
+        EXPECT_EQ(answers, after) << "site " << site;
+      } else {
+        EXPECT_TRUE(answers == before || answers == after)
+            << "site " << site << " recovered a state that is neither the "
+            << "pre- nor the post-mutation database";
+      }
+      // Whatever state it recovered, the database must keep working.
+      ASSERT_TRUE((*recovered)->RemoveGraph(1).ok()) << "site " << site;
+      fs::remove_all(dir);
+    }
+  }
+  fs::remove_all(pristine);
+  fs::remove_all(warmup);
+}
+
+TEST(CrashRecoveryTest, EnvironmentVariableArmsFailpoints) {
+  // The CI kill matrix drives children through PGSIM_FAILPOINTS; pin the
+  // install path end to end.
+  ASSERT_EQ(setenv("PGSIM_FAILPOINTS", "env_test.site=error", 1), 0);
+  ASSERT_TRUE(FailpointInstallFromEnv().ok());
+  EXPECT_FALSE(FailpointCheck("env_test.site").ok());
+  unsetenv("PGSIM_FAILPOINTS");
+  FailpointClearAll();
+}
+
+}  // namespace
+}  // namespace pgsim

@@ -145,6 +145,60 @@ TEST(TextIoTest, ParseErrorsCarryLineNumbers) {
   }
 }
 
+TEST(TextIoTest, MalformedNumbersAreCleanErrorsWithLineNumbers) {
+  // Negative counts, out-of-range ids, and bad probabilities used to reach
+  // unchecked std::stoul/std::stod (throwing or silently wrapping); every
+  // one must now be an InvalidArgument naming the offending line.
+  struct Case {
+    const char* name;
+    const char* content;
+    const char* line;  // expected "line N" fragment in the message
+  };
+  const Case cases[] = {
+      {"negative_vertex_id",
+       "pgsimdb 1\ngraph 0\nv a\nv b\ne -1 1 x\nend\n", "line 5"},
+      {"garbage_vertex_id",
+       "pgsimdb 1\ngraph 0\nv a\nv b\ne zero 1 x\nend\n", "line 5"},
+      {"out_of_range_vertex_id",
+       "pgsimdb 1\ngraph 0\nv a\nv b\ne 0 7 x\nend\n", "line 5"},
+      {"huge_vertex_id",
+       "pgsimdb 1\ngraph 0\nv a\nv b\ne 0 99999999999 x\nend\n", "line 5"},
+      {"negative_edge_id",
+       "pgsimdb 1\ngraph 0\nv a\nv b\ne 0 1 x\nne -2\nt 0.5 0.5\nend\n",
+       "line 6"},
+      {"garbage_probability",
+       "pgsimdb 1\ngraph 0\nv a\nv b\ne 0 1 x\nne 0\nt 0.5 oops\nend\n",
+       "line 7"},
+      {"negative_probability",
+       "pgsimdb 1\ngraph 0\nv a\nv b\ne 0 1 x\nne 0\nt -0.5 1.5\nend\n",
+       "line 7"},
+      {"nan_probability",
+       "pgsimdb 1\ngraph 0\nv a\nv b\ne 0 1 x\nne 0\nt nan 1\nend\n",
+       "line 7"},
+      {"trailing_junk_probability",
+       "pgsimdb 1\ngraph 0\nv a\nv b\ne 0 1 x\nne 0\nt 0.5x 0.5\nend\n",
+       "line 7"},
+  };
+  for (const Case& c : cases) {
+    const std::string path = TempPath(std::string("pgsim_num_") + c.name);
+    WriteFile(path, c.content);
+    auto db = LoadDatabaseText(path);
+    ASSERT_FALSE(db.ok()) << c.name;
+    EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument) << c.name;
+    EXPECT_NE(db.status().message().find(c.line), std::string::npos)
+        << c.name << ": " << db.status().message();
+    std::remove(path.c_str());
+  }
+  // The query loader shares the helpers.
+  const std::string qpath = TempPath("pgsim_num_query");
+  WriteFile(qpath, "pgsimq 1\nquery 0\nv a\nv b\ne 0 -1 x\nend\n");
+  LabelTable labels;
+  auto queries = LoadQueriesText(qpath, &labels);
+  ASSERT_FALSE(queries.ok());
+  EXPECT_EQ(queries.status().code(), StatusCode::kInvalidArgument);
+  std::remove(qpath.c_str());
+}
+
 TEST(TextIoTest, MissingFileFails) {
   EXPECT_FALSE(LoadDatabaseText("/nonexistent/pgsim.txt").ok());
   LabelTable labels;
