@@ -1,0 +1,151 @@
+// Serving-core benchmarks (google-benchmark): admission throughput through
+// the wave dispatcher, the latency cost of a deadline that actually fires,
+// and submit-side behavior under deliberate overload (shedding). Recorded
+// as BENCH_9.json by the release-perf-smoke CI job.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "pgsim/datasets/synthetic.h"
+#include "pgsim/index/pmi.h"
+#include "pgsim/query/processor.h"
+#include "pgsim/query/structural_filter.h"
+#include "pgsim/serving/serving_core.h"
+
+namespace {
+
+using namespace pgsim;
+
+struct ServingFixture {
+  std::vector<ProbabilisticGraph> db;
+  ProbabilisticMatrixIndex pmi;
+  std::vector<Graph> certain;
+  StructuralFilter filter;
+  std::unique_ptr<QueryProcessor> processor;
+};
+
+const ServingFixture& GetServingFixture() {
+  static ServingFixture* fixture = [] {
+    auto* f = new ServingFixture();
+    SyntheticOptions gen;
+    gen.num_graphs = 24;
+    gen.avg_vertices = 9;
+    gen.num_vertex_labels = 4;
+    gen.seed = 4242;
+    f->db = GenerateDatabase(gen).value();
+    PmiBuildOptions build;
+    build.miner.beta = 0.2;
+    build.miner.gamma = -1.0;
+    build.miner.max_vertices = 3;
+    build.sip.mc.min_samples = 2000;
+    build.sip.mc.max_samples = 2000;
+    f->pmi = ProbabilisticMatrixIndex::Build(f->db, build).value();
+    for (const auto& g : f->db) f->certain.push_back(g.certain());
+    f->filter = StructuralFilter::Build(f->certain, f->pmi.features(),
+                                        StructuralFilterOptions());
+    f->processor =
+        std::make_unique<QueryProcessor>(&f->db, &f->pmi, &f->filter);
+    return f;
+  }();
+  return *fixture;
+}
+
+QueryOptions BenchQueryOptions() {
+  QueryOptions options;
+  options.delta = 1;
+  options.epsilon = 0.3;
+  options.seed = 11;
+  return options;
+}
+
+// One iteration = a burst of queries submitted through the admission queue
+// and drained to resolution. Arg = scheduler width. The end-to-end cost of
+// the serving path (ticketing, queue, waves, pipeline) per query.
+void BM_Admission_Throughput(benchmark::State& state) {
+  const ServingFixture& f = GetServingFixture();
+  constexpr size_t kBurst = 16;
+  ServingOptions so;
+  so.num_threads = static_cast<uint32_t>(state.range(0));
+  so.max_queue = 1024;  // never shed: this measures the committed path
+  so.query = BenchQueryOptions();
+  ServingCore core(f.processor.get(), so);
+  std::vector<QueryTicket> tickets(kBurst);
+  size_t queries = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < kBurst; ++i) {
+      tickets[i] = core.Submit(f.certain[i % f.certain.size()]);
+    }
+    for (auto& t : tickets) benchmark::DoNotOptimize(t.Wait().status.ok());
+    queries += kBurst;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(queries));
+  state.counters["waves"] = static_cast<double>(core.stats().waves);
+}
+BENCHMARK(BM_Admission_Throughput)->Arg(1)->Arg(4)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+// One iteration = one query whose deadline is engineered to fire (the
+// deterministic cancel point cuts every candidate at its first draw, the
+// 1ms wall deadline backstops queries with no sampling work). Measures the
+// unwind latency: how long a doomed query holds serving resources past
+// Submit. deadline_frac counts how many resolutions were degraded/deadline
+// (vs completed exact before any cancellation point).
+void BM_Deadline_HitLatency(benchmark::State& state) {
+  const ServingFixture& f = GetServingFixture();
+  ServingOptions so;
+  so.num_threads = 2;
+  so.max_queue = 1024;
+  so.query = BenchQueryOptions();
+  ServingCore core(f.processor.get(), so);
+  SubmitOptions opts;
+  opts.deadline_ms = 1;
+  opts.allow_degraded = true;
+  opts.cancel_after_draws = 1;
+  size_t cut = 0, total = 0;
+  size_t qi = 0;
+  for (auto _ : state) {
+    QueryTicket t = core.Submit(f.certain[qi++ % f.certain.size()], opts);
+    const ServeResult& r = t.Wait();
+    cut += r.degraded ||
+           r.status.code() == StatusCode::kDeadlineExceeded;
+    ++total;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+  state.counters["deadline_frac"] =
+      total == 0 ? 0.0 : static_cast<double>(cut) / static_cast<double>(total);
+}
+BENCHMARK(BM_Deadline_HitLatency)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+// One iteration = a burst of 4x queue capacity fired at a tiny queue, then
+// drained. Measures the submit path under overload, where most tickets
+// resolve kUnavailable at Submit itself; shed_frac reports how many.
+void BM_Shedding_Overload(benchmark::State& state) {
+  const ServingFixture& f = GetServingFixture();
+  ServingOptions so;
+  so.num_threads = 2;
+  so.max_queue = 8;
+  so.query = BenchQueryOptions();
+  ServingCore core(f.processor.get(), so);
+  constexpr size_t kBurst = 32;
+  std::vector<QueryTicket> tickets(kBurst);
+  size_t shed = 0, total = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < kBurst; ++i) {
+      SubmitOptions opts;
+      opts.priority = static_cast<int>(i % 3);
+      tickets[i] = core.Submit(f.certain[i % f.certain.size()], opts);
+    }
+    for (auto& t : tickets) {
+      shed += t.Wait().status.code() == StatusCode::kUnavailable;
+      ++total;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+  state.counters["shed_frac"] =
+      total == 0 ? 0.0 : static_cast<double>(shed) / static_cast<double>(total);
+}
+BENCHMARK(BM_Shedding_Overload)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

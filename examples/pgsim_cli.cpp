@@ -41,6 +41,24 @@
 // --build-threads parallelizes the offline phase (feature mining, PMI bound
 // columns, structural-filter counts) on a thread pool; 0 (default) uses all
 // hardware threads and the built index is bit-identical at any setting.
+//   pgsim_cli serve    --db=db.txt --queries=q.txt [--index=index.pmi]
+//                      [--delta=N] [--epsilon=F] [--threads=N]
+//                      [--deadline-ms=N] [--priority=N] [--allow-degraded]
+//                      [--cancel-after-draws=N] [--max-queue=N]
+//                      [--answer-cache[=CAP]] [--repeat=N] [--mutate-every=N]
+//
+// serve drives the always-on ServingCore instead of a closed batch: every
+// query is Submit()ed through the bounded priority admission queue
+// (--max-queue slots; overflow sheds kUnavailable with a retry-after hint)
+// and resolves to a ticket. --deadline-ms arms a per-query deadline —
+// without --allow-degraded a late query resolves DeadlineExceeded; with it,
+// the anytime answer (graphs verified so far + per-candidate [lo,hi]
+// intervals). --cancel-after-draws=N cuts every candidate's sampling loop
+// after N draws (deterministic degradation, byte-identical across runs).
+// --mutate-every=N interleaves an add+remove mutation pair through the SAME
+// admission queue before every Nth pass. (query also accepts --serve as an
+// alias for this mode.)
+//
 //   pgsim_cli topk     --db=db.txt --queries=q.txt [--index=index.pmi]
 //                      [--delta=N] [--k=N]
 //   pgsim_cli sample-queries --db=db.txt --out=q.txt [--count=N] [--size=N]
@@ -58,6 +76,7 @@
 #include "pgsim/query/processor.h"
 #include "pgsim/query/structural_filter.h"
 #include "pgsim/query/top_k.h"
+#include "pgsim/serving/serving_core.h"
 #include "pgsim/storage/durable_db.h"
 
 using namespace pgsim;
@@ -106,7 +125,7 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: pgsim_cli <generate|index|query|topk|sample-queries> "
+      "usage: pgsim_cli <generate|index|query|serve|topk|sample-queries> "
       "[--flags]\n  see the header comment of examples/pgsim_cli.cpp\n");
   return 2;
 }
@@ -411,6 +430,128 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+// The always-on serving mode: every query goes through the ServingCore's
+// bounded priority admission queue and resolves to a ticket, with optional
+// deadlines, anytime degradation, and mutation interleaving.
+int CmdServe(int argc, char** argv) {
+  auto setup = LoadSetup(argc, argv);
+  if (!setup.ok()) return Fail(setup.status());
+
+  ServingOptions so;
+  const int64_t threads = FlagInt(argc, argv, "threads", 0);
+  so.num_threads = threads < 0 ? 0 : static_cast<uint32_t>(threads);
+  const int64_t max_queue = FlagInt(argc, argv, "max-queue", 256);
+  so.max_queue = max_queue < 0 ? 0 : static_cast<size_t>(max_queue);
+  so.query.delta = FlagInt(argc, argv, "delta", 1);
+  so.query.epsilon = FlagDouble(argc, argv, "epsilon", 0.5);
+
+  const bool answer_cache_on = FlagPresent(argc, argv, "answer-cache");
+  AnswerCacheOptions cache_options;
+  const int64_t cap = FlagInt(argc, argv, "answer-cache", 0);
+  if (cap > 0) cache_options.max_entries = static_cast<size_t>(cap);
+  AnswerCache answer_cache(cache_options);
+  if (answer_cache_on) so.answer_cache = &answer_cache;
+
+  SubmitOptions submit;
+  submit.deadline_ms = FlagInt(argc, argv, "deadline-ms", -1);
+  submit.priority = static_cast<int>(FlagInt(argc, argv, "priority", 0));
+  submit.allow_degraded = FlagPresent(argc, argv, "allow-degraded");
+  const int64_t draws = FlagInt(argc, argv, "cancel-after-draws", 0);
+  submit.cancel_after_draws = draws < 0 ? 0 : static_cast<uint64_t>(draws);
+
+  const int64_t repeat_flag =
+      FlagInt(argc, argv, "repeat", answer_cache_on ? 2 : 1);
+  const size_t repeat = repeat_flag < 1 ? 1 : static_cast<size_t>(repeat_flag);
+  const int64_t mutate_every = FlagInt(argc, argv, "mutate-every", 0);
+
+  QueryProcessor processor(&setup->db.graphs, &setup->pmi, &setup->filter);
+  ServingCore core(&processor, so);
+
+  for (size_t pass = 0; pass < repeat; ++pass) {
+    if (mutate_every > 0 && pass > 0 &&
+        pass % static_cast<size_t>(mutate_every) == 0) {
+      // Same add+remove churn as `query`, but interleaved through the
+      // admission queue: the pair waits for in-flight queries, never for
+      // whole batches.
+      QueryTicket add =
+          core.SubmitAddGraph(setup->db.graphs[0], /*seed=*/1000 + pass);
+      const ServeResult& added = add.Wait();
+      if (!added.status.ok()) return Fail(added.status);
+      QueryTicket remove = core.SubmitRemoveGraph(added.graph_id);
+      const ServeResult& removed = remove.Wait();
+      if (!removed.status.ok()) return Fail(removed.status);
+      std::printf("pass %zu: mutated via queue, epoch now %llu\n", pass,
+                  static_cast<unsigned long long>(removed.epoch));
+    }
+
+    std::vector<QueryTicket> tickets;
+    tickets.reserve(setup->queries.size());
+    WallTimer pass_timer;
+    for (const Graph& q : setup->queries) {
+      tickets.push_back(core.Submit(q, submit));
+    }
+    size_t answers = 0, shed = 0, deadline = 0, degraded = 0, failed = 0;
+    for (size_t qi = 0; qi < tickets.size(); ++qi) {
+      const ServeResult& r = tickets[qi].Wait();
+      if (r.status.ok()) {
+        answers += r.answers.size();
+        degraded += r.degraded;
+      } else if (r.status.code() == StatusCode::kUnavailable) {
+        ++shed;
+      } else if (r.status.code() == StatusCode::kDeadlineExceeded) {
+        ++deadline;
+      } else {
+        ++failed;
+      }
+      if (pass == 0) {
+        std::string ids;
+        for (uint32_t gi : r.answers) ids += std::to_string(gi) + " ";
+        if (r.status.ok()) {
+          std::printf("q%-6zu %-9zu %-9s %s%s\n", qi, r.answers.size(),
+                      ids.empty() ? "-" : ids.c_str(),
+                      r.degraded ? "degraded " : "exact",
+                      r.degraded
+                          ? ("(" + std::to_string(r.intervals.size()) +
+                             " open intervals)")
+                                .c_str()
+                          : "");
+          for (const IntervalAnswer& ia : r.intervals) {
+            std::printf("   graph %-4u est=%.3f [%.3f, %.3f] after %llu "
+                        "draws\n",
+                        ia.graph_id, ia.estimate, ia.lo, ia.hi,
+                        static_cast<unsigned long long>(ia.samples));
+          }
+        } else {
+          std::printf("q%-6zu %s%s\n", qi, r.status.ToString().c_str(),
+                      r.status.code() == StatusCode::kUnavailable
+                          ? (" (retry after " +
+                             std::to_string(r.retry_after_seconds) + "s)")
+                                .c_str()
+                          : "");
+        }
+      }
+    }
+    const double wall = pass_timer.Seconds();
+    std::printf(
+        "pass %zu: %zu queries | %zu answers, %zu degraded, %zu deadline, "
+        "%zu shed, %zu failed | wall %.1f ms, %.1f queries/s\n",
+        pass, tickets.size(), answers, degraded, deadline, shed, failed,
+        wall * 1e3, wall > 0.0 ? tickets.size() / wall : 0.0);
+  }
+  core.Shutdown();
+  const ServingStats st = core.stats();
+  std::printf(
+      "serving: %llu submitted, %llu admitted, %llu cache hits, %llu waves, "
+      "%llu mutations, %llu double-resolves\n",
+      static_cast<unsigned long long>(st.submitted),
+      static_cast<unsigned long long>(st.admitted),
+      static_cast<unsigned long long>(st.answer_cache_hits),
+      static_cast<unsigned long long>(st.waves),
+      static_cast<unsigned long long>(st.mutations_applied),
+      static_cast<unsigned long long>(st.double_resolves));
+  return 0;
+}
+
 int CmdTopK(int argc, char** argv) {
   auto setup = LoadSetup(argc, argv);
   if (!setup.ok()) return Fail(setup.status());
@@ -450,7 +591,12 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "generate") return CmdGenerate(argc, argv);
   if (command == "index") return CmdIndex(argc, argv);
-  if (command == "query") return CmdQuery(argc, argv);
+  if (command == "query") {
+    // --serve is an alias: route to the always-on serving mode.
+    return FlagPresent(argc, argv, "serve") ? CmdServe(argc, argv)
+                                            : CmdQuery(argc, argv);
+  }
+  if (command == "serve") return CmdServe(argc, argv);
   if (command == "topk") return CmdTopK(argc, argv);
   if (command == "sample-queries") return CmdSampleQueries(argc, argv);
   if (command == "stats") return CmdStats(argc, argv);

@@ -1,0 +1,40 @@
+// Cooperative cancellation flag shared between a query's pipeline tasks and
+// whoever enforces its deadline (the serving core's deadline thread, a test
+// harness, a caller's explicit cancel).
+//
+// Cancellation points inside the pipeline — FrontStagesImpl stage
+// boundaries, the stage-2 pruning loop, every draw of the Karp-Luby sampling
+// loop — poll the flag with one relaxed atomic load and unwind
+// cooperatively: the query either reports kDeadlineExceeded or, when
+// degraded answers are allowed, returns the anytime estimate built from the
+// work already done.
+//
+// The flag is monotonic (never un-cancelled), so relaxed loads are safe: a
+// late observation only delays the stop by one polling granule; it can never
+// resurrect a cancelled query.
+
+#pragma once
+
+#include <atomic>
+
+namespace pgsim {
+
+class CancelState {
+ public:
+  CancelState() = default;
+  CancelState(const CancelState&) = delete;
+  CancelState& operator=(const CancelState&) = delete;
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// One relaxed load — cheap enough for per-draw sampling-loop checks.
+  bool IsCancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace pgsim

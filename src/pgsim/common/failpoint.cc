@@ -24,6 +24,10 @@ std::set<std::string>& KnownSites() {
   static auto* s = new std::set<std::string>();
   return *s;
 }
+std::map<std::string, uint64_t>& HitCounts() {
+  static auto* m = new std::map<std::string, uint64_t>();
+  return *m;
+}
 
 void RegisterSite(const char* site) {
   std::lock_guard<std::mutex> lock(g_mu);
@@ -46,6 +50,7 @@ void Hit(const char* site, FailpointSpec* spec) {
   }
   *spec = it->second;
   armed.erase(it);
+  ++HitCounts()[site];
   g_active_count.fetch_sub(1, std::memory_order_relaxed);
 }
 
@@ -81,6 +86,10 @@ void FailpointSet(const std::string& site, const FailpointSpec& spec) {
   }
 }
 
+void FailpointArm(const std::string& site, const FailpointSpec& spec) {
+  FailpointSet(site, spec);
+}
+
 void FailpointClear(const std::string& site) {
   FailpointSet(site, FailpointSpec{});
 }
@@ -90,6 +99,21 @@ void FailpointClearAll() {
   g_active_count.fetch_sub(static_cast<int>(ArmedMap().size()),
                            std::memory_order_relaxed);
   ArmedMap().clear();
+}
+
+void FailpointResetAll() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_active_count.fetch_sub(static_cast<int>(ArmedMap().size()),
+                           std::memory_order_relaxed);
+  ArmedMap().clear();
+  HitCounts().clear();
+}
+
+uint64_t FailpointHits(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto& counts = HitCounts();
+  auto it = counts.find(site);
+  return it == counts.end() ? 0 : it->second;
 }
 
 Status FailpointSetFromString(const std::string& config) {

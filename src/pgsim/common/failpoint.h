@@ -66,9 +66,21 @@ struct FailpointSpec {
 /// Arms `site` with `spec` (replacing any previous arming).
 void FailpointSet(const std::string& site, const FailpointSpec& spec);
 
+/// Programmatic arming for in-process tests (chaos soak, unit suites): the
+/// same operation as FailpointSet, named for call-site readability.
+void FailpointArm(const std::string& site, const FailpointSpec& spec);
+
 /// Disarms one site / all sites.
 void FailpointClear(const std::string& site);
 void FailpointClearAll();
+
+/// Disarms every site AND zeroes every per-site hit counter — the reset a
+/// test runs between chaos iterations so counters attribute to one run.
+void FailpointResetAll();
+
+/// Times `site` has FIRED an armed fault in this process (skipped hits and
+/// unarmed evaluations do not count). Zeroed by FailpointResetAll.
+uint64_t FailpointHits(const std::string& site);
 
 /// Parses the PGSIM_FAILPOINTS syntax above and arms every entry. Unknown
 /// modes or malformed entries return InvalidArgument (nothing armed from the

@@ -24,6 +24,8 @@ enum class StatusCode {
   kInternal,         ///< Invariant violation inside the library.
   kUnimplemented,    ///< Feature intentionally not supported.
   kDataLoss,         ///< On-disk data is torn, truncated, or corrupted.
+  kDeadlineExceeded, ///< The operation ran past its caller-supplied deadline.
+  kUnavailable,      ///< Transient overload: the caller should retry later.
 };
 
 /// Returns a short stable name for a status code (e.g. "InvalidArgument").
@@ -70,6 +72,12 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the operation succeeded.

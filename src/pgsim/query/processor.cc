@@ -16,6 +16,9 @@ namespace {
 constexpr uint8_t kVerifyFailed = 0;
 constexpr uint8_t kVerifyReject = 1;
 constexpr uint8_t kVerifyAccept = 2;
+constexpr uint8_t kVerifyCancelled = 3;  ///< stopped at a cancellation point;
+                                         ///< job->intervals[k] holds the
+                                         ///< anytime [lo, hi]
 
 }  // namespace
 
@@ -241,6 +244,20 @@ Status QueryProcessor::FrontStagesImpl(const Graph& q,
     }
   }
 
+  // Cancellation points: one relaxed load at every stage boundary (and per
+  // candidate inside the stage-2 loop / per draw inside the sampler). A
+  // query cancelled before its candidates are known unwinds with whatever
+  // partial state exists; FinishQuery reports it as cancelled and never
+  // caches it. The answer-cache probe above deliberately runs first — a hit
+  // is exact and effectively free, so even an expired query serves it.
+  const CancelState* cancel = job->cancel;
+  const auto cancelled_now = [&]() {
+    if (cancel == nullptr || !cancel->IsCancelled()) return false;
+    job->cancelled.store(true, std::memory_order_relaxed);
+    return true;
+  };
+  if (cancelled_now()) return Status::OK();
+
   // ---- Batch cache probe (canonical + exact keys). ----
   BatchQueryCache::Lookup cached;
   if (ctx->cache != nullptr) {
@@ -275,6 +292,7 @@ Status QueryProcessor::FrontStagesImpl(const Graph& q,
   const std::vector<Graph>& relaxed = *job->relaxed;
   local.num_relaxed_queries = relaxed.size();
   local.relax_seconds = relax_timer.Seconds();
+  if (cancelled_now()) return Status::OK();
 
   // ---- Relaxed-query match plans. ----
   // One compiled MatchPlan per rq, seeded rarest-database-label-first,
@@ -327,6 +345,7 @@ Status QueryProcessor::FrontStagesImpl(const Graph& q,
   }
   local.structural_candidates = sc_q.size();
   local.structural_seconds = structural_timer.Seconds();
+  if (cancelled_now()) return Status::OK();
 
   // ---- Stage 2: probabilistic pruning (Theorems 3-4). ----
   WallTimer prob_timer;
@@ -343,7 +362,16 @@ Status QueryProcessor::FrontStagesImpl(const Graph& q,
         ctx->cache->StorePrepared(cached, pruner.SharePrepared());
       }
     }
-    for (uint32_t gi : sc_q) {
+    for (size_t ci = 0; ci < sc_q.size(); ++ci) {
+      if (cancelled_now()) {
+        // The unpruned tail goes to verification anyway: each of those
+        // candidates' verify tasks observes the cancel immediately and
+        // records the unknown [0, 1] interval, so every structural
+        // candidate is accounted for in the degraded answer.
+        to_verify.insert(to_verify.end(), sc_q.begin() + ci, sc_q.end());
+        break;
+      }
+      const uint32_t gi = sc_q[ci];
       const PruneDecision d =
           pruner.Evaluate(gi, options.epsilon, &rng, &ctx->pruner_scratch);
       switch (d.outcome) {
@@ -374,6 +402,7 @@ Status QueryProcessor::FrontStagesImpl(const Graph& q,
     job->verify_rngs.push_back(rng.Fork());
   }
   job->verdicts.assign(to_verify.size(), kVerifyFailed);
+  job->intervals.assign(to_verify.size(), SampleOutcome());
   return Status::OK();
 }
 
@@ -382,6 +411,8 @@ void QueryProcessor::RunFrontStages(const Graph& q,
                                     QueryContext* ctx, QueryJob* job) const {
   job->Clear();
   job->query = &q;
+  job->cancel = ctx->cancel;
+  job->cancel_after_draws = ctx->cancel_after_draws;
   job->total_timer.Restart();
   ctx->Reset(options.seed);
   job->status = FrontStagesImpl(q, options, ctx, job);
@@ -393,20 +424,40 @@ void QueryProcessor::VerifyCandidate(const QueryOptions& options,
                                      VerifierScratch* scratch) const {
   const auto& db = *database_;
   const uint32_t gi = job->to_verify[k];
-  const Result<double> ssp =
-      options.verify_mode == QueryOptions::VerifyMode::kExact
-          ? ExactSubgraphSimilarityProbability(db[gi], *job->relaxed,
-                                               options.verifier, scratch,
-                                               job->rq_plans)
-          : SampleSubgraphSimilarityProbability(db[gi], *job->relaxed,
-                                                options.verifier,
-                                                &job->verify_rngs[k], scratch,
-                                                job->rq_plans);
-  if (!ssp.ok()) {
+  if (options.verify_mode == QueryOptions::VerifyMode::kExact) {
+    // The exact DNF engine has no internal cancellation points; honor the
+    // token at candidate granularity.
+    if (job->cancel != nullptr && job->cancel->IsCancelled()) {
+      job->verdicts[k] = kVerifyCancelled;
+      job->intervals[k].completed = false;  // nothing known: [0, 1]
+      job->cancelled.store(true, std::memory_order_relaxed);
+      return;
+    }
+    const Result<double> ssp = ExactSubgraphSimilarityProbability(
+        db[gi], *job->relaxed, options.verifier, scratch, job->rq_plans);
+    if (!ssp.ok()) {
+      job->verdicts[k] = kVerifyFailed;
+    } else {
+      job->verdicts[k] =
+          ssp.value() >= options.epsilon ? kVerifyAccept : kVerifyReject;
+    }
+    return;
+  }
+  SampleControl control;
+  control.cancel = job->cancel;
+  control.cancel_after_draws = job->cancel_after_draws;
+  const Result<SampleOutcome> out = SampleSubgraphSimilarityProbabilityAnytime(
+      db[gi], *job->relaxed, options.verifier, &job->verify_rngs[k], scratch,
+      job->rq_plans, control);
+  if (!out.ok()) {
     job->verdicts[k] = kVerifyFailed;
+  } else if (!out->completed) {
+    job->verdicts[k] = kVerifyCancelled;
+    job->intervals[k] = *out;
+    job->cancelled.store(true, std::memory_order_relaxed);
   } else {
     job->verdicts[k] =
-        ssp.value() >= options.epsilon ? kVerifyAccept : kVerifyReject;
+        out->estimate >= options.epsilon ? kVerifyAccept : kVerifyReject;
   }
 }
 
@@ -421,6 +472,9 @@ void QueryProcessor::FinishQuery(QueryJob* job) const {
         case kVerifyAccept:
           job->answers.push_back(job->to_verify[k]);
           break;
+        case kVerifyCancelled:
+          ++local.cancelled_candidates;
+          break;
         default:
           break;
       }
@@ -433,8 +487,11 @@ void QueryProcessor::FinishQuery(QueryJob* job) const {
   // Fill the answer-cache slot this query's probe addressed (no-op on a hit
   // or an uncacheable probe). The epoch was captured under the serving lock
   // the answers were computed at, so a concurrent mutation can never store
-  // pre-mutation answers under a post-mutation epoch.
+  // pre-mutation answers under a post-mutation epoch. A cancelled run never
+  // stores: its answer set is partial (a degraded interval answer must not
+  // be served later as an exact one).
   if (job->status.ok() && job->answer_cache != nullptr &&
+      !job->cancelled.load(std::memory_order_relaxed) &&
       job->answer_probe.cacheable && !job->answer_probe.hit) {
     job->answer_cache->Store(job->answer_probe, job->answer_epoch,
                              job->answers);

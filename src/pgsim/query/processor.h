@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "pgsim/common/cancel.h"
 #include "pgsim/common/random.h"
 #include "pgsim/common/status.h"
 #include "pgsim/common/thread_pool.h"
@@ -109,6 +110,9 @@ struct QueryStats {
   size_t accepted_by_lower = 0;        ///< Pruning 2 hits
   size_t verification_candidates = 0;  ///< graphs sent to the verifier
   size_t verification_failures = 0;    ///< verifier errors (kept as answers=no)
+  size_t cancelled_candidates = 0;     ///< candidates stopped at a
+                                       ///< cancellation point (their anytime
+                                       ///< intervals live in QueryJob)
   size_t answers = 0;
   bool relax_cache_hit = false;   ///< U reused from the batch cache
   bool counts_cache_hit = false;  ///< feature counts reused from the cache
@@ -159,6 +163,24 @@ struct QueryJob {
   /// Per-candidate verdicts, merged in candidate order by FinishQuery.
   std::vector<uint8_t> verdicts;
 
+  /// Cooperative cancellation token (not owned; null = never cancelled),
+  /// wired from QueryContext by RunFrontStages. Polled at the front-stage
+  /// checkpoints and every draw of the sampling loop.
+  const CancelState* cancel = nullptr;
+  /// Deterministic test hook: per-candidate sampling-draw budget
+  /// (SampleControl::cancel_after_draws). 0 = disabled.
+  uint64_t cancel_after_draws = 0;
+  /// Set (relaxed; distinct tasks may race to set it true) once any
+  /// cancellation point fired — the pipeline unwound early, the answer set
+  /// is partial, and `intervals` carries the anytime state. FinishQuery
+  /// never stores a cancelled result in the answer cache.
+  std::atomic<bool> cancelled{false};
+  /// Per-candidate anytime outcomes, parallel to to_verify. Meaningful at
+  /// index k iff verdicts[k] is "cancelled": the confidence interval from
+  /// the samples candidate k drew before stopping (default-initialized
+  /// [0, 1] when it never started).
+  std::vector<SampleOutcome> intervals;
+
   QueryStats stats;
   Status status = Status::OK();
   WallTimer total_timer;
@@ -186,6 +208,10 @@ struct QueryJob {
     answers.clear();
     verify_rngs.clear();
     verdicts.clear();
+    cancel = nullptr;
+    cancel_after_draws = 0;
+    cancelled.store(false, std::memory_order_relaxed);
+    intervals.clear();
     stats = QueryStats();
     status = Status::OK();
     answer_cache = nullptr;
@@ -221,6 +247,12 @@ struct QueryContext {
   AnswerCache* answer_cache = nullptr;
   const std::string* answer_fingerprint = nullptr;
   uint64_t answer_epoch = 0;
+  /// Cooperative cancellation wiring (not owned), copied into the job by
+  /// RunFrontStages. The serving core points these at the submitting
+  /// ticket's token before running a query's front stages; batch/sequential
+  /// callers leave them null/0 (never cancelled — bit-identical answers).
+  const CancelState* cancel = nullptr;
+  uint64_t cancel_after_draws = 0;
   /// Per-query pipeline state for the sequential Query() path (batch
   /// schedulers use per-query jobs that outlive the worker instead).
   QueryJob job;
@@ -454,6 +486,7 @@ class QueryProcessor {
 
  private:
   friend struct StealingBatchRunner;  // task bodies (processor.cc)
+  friend class ServingCore;  // admission-queue frontend (serving/)
 
   /// Stage 0–2 of the decomposed pipeline: cache probe, relaxation, match
   /// plans, structural filter, probabilistic pruning, and the sequential

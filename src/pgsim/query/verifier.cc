@@ -190,10 +190,43 @@ Result<double> SampleSubgraphSimilarityProbability(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
     const VerifierOptions& options, Rng* rng, VerifierScratch* scratch,
     const std::vector<MatchPlan>* plans) {
+  PGSIM_ASSIGN_OR_RETURN(SampleOutcome out,
+                         SampleSubgraphSimilarityProbabilityAnytime(
+                             g, relaxed, options, rng, scratch, plans));
+  return out.estimate;
+}
+
+namespace {
+
+// Outcome of a run that never drew: before the first draw the union bound
+// Pr(∨Bfi) <= min(V, 1) is all we know; before event collection, nothing.
+SampleOutcome UndrawOutcome(double v_upper, bool completed) {
+  SampleOutcome out;
+  out.estimate = 0.0;
+  out.lo = 0.0;
+  out.hi = v_upper;
+  out.completed = completed;
+  return out;
+}
+
+}  // namespace
+
+Result<SampleOutcome> SampleSubgraphSimilarityProbabilityAnytime(
+    const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
+    const VerifierOptions& options, Rng* rng, VerifierScratch* scratch,
+    const std::vector<MatchPlan>* plans, const SampleControl& control) {
+  if (control.cancel != nullptr && control.cancel->IsCancelled()) {
+    return UndrawOutcome(1.0, /*completed=*/false);
+  }
   PGSIM_RETURN_NOT_OK(
       CollectSimilarityEvents(g, relaxed, options, scratch, plans));
   EventSetPool& events = scratch->events;
-  if (events.empty()) return 0.0;
+  if (events.empty()) {
+    // No embedding of any relaxed query: the SSP is exactly 0.
+    SampleOutcome out;
+    out.hi = 0.0;
+    return out;
+  }
   // Absorption shrinks the event list without changing the union.
   AbsorbPoolEvents(&events, &scratch->dead_stamp);
 
@@ -341,7 +374,12 @@ Result<double> SampleSubgraphSimilarityProbability(
     cumulative[p] = acc;
   }
   const double v = acc;
-  if (v <= 0.0) return 0.0;
+  if (v <= 0.0) {
+    // Every event has zero marginal: the SSP is exactly 0.
+    SampleOutcome out;
+    out.hi = 0.0;
+    return out;
+  }
 
   // Contiguous copy of the rows in sorted order: the canonicity scan walks
   // events[0..pos) back to back instead of hopping through `order`.
@@ -397,7 +435,18 @@ Result<double> SampleSubgraphSimilarityProbability(
   const bool narrow_rows = wpr <= 2;
   uint64_t cnt = 0;
   uint64_t drawn = 0;
+  bool completed = true;
   for (;;) {
+    // Cancellation point: one relaxed load per draw (plus the deterministic
+    // after-N-draws test hook). Checked before the stopping rule so a
+    // cancelled run stops without consuming another RNG draw — the partial
+    // state is a pure function of (seed, draws taken).
+    if ((control.cancel_after_draws != 0 &&
+         drawn >= control.cancel_after_draws) ||
+        (control.cancel != nullptr && control.cancel->IsCancelled())) {
+      completed = false;
+      break;
+    }
     if (options.adaptive) {
       if (cnt >= target_hits || drawn >= options.mc.max_samples) break;
     } else if (drawn >= fixed_n) {
@@ -508,10 +557,21 @@ Result<double> SampleSubgraphSimilarityProbability(
       if (dead_below == pos) ++cnt;  // no earlier event survived
     }
   }
-  if (drawn == 0) return 0.0;
-  const double estimate =
-      v * static_cast<double>(cnt) / static_cast<double>(drawn);
-  return std::clamp(estimate, 0.0, 1.0);
+  if (drawn == 0) return UndrawOutcome(std::min(v, 1.0), completed);
+  SampleOutcome out;
+  out.drawn = drawn;
+  out.hits = cnt;
+  out.completed = completed;
+  out.estimate = std::clamp(
+      v * static_cast<double>(cnt) / static_cast<double>(drawn), 0.0, 1.0);
+  // Hoeffding at level 1 - xi: each round's indicator is bounded by [0, 1]
+  // and scaled by v, so the half-width is v * sqrt(ln(2/xi) / (2 * drawn)).
+  const double half_width =
+      v * std::sqrt(std::log(2.0 / std::clamp(options.mc.xi, 1e-9, 0.999)) /
+                    (2.0 * static_cast<double>(drawn)));
+  out.lo = std::max(out.estimate - half_width, 0.0);
+  out.hi = std::min({out.estimate + half_width, v, 1.0});
+  return out;
 }
 
 }  // namespace pgsim

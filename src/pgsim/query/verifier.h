@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "pgsim/bounds/cond_sampler.h"
+#include "pgsim/common/cancel.h"
 #include "pgsim/common/event_pool.h"
 #include "pgsim/common/random.h"
 #include "pgsim/common/status.h"
@@ -205,5 +206,44 @@ Result<double> SampleSubgraphSimilarityProbability(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
     const VerifierOptions& options, Rng* rng, VerifierScratch* scratch,
     const std::vector<MatchPlan>* plans = nullptr);
+
+/// Cooperative-cancellation controls for the anytime sampler.
+struct SampleControl {
+  /// Polled once per draw (one relaxed load); null = never cancelled.
+  const CancelState* cancel = nullptr;
+  /// Deterministic test hook: stop before draw `cancel_after_draws + 1`
+  /// regardless of `cancel`. 0 = disabled. Because it counts *this
+  /// candidate's* draws (per-candidate RNGs are pre-forked sequentially),
+  /// the partial outcome is byte-identical across runs and scheduler widths.
+  uint64_t cancel_after_draws = 0;
+};
+
+/// What the anytime sampler knew when it stopped — complete or cancelled.
+struct SampleOutcome {
+  /// The running Karp-Luby estimate v * cnt / drawn, clamped to [0, 1].
+  double estimate = 0.0;
+  /// Hoeffding confidence interval at level 1 - xi around `estimate`:
+  /// half-width v * sqrt(ln(2/xi) / (2 * drawn)). Before the first draw the
+  /// only known bounds are [0, min(v, 1)] (union bound), or [0, 1] when
+  /// cancellation struck before the events were even collected.
+  double lo = 0.0;
+  double hi = 1.0;
+  /// Draws taken and canonical hits among them.
+  uint64_t drawn = 0;
+  uint64_t hits = 0;
+  /// False iff the sampler stopped at a cancellation point.
+  bool completed = true;
+};
+
+/// The anytime form of Algorithm 5: identical draw-for-draw to
+/// SampleSubgraphSimilarityProbability (which wraps it with a null control),
+/// but stoppable at every draw, returning the partial estimate plus its
+/// confidence interval instead of an error. Event-collection failures (caps)
+/// still surface as errors — there is no partial answer without events.
+Result<SampleOutcome> SampleSubgraphSimilarityProbabilityAnytime(
+    const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
+    const VerifierOptions& options, Rng* rng, VerifierScratch* scratch,
+    const std::vector<MatchPlan>* plans = nullptr,
+    const SampleControl& control = SampleControl{});
 
 }  // namespace pgsim

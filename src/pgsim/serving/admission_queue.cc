@@ -1,0 +1,42 @@
+#include "pgsim/serving/admission_queue.h"
+
+namespace pgsim {
+
+namespace {
+// One-eighth weight on the newest interval: smooth enough to ride out one
+// pathological query, fresh enough to track a real load shift within ~8
+// completions.
+constexpr double kEwmaAlpha = 0.125;
+}  // namespace
+
+void DrainRateEstimator::RecordCompletion(double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (completions_ > 0) {
+    const double interval = now_seconds - last_completion_seconds_;
+    if (interval >= 0.0) {
+      ewma_interval_seconds_ =
+          completions_ == 1
+              ? interval
+              : (1.0 - kEwmaAlpha) * ewma_interval_seconds_ +
+                    kEwmaAlpha * interval;
+    }
+  }
+  last_completion_seconds_ = now_seconds;
+  ++completions_;
+}
+
+double DrainRateEstimator::RetryAfterSeconds(
+    size_t depth, double default_per_item_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double per_item = completions_ >= 2 && ewma_interval_seconds_ > 0.0
+                              ? ewma_interval_seconds_
+                              : default_per_item_seconds;
+  return static_cast<double>(depth + 1) * per_item;
+}
+
+uint64_t DrainRateEstimator::completions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completions_;
+}
+
+}  // namespace pgsim

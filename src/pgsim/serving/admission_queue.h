@@ -1,0 +1,132 @@
+// Bounded priority admission queue + drain-rate estimator (overload shedding).
+//
+// The serving core admits every piece of work — queries and exclusive
+// mutations alike — through one BoundedPriorityQueue. Ordering is strict
+// priority (higher admits first) with FIFO inside a priority class, via a
+// monotonic sequence number. The queue is BOUNDED: when full, an incoming
+// item that strictly outranks the lowest-priority queued item evicts the
+// youngest member of that lowest class (least sunk wait time); otherwise the
+// incoming item itself is rejected. Either way exactly one ticket receives
+// kUnavailable — the core never grows unboundedly under a traffic spike and
+// never silently drops work.
+//
+// The DrainRateEstimator turns observed completion times into the
+// retry-after hint attached to every shed: an EWMA of seconds-per-completion
+// times the current depth estimates when a retry would find a slot.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace pgsim {
+
+/// Exponentially-weighted estimate of the admission queue's drain rate.
+/// Thread-safe; time is injected by the caller (seconds on any monotonic
+/// clock) so tests can drive it deterministically.
+class DrainRateEstimator {
+ public:
+  /// Records that one admitted item finished at `now_seconds`.
+  void RecordCompletion(double now_seconds);
+
+  /// Seconds until a queue of `depth` items likely has a free slot:
+  /// (depth + 1) * EWMA(seconds per completion). Before any completion has
+  /// been observed, falls back to (depth + 1) * `default_per_item_seconds`.
+  double RetryAfterSeconds(size_t depth,
+                           double default_per_item_seconds = 0.005) const;
+
+  /// Completions observed so far.
+  uint64_t completions() const;
+
+ private:
+  mutable std::mutex mu_;
+  double last_completion_seconds_ = 0.0;
+  double ewma_interval_seconds_ = 0.0;
+  uint64_t completions_ = 0;
+};
+
+/// See the file comment. T must be movable; one mutex guards everything —
+/// admission is control-plane traffic, never a per-candidate hot path.
+template <typename T>
+class BoundedPriorityQueue {
+ public:
+  explicit BoundedPriorityQueue(size_t capacity) : capacity_(capacity) {}
+
+  enum class PushOutcome {
+    kAdmitted,         ///< item queued
+    kAdmittedEvicted,  ///< item queued; *evicted holds the shed victim
+    kRejected,         ///< queue full and item does not outrank anyone
+  };
+
+  PushOutcome TryPush(T item, int priority, T* evicted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_) {
+      if (items_.empty()) return PushOutcome::kRejected;  // capacity == 0
+      // Lowest priority class = largest key (key orders by -priority); its
+      // youngest member = largest seq = the map's last entry.
+      auto victim = std::prev(items_.end());
+      if (-victim->first.first < priority) {
+        // Strictly outranked: shed the victim, admit the newcomer.
+        *evicted = std::move(victim->second);
+        items_.erase(victim);
+        items_.emplace(Key{-priority, next_seq_++}, std::move(item));
+        return PushOutcome::kAdmittedEvicted;
+      }
+      return PushOutcome::kRejected;
+    }
+    items_.emplace(Key{-priority, next_seq_++}, std::move(item));
+    return PushOutcome::kAdmitted;
+  }
+
+  /// Pops the head (highest priority, oldest within the class).
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.begin()->second);
+    items_.erase(items_.begin());
+    return true;
+  }
+
+  /// Pops the head only when `pred(head)` holds — how the wave pump takes
+  /// queries while leaving an exclusive mutation at the head to end the
+  /// wave. The predicate runs under the queue lock; keep it trivial.
+  template <typename Pred>
+  bool TryPopIf(Pred pred, T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty() || !pred(items_.begin()->second)) return false;
+    *out = std::move(items_.begin()->second);
+    items_.erase(items_.begin());
+    return true;
+  }
+
+  /// Inspects the head under the lock (e.g. "is the head exclusive?").
+  /// Returns false on empty. The result is advisory — a higher-priority push
+  /// can change the head immediately after.
+  template <typename Fn>
+  bool PeekHead(Fn fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    fn(items_.begin()->second);
+    return true;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  bool empty() const { return size() == 0; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  /// (-priority, admission sequence): map order == pop order.
+  using Key = std::pair<int, uint64_t>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<Key, T> items_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace pgsim

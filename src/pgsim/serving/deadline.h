@@ -1,0 +1,35 @@
+// Deadline representation for the serving core.
+//
+// Deadlines are absolute steady-clock instants (steady_clock, not
+// system_clock, so NTP slews can neither fire nor starve them). The serving
+// core's deadline thread keeps a min-heap of (deadline, ticket) and flips
+// each ticket's CancelState (common/cancel.h) when its instant passes; the
+// query pipeline polls that flag at its cancellation points.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "pgsim/common/cancel.h"
+
+namespace pgsim {
+
+/// A deadline as an absolute steady-clock instant.
+using DeadlinePoint = std::chrono::steady_clock::time_point;
+
+/// Sentinel for "no deadline".
+inline DeadlinePoint NoDeadline() { return DeadlinePoint::max(); }
+
+/// Deadline `ms` milliseconds from now; ms < 0 means no deadline.
+inline DeadlinePoint DeadlineAfterMs(int64_t ms) {
+  if (ms < 0) return NoDeadline();
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+}
+
+inline bool DeadlineExpired(DeadlinePoint deadline) {
+  return deadline != NoDeadline() &&
+         std::chrono::steady_clock::now() >= deadline;
+}
+
+}  // namespace pgsim

@@ -34,9 +34,24 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kResourceExhausted,
         StatusCode::kFailedPrecondition, StatusCode::kInternal,
-        StatusCode::kUnimplemented}) {
+        StatusCode::kUnimplemented, StatusCode::kDeadlineExceeded,
+        StatusCode::kUnavailable}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
+}
+
+TEST(StatusTest, ServingCodesCarryFactoryAndName) {
+  const Status deadline = Status::DeadlineExceeded("query ran past 5ms");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.message(), "query ran past 5ms");
+  EXPECT_STREQ(StatusCodeName(deadline.code()), "DeadlineExceeded");
+
+  const Status unavailable = Status::Unavailable("queue full");
+  EXPECT_FALSE(unavailable.ok());
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.message(), "queue full");
+  EXPECT_STREQ(StatusCodeName(unavailable.code()), "Unavailable");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -134,5 +134,50 @@ TEST_F(FailpointTest, SitesSelfRegister) {
   EXPECT_TRUE(has("fp_test.registered.2"));
 }
 
+TEST_F(FailpointTest, ArmIsProgrammaticSetWithHitAccounting) {
+  FailpointSpec spec;
+  spec.mode = FailpointMode::kError;
+  FailpointArm("fp_test.arm", spec);
+  EXPECT_TRUE(FailpointAnyActive());
+  EXPECT_EQ(FailpointHits("fp_test.arm"), 0u);
+
+  EXPECT_FALSE(FailpointCheck("fp_test.arm").ok());
+  EXPECT_EQ(FailpointHits("fp_test.arm"), 1u);
+  // One-shot: disarmed after firing; further checks neither fire nor count.
+  EXPECT_TRUE(FailpointCheck("fp_test.arm").ok());
+  EXPECT_EQ(FailpointHits("fp_test.arm"), 1u);
+
+  // Re-arming and firing again accumulates.
+  FailpointArm("fp_test.arm", spec);
+  EXPECT_FALSE(FailpointCheck("fp_test.arm").ok());
+  EXPECT_EQ(FailpointHits("fp_test.arm"), 2u);
+}
+
+TEST_F(FailpointTest, SkippedHitsDoNotCount) {
+  FailpointSpec spec;
+  spec.mode = FailpointMode::kError;
+  spec.skip = 2;
+  FailpointArm("fp_test.arm.skip", spec);
+  EXPECT_TRUE(FailpointCheck("fp_test.arm.skip").ok());  // skipped
+  EXPECT_TRUE(FailpointCheck("fp_test.arm.skip").ok());  // skipped
+  EXPECT_EQ(FailpointHits("fp_test.arm.skip"), 0u);
+  EXPECT_FALSE(FailpointCheck("fp_test.arm.skip").ok());  // fires
+  EXPECT_EQ(FailpointHits("fp_test.arm.skip"), 1u);
+}
+
+TEST_F(FailpointTest, ResetAllDisarmsAndZeroesCounters) {
+  FailpointSpec spec;
+  spec.mode = FailpointMode::kError;
+  FailpointArm("fp_test.reset.a", spec);
+  EXPECT_FALSE(FailpointCheck("fp_test.reset.a").ok());
+  EXPECT_EQ(FailpointHits("fp_test.reset.a"), 1u);
+
+  FailpointArm("fp_test.reset.b", spec);  // armed but never fired
+  FailpointResetAll();
+  EXPECT_FALSE(FailpointAnyActive());
+  EXPECT_EQ(FailpointHits("fp_test.reset.a"), 0u);
+  EXPECT_TRUE(FailpointCheck("fp_test.reset.b").ok());  // disarmed
+}
+
 }  // namespace
 }  // namespace pgsim

@@ -1,0 +1,300 @@
+// Chaos soak for the serving core: concurrent submitters mix queries (all
+// priority / deadline / degradation flavors), AddGraph/RemoveGraph churn,
+// armed error failpoints on the serving sites, and overload shedding against
+// a deliberately small admission queue — then the harness asserts the
+// serving invariants that must survive ANY interleaving:
+//
+//   * every submitted ticket resolves EXACTLY once (resolve_count == 1,
+//     stats().double_resolves == 0, and the resolution counters partition
+//     the submitted count),
+//   * every resolution carries a status from the allowed set,
+//   * degraded results appear only where allow_degraded was set, and their
+//     intervals are well-formed ([0,1], lo <= estimate <= hi),
+//   * injected failpoint errors are accounted one-to-one in stats().failed,
+//   * no resolved epoch exceeds the index's final epoch (no invented state).
+//
+// The suite is in its own binary so CI can run it under TSan with a bounded
+// wall clock (see .github/workflows/ci.yml, chaos-soak job).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pgsim/common/failpoint.h"
+#include "pgsim/datasets/synthetic.h"
+#include "pgsim/index/pmi.h"
+#include "pgsim/query/answer_cache.h"
+#include "pgsim/query/processor.h"
+#include "pgsim/query/structural_filter.h"
+#include "pgsim/serving/serving_core.h"
+
+namespace pgsim {
+namespace {
+
+struct ChaosSetup {
+  std::vector<ProbabilisticGraph> db;
+  ProbabilisticMatrixIndex pmi;
+  std::vector<Graph> certain;
+  StructuralFilter filter;
+};
+
+ChaosSetup BuildChaosSetup(uint64_t seed, size_t n) {
+  ChaosSetup s;
+  SyntheticOptions gen;
+  gen.num_graphs = n;
+  gen.avg_vertices = 9;
+  gen.num_vertex_labels = 4;
+  gen.seed = seed;
+  s.db = GenerateDatabase(gen).value();
+  PmiBuildOptions build;
+  build.miner.beta = 0.2;
+  build.miner.gamma = -1.0;
+  build.miner.max_vertices = 3;
+  build.sip.mc.min_samples = 2000;
+  build.sip.mc.max_samples = 2000;
+  s.pmi = ProbabilisticMatrixIndex::Build(s.db, build).value();
+  for (const auto& g : s.db) s.certain.push_back(g.certain());
+  s.filter = StructuralFilter::Build(s.certain, s.pmi.features(),
+                                     StructuralFilterOptions());
+  return s;
+}
+
+ProbabilisticGraph ChaosExtraGraph(uint64_t seed) {
+  SyntheticOptions gen;
+  gen.num_graphs = 1;
+  gen.avg_vertices = 9;
+  gen.num_vertex_labels = 4;
+  gen.seed = seed;
+  return GenerateDatabase(gen).value()[0];
+}
+
+// Deterministic per-thread mixer (SplitMix64) — the soak must not depend on
+// the libc RNG or wall clock.
+uint64_t Mix(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct TrackedTicket {
+  QueryTicket ticket;
+  bool is_query = false;
+  bool allow_degraded = false;
+  bool harvested = false;  ///< submitter already consumed this add's id
+};
+
+bool AllowedStatus(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kOk:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
+    case StatusCode::kInternal:  // injected failpoints
+      return true;
+    default:
+      return false;
+  }
+}
+
+TEST(ServingChaosTest, SoakResolvesEveryTicketExactlyOnce) {
+  FailpointResetAll();
+  ChaosSetup s = BuildChaosSetup(31337, 8);
+  QueryProcessor processor(&s.db, &s.pmi, &s.filter);
+  AnswerCache cache;
+
+  ServingOptions so;
+  so.num_threads = 4;
+  so.max_queue = 16;  // small on purpose: shedding is part of the soak
+  so.query.delta = 1;
+  so.query.epsilon = 0.3;
+  so.query.seed = 11;
+  so.answer_cache = &cache;
+  ServingCore core(&processor, so);
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 96;
+
+  std::mutex track_mu;
+  std::vector<TrackedTicket> tracked;
+  std::vector<uint32_t> added_ids;  // ids whose AddGraph resolved OK
+  std::atomic<uint64_t> callbacks_fired{0};
+  std::atomic<uint64_t> callbacks_expected{0};
+
+  auto submitter = [&](int tid) {
+    uint64_t rng = 0xC0FFEE + static_cast<uint64_t>(tid) * 7919;
+    std::vector<TrackedTicket> local;
+    for (int op = 0; op < kOpsPerThread; ++op) {
+      const uint64_t roll = Mix(&rng) % 100;
+      if (roll < 6) {
+        // Arm a one-shot error failpoint on one of the serving sites. Any
+        // in-flight or future ticket may absorb it; the accounting below
+        // only needs fired-hit counts, not which ticket got hit.
+        FailpointSpec spec;
+        spec.mode = FailpointMode::kError;
+        FailpointArm(roll % 2 == 0 ? "serving.query.front"
+                                   : "serving.mutation.apply",
+                     spec);
+      } else if (roll < 14) {
+        TrackedTicket t;
+        t.ticket = core.SubmitAddGraph(
+            ChaosExtraGraph(Mix(&rng)), Mix(&rng));
+        local.push_back(std::move(t));
+      } else if (roll < 20) {
+        uint32_t victim = 0;
+        bool have = false;
+        {
+          std::lock_guard<std::mutex> lock(track_mu);
+          if (!added_ids.empty()) {
+            victim = added_ids.back();
+            added_ids.pop_back();
+            have = true;
+          }
+        }
+        if (have) {
+          TrackedTicket t;
+          t.ticket = core.SubmitRemoveGraph(victim);
+          local.push_back(std::move(t));
+        }
+      } else {
+        SubmitOptions opts;
+        opts.priority = static_cast<int>(Mix(&rng) % 3);
+        const uint64_t d = Mix(&rng) % 4;
+        opts.deadline_ms = d == 0 ? 0 : (d == 1 ? 2 : -1);
+        opts.allow_degraded = (Mix(&rng) % 2) == 0;
+        if (Mix(&rng) % 4 == 0) opts.cancel_after_draws = 1 + Mix(&rng) % 8;
+        if (Mix(&rng) % 8 == 0) {
+          callbacks_expected.fetch_add(1);
+          opts.callback = [&](const ServeResult&) {
+            callbacks_fired.fetch_add(1);
+          };
+        }
+        TrackedTicket t;
+        t.is_query = true;
+        t.allow_degraded = opts.allow_degraded;
+        t.ticket =
+            core.Submit(s.certain[Mix(&rng) % s.certain.size()], opts);
+        local.push_back(std::move(t));
+      }
+      // Periodic backpressure: without it the submitters outrun the drain so
+      // badly that nearly everything sheds and the execution paths (waves,
+      // mutations, deadline cancels) go under-exercised.
+      if (op % 8 == 7 && !local.empty()) local.back().ticket.Wait();
+      // Harvest successful adds (once each) so removals target live ids.
+      for (auto& t : local) {
+        if (t.is_query || t.harvested || !t.ticket.resolved()) continue;
+        t.harvested = true;
+        const ServeResult& r = t.ticket.Wait();
+        if (r.status.ok() && r.graph_id != 0) {
+          std::lock_guard<std::mutex> lock(track_mu);
+          added_ids.push_back(r.graph_id);
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(track_mu);
+    for (auto& t : local) tracked.push_back(std::move(t));
+  };
+
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) threads.emplace_back(submitter, tid);
+  for (auto& t : threads) t.join();
+
+  // Drain everything, then stop.
+  for (auto& t : tracked) t.ticket.Wait();
+  core.Shutdown();
+
+  const uint64_t final_epoch = processor.epoch();
+  uint64_t degraded_seen = 0;
+  for (const auto& t : tracked) {
+    const ServeResult& r = t.ticket.state()->Wait();
+    // Exactly-once: the first Resolve won and nothing else even tried.
+    EXPECT_EQ(t.ticket.state()->resolve_count.load(), 1u)
+        << "ticket " << t.ticket.id();
+    EXPECT_TRUE(AllowedStatus(r.status))
+        << "ticket " << t.ticket.id() << ": " << r.status.message();
+    EXPECT_LE(r.epoch, final_epoch);
+    if (r.degraded) {
+      ++degraded_seen;
+      EXPECT_TRUE(t.allow_degraded);
+      EXPECT_TRUE(r.status.ok());
+    } else {
+      EXPECT_TRUE(r.intervals.empty());
+    }
+    for (const auto& ia : r.intervals) {
+      EXPECT_LE(0.0, ia.lo);
+      EXPECT_LE(ia.lo, ia.estimate);
+      EXPECT_LE(ia.estimate, ia.hi);
+      EXPECT_LE(ia.hi, 1.0);
+    }
+    if (r.status.code() == StatusCode::kUnavailable) {
+      EXPECT_GT(r.retry_after_seconds, 0.0);
+    }
+  }
+
+  const ServingStats st = core.stats();
+  EXPECT_EQ(st.double_resolves, 0u);
+  EXPECT_EQ(st.submitted, tracked.size());
+  // The resolution counters partition the submitted tickets: every ticket
+  // landed in exactly one bucket (cache hits count inside `completed`).
+  EXPECT_EQ(st.completed + st.degraded + st.deadline_exceeded + st.failed +
+                st.shed,
+            st.submitted);
+  EXPECT_EQ(st.degraded, degraded_seen);
+  // Injected faults are accounted one-to-one: the only kInternal sources in
+  // the soak are the two serving failpoint sites.
+  EXPECT_EQ(st.failed, FailpointHits("serving.query.front") +
+                           FailpointHits("serving.mutation.apply"));
+  EXPECT_EQ(callbacks_fired.load(), callbacks_expected.load());
+  // One line for CI triage: how the soak's tickets actually distributed.
+  std::cout << "[soak] completed=" << st.completed
+            << " degraded=" << st.degraded
+            << " deadline=" << st.deadline_exceeded << " failed=" << st.failed
+            << " shed=" << st.shed << " cache_hits=" << st.answer_cache_hits
+            << " mutations=" << st.mutations_applied << " waves=" << st.waves
+            << std::endl;
+  FailpointResetAll();
+}
+
+// Shutdown under load: every queued ticket must still resolve exactly once —
+// the drain guarantee — and submits AFTER shutdown shed cleanly.
+TEST(ServingChaosTest, ShutdownUnderLoadDrainsEveryTicket) {
+  FailpointResetAll();
+  ChaosSetup s = BuildChaosSetup(42424, 6);
+  QueryProcessor processor(&s.db, &s.pmi, &s.filter);
+
+  ServingOptions so;
+  so.num_threads = 2;
+  so.max_queue = 64;
+  so.query.delta = 1;
+  so.query.epsilon = 0.3;
+  so.query.seed = 11;
+  ServingCore core(&processor, so);
+
+  std::vector<QueryTicket> tickets;
+  for (int i = 0; i < 32; ++i) {
+    SubmitOptions opts;
+    opts.priority = i % 3;
+    if (i % 5 == 0) {
+      tickets.push_back(
+          core.SubmitAddGraph(ChaosExtraGraph(777 + i), i));
+    } else {
+      tickets.push_back(core.Submit(s.certain[i % s.certain.size()], opts));
+    }
+  }
+  core.Shutdown();
+
+  for (auto& t : tickets) {
+    const ServeResult& r = t.Wait();
+    EXPECT_EQ(t.state()->resolve_count.load(), 1u);
+    EXPECT_TRUE(AllowedStatus(r.status)) << r.status.message();
+  }
+  QueryTicket late = core.Submit(s.certain[0]);
+  EXPECT_EQ(late.Wait().status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(core.stats().double_resolves, 0u);
+}
+
+}  // namespace
+}  // namespace pgsim
