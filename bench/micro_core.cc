@@ -14,7 +14,9 @@
 #include "pgsim/datasets/synthetic.h"
 #include "pgsim/graph/mcs.h"
 #include "pgsim/graph/relaxation.h"
+#include "pgsim/graph/signature.h"
 #include "pgsim/graph/vf2.h"
+#include "pgsim/index/domain_index.h"
 #include "pgsim/prob/dnf_exact.h"
 #include "pgsim/index/pmi.h"
 #include "pgsim/query/processor.h"
@@ -138,6 +140,90 @@ void BM_Vf2_PlanCompile(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Vf2_PlanCompile)->Arg(4)->Arg(8)->Arg(12);
+
+// ---- Signature gate (PR 10): the cover test that rejects barren
+// (pattern, target) pairs before VF2, and the matched before/after pair for
+// domain-seeded matching — BM_Vf2_DomainSeeded/0 runs the plain compiled
+// matcher over a label-diverse database, /1 runs the identical workload
+// through BuildCandidateDomains + domain-restricted matching (the stage-3
+// shape with signatures on). Recorded in BENCH_10.json.
+struct SignatureFixture {
+  std::vector<ProbabilisticGraph> db;
+  std::vector<Graph> targets;
+  Graph pattern;
+  MatchPlan plan;
+  SignatureIndex sigs;
+  QuerySignature pattern_sig;
+};
+
+const SignatureFixture& GetSignatureFixture() {
+  static const SignatureFixture* fixture = [] {
+    auto* f = new SignatureFixture();
+    SyntheticOptions options;
+    options.num_graphs = 64;
+    options.avg_vertices = 22;
+    options.edge_factor = 1.5;
+    options.num_vertex_labels = 10;  // label-diverse: the gate's home turf
+    options.seed = 70;
+    f->db = GenerateDatabase(options).value();
+    for (const auto& g : f->db) f->targets.push_back(g.certain());
+    Rng rng(71);
+    f->pattern = ExtractQuery(f->targets[0], 5, &rng).value();
+    f->plan = CompileMatchPlan(f->pattern);
+    f->sigs = SignatureIndex::Build(f->db);
+    f->pattern_sig = BuildQuerySignature(f->pattern);
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_Signature_CoverTest(benchmark::State& state) {
+  const SignatureFixture& f = GetSignatureFixture();
+  size_t covered = 0, pairs = 0;
+  for (auto _ : state) {
+    for (uint32_t gi = 0; gi < f.targets.size(); ++gi) {
+      covered += SignatureCoverTest(f.pattern, f.pattern_sig.view(),
+                                    f.targets[gi], f.sigs.ForGraph(gi));
+      ++pairs;
+    }
+  }
+  benchmark::DoNotOptimize(covered);
+  state.SetItemsProcessed(int64_t(state.iterations()) * f.targets.size());
+  state.counters["cover_rate"] =
+      pairs == 0 ? 0.0 : static_cast<double>(covered) / pairs;
+}
+BENCHMARK(BM_Signature_CoverTest);
+
+void BM_Vf2_DomainSeeded(benchmark::State& state) {
+  const SignatureFixture& f = GetSignatureFixture();
+  const bool use_domains = state.range(0) != 0;
+  Vf2Scratch scratch;
+  size_t matched = 0, vf2_calls = 0;
+  for (auto _ : state) {
+    for (uint32_t gi = 0; gi < f.targets.size(); ++gi) {
+      if (use_domains) {
+        uint64_t pruned = 0;
+        if (!BuildCandidateDomains(f.pattern, f.pattern_sig.view(),
+                                   f.targets[gi], f.sigs.ForGraph(gi),
+                                   &scratch.domains, &pruned)) {
+          continue;  // barren pair: the matcher never runs
+        }
+        ++vf2_calls;
+        matched += IsSubgraphIsomorphic(f.plan, f.targets[gi], &scratch,
+                                        &scratch.domains);
+      } else {
+        ++vf2_calls;
+        matched += IsSubgraphIsomorphic(f.plan, f.targets[gi], &scratch);
+      }
+    }
+  }
+  benchmark::DoNotOptimize(matched);
+  state.SetItemsProcessed(int64_t(state.iterations()) * f.targets.size());
+  state.counters["vf2_calls_per_iter"] =
+      static_cast<double>(vf2_calls) /
+      std::max<int64_t>(1, state.iterations());
+}
+BENCHMARK(BM_Vf2_DomainSeeded)->Arg(0)->Arg(1);
 
 void BM_Mcs_SubgraphDistance(benchmark::State& state) {
   const ProbabilisticGraph g = MakeBenchGraph(5, 14);

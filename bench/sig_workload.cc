@@ -1,0 +1,156 @@
+// Signature-favorable workload (PR 10): a label-diverse database queried
+// with low-selectivity patterns — the regime where most (rq, candidate)
+// pairs are barren and the neighborhood-signature gate should convert them
+// from executed VF2 calls into rejected cover tests.
+//
+// Runs the identical query set with QueryOptions::use_signatures off then
+// on, asserts the answer sets are bit-identical, and reports per-setting
+// stage-1/stage-3 wall time plus the gate counters. The headline numbers —
+// stage-3 speedup and the fraction of would-be matcher calls avoided — are
+// the ones recorded in BENCH_10.json.
+//
+// Flags: --db, --queries, --seed, --delta, --epsilon, --labels, --qsize,
+//        --repeat (measured passes; wall times are summed across them),
+//        --samples (per-candidate SMP draw budget; the default is small so
+//        stage 3 is matcher-bound — the workload this bench pins is the
+//        event-collection VF2 cost, not the draw loop, which is identical
+//        with signatures on and off).
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.h"
+#include "pgsim/query/processor.h"
+
+using namespace pgsim;
+using namespace pgsim::bench;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const size_t db_size = args.GetInt("db", 200 * args.GetInt("scale", 1));
+  const size_t num_queries = args.GetInt("queries", 12);
+  const uint64_t seed = args.GetInt("seed", 42);
+  const uint32_t delta = args.GetInt("delta", 3);
+  const double epsilon = args.GetDouble("epsilon", 0.3);
+  const uint32_t labels = args.GetInt("labels", 10);
+  const uint32_t qsize = args.GetInt("qsize", 10);
+  const int repeat = static_cast<int>(args.GetInt("repeat", 3));
+  const uint32_t samples = args.GetInt("samples", 200);
+
+  std::printf("== Signature workload: label-diverse db, low selectivity ==\n");
+  std::printf("db=%zu labels=%u queries=%zu qsize=%u delta=%u epsilon=%.2f\n\n",
+              db_size, labels, num_queries, qsize, delta, epsilon);
+
+  SyntheticOptions dataset = DefaultDataset(db_size, seed);
+  dataset.num_vertex_labels = labels;
+  dataset.avg_vertices = static_cast<uint32_t>(args.GetInt("vertices", 14));
+  dataset.edge_factor = args.GetDouble("edge-factor", 1.5);
+  Setup setup = BuildSetupFromDataset(dataset);
+  // By default the filter/pruner stages are skipped so every database graph
+  // reaches stage 3 — the verification-bound regime where almost every
+  // (rq, candidate) pair is barren and the signature gate has the most
+  // matcher work to avoid. --pipeline-full=1 runs the normal three-stage
+  // pipeline (the gate then also rides the stage-1 exact check).
+  const bool full_pipeline = args.GetInt("pipeline-full", 0) != 0;
+  const QueryProcessor processor(&setup.db,
+                                 full_pipeline ? &setup.pmi : nullptr,
+                                 full_pipeline ? &setup.filter : nullptr);
+
+  // Low selectivity: extract each query from one source graph, so against
+  // the other label-diverse graphs almost every pair is barren.
+  Rng rng(seed + 1);
+  std::vector<Graph> queries;
+  while (queries.size() < num_queries) {
+    auto q = ExtractQuery(setup.certain[rng.Uniform(setup.certain.size())],
+                          qsize, &rng);
+    if (q.ok()) queries.push_back(std::move(q).value());
+  }
+
+  struct Run {
+    double structural_seconds = 0.0;
+    double verify_seconds = 0.0;
+    size_t vf2_executed = 0;  // stage-1 exact-check matcher calls executed
+    size_t vf2_avoided = 0;
+    size_t pairs_rejected = 0;
+    size_t domain_pruned = 0;
+    size_t answers = 0;
+    size_t stage3_pairs = 0;  // verification candidates x |U|
+  };
+  std::vector<std::vector<uint32_t>> baseline_answers;
+  Run runs[2];
+  for (const bool use_signatures : {false, true}) {
+    Run& run = runs[use_signatures ? 1 : 0];
+    QueryOptions options;
+    options.delta = delta;
+    options.epsilon = epsilon;
+    options.use_signatures = use_signatures;
+    options.verifier.mc.min_samples = samples;
+    options.verifier.mc.max_samples = samples;
+    for (int pass = 0; pass < repeat; ++pass) {
+      std::vector<std::vector<uint32_t>> answers;
+      for (const Graph& q : queries) {
+        QueryStats stats;
+        auto result = processor.Query(q, options, &stats);
+        if (!result.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        run.structural_seconds += stats.structural_seconds;
+        run.verify_seconds += stats.verify_seconds;
+        run.vf2_executed += stats.structural_detail.isomorphism_tests;
+        run.vf2_avoided += stats.vf2_calls_avoided;
+        run.pairs_rejected += stats.sig_pairs_rejected;
+        run.domain_pruned += stats.domain_candidates_pruned;
+        run.answers += result->size();
+        run.stage3_pairs += stats.verification_candidates * stats.num_relaxed_queries;
+        answers.push_back(std::move(result).value());
+      }
+      if (baseline_answers.empty()) {
+        baseline_answers = std::move(answers);
+      } else if (answers != baseline_answers) {
+        std::fprintf(stderr,
+                     "FAIL: answers differ (signatures=%d pass=%d)\n",
+                     use_signatures ? 1 : 0, pass);
+        return 1;
+      }
+    }
+  }
+
+  Table table({"signatures", "stage1_ms", "stage3_ms", "vf2_exec",
+               "vf2_avoided", "pairs_rejected", "domain_pruned", "answers"});
+  for (int i = 0; i < 2; ++i) {
+    table.AddRow({i == 0 ? "off" : "on", FmtMs(runs[i].structural_seconds),
+                  FmtMs(runs[i].verify_seconds),
+                  std::to_string(runs[i].vf2_executed),
+                  std::to_string(runs[i].vf2_avoided),
+                  std::to_string(runs[i].pairs_rejected),
+                  std::to_string(runs[i].domain_pruned),
+                  std::to_string(runs[i].answers)});
+  }
+  table.Print();
+
+  const double stage3_speedup =
+      runs[1].verify_seconds <= 0.0
+          ? 0.0
+          : runs[0].verify_seconds / runs[1].verify_seconds;
+  // Fraction of stage-3 (rq, candidate) matcher calls the gate eliminated
+  // (plus any stage-1 exact-check calls when --pipeline-full=1; with the
+  // default verification-bound pipeline stage3_pairs is the whole matcher
+  // workload).
+  const double avoided_ratio =
+      runs[1].stage3_pairs == 0
+          ? 0.0
+          : static_cast<double>(runs[1].vf2_avoided) /
+                static_cast<double>(runs[1].stage3_pairs);
+  std::printf("\nanswers bit-identical: yes\n");
+  std::printf("stage3_speedup: %.2fx (off %.2f ms / on %.2f ms)\n",
+              stage3_speedup, runs[0].verify_seconds * 1e3,
+              runs[1].verify_seconds * 1e3);
+  std::printf("vf2_calls_avoided_ratio: %.2f\n", avoided_ratio);
+  std::printf(
+      "\nExpected shape: most pairs rejected by the cover test; stage3 "
+      "speedup >= 1.5x on this workload.\n");
+  return 0;
+}

@@ -9,6 +9,12 @@
 //                      [--build-threads=N] [--cache=0|1] [--verify-threads=N]
 //                      [--answer-cache[=CAP]] [--repeat=N] [--mutate-every=N]
 //                      [--wal-dir=DIR] [--snapshot-every=N]
+//                      [--signatures=on|off]
+//
+// --signatures toggles the neighborhood-signature gate (default on): barren
+// (rq, candidate) pairs are rejected before VF2 and survivors run over
+// signature-built candidate domains. Answers are bit-identical either way;
+// the per-pass "signatures ..." line reports the work avoided.
 //
 // --wal-dir serves from a crash-consistent durable database in DIR: the
 // first run initializes it from --db (snapshot generation 0 + empty WAL);
@@ -46,6 +52,7 @@
 //                      [--deadline-ms=N] [--priority=N] [--allow-degraded]
 //                      [--cancel-after-draws=N] [--max-queue=N]
 //                      [--answer-cache[=CAP]] [--repeat=N] [--mutate-every=N]
+//                      [--signatures=on|off]
 //
 // serve drives the always-on ServingCore instead of a closed batch: every
 // query is Submit()ed through the bounded priority admission queue
@@ -263,6 +270,16 @@ int CmdQuery(int argc, char** argv) {
   const int64_t verify_threads = FlagInt(argc, argv, "verify-threads", 1);
   options.verify_threads =
       verify_threads < 0 ? 1 : static_cast<uint32_t>(verify_threads);
+  const std::string signatures = FlagStr(argc, argv, "signatures", "on");
+  if (signatures == "on") {
+    options.use_signatures = true;
+  } else if (signatures == "off") {
+    options.use_signatures = false;
+  } else {
+    std::fprintf(stderr, "unknown --signatures=%s (on|off)\n",
+                 signatures.c_str());
+    return 2;
+  }
   BatchOptions batch;
   // Clamp: negative flag values would wrap through the uint32 fields.
   const int64_t threads = FlagInt(argc, argv, "threads", 1);
@@ -407,6 +424,11 @@ int CmdQuery(int argc, char** argv) {
           batch_stats.prepared_cache_hits + batch_stats.prepared_cache_misses,
           batch_stats.cache_uncacheable, batch_stats.cache_seconds * 1e3);
     }
+    std::printf(
+        "signatures %s: %zu pairs rejected, %zu domain candidates pruned, "
+        "%zu VF2 calls avoided\n",
+        options.use_signatures ? "on" : "off", batch_stats.sig_pairs_rejected,
+        batch_stats.domain_candidates_pruned, batch_stats.vf2_calls_avoided);
     if (answer_cache_on) {
       std::printf(
           "answer-cache: %zu hits, %zu misses (%zu stale), %zu evictions | "
@@ -444,6 +466,16 @@ int CmdServe(int argc, char** argv) {
   so.max_queue = max_queue < 0 ? 0 : static_cast<size_t>(max_queue);
   so.query.delta = FlagInt(argc, argv, "delta", 1);
   so.query.epsilon = FlagDouble(argc, argv, "epsilon", 0.5);
+  const std::string signatures = FlagStr(argc, argv, "signatures", "on");
+  if (signatures == "on") {
+    so.query.use_signatures = true;
+  } else if (signatures == "off") {
+    so.query.use_signatures = false;
+  } else {
+    std::fprintf(stderr, "unknown --signatures=%s (on|off)\n",
+                 signatures.c_str());
+    return 2;
+  }
 
   const bool answer_cache_on = FlagPresent(argc, argv, "answer-cache");
   AnswerCacheOptions cache_options;
@@ -549,6 +581,13 @@ int CmdServe(int argc, char** argv) {
       static_cast<unsigned long long>(st.waves),
       static_cast<unsigned long long>(st.mutations_applied),
       static_cast<unsigned long long>(st.double_resolves));
+  std::printf(
+      "signatures %s: %llu pairs rejected, %llu domain candidates pruned, "
+      "%llu VF2 calls avoided\n",
+      so.query.use_signatures ? "on" : "off",
+      static_cast<unsigned long long>(st.sig_pairs_rejected),
+      static_cast<unsigned long long>(st.domain_candidates_pruned),
+      static_cast<unsigned long long>(st.vf2_calls_avoided));
   return 0;
 }
 

@@ -1,0 +1,97 @@
+#include "pgsim/graph/signature.h"
+
+#include <algorithm>
+
+namespace pgsim {
+
+void BuildVertexSignatures(const Graph& g, uint64_t* nbr_bits,
+                           uint64_t* hop2_bits, uint32_t* degree,
+                           uint8_t* label_counts) {
+  const uint32_t n = g.NumVertices();
+  // Pass 1: one-hop pair bitmap, degree, saturating per-label counts.
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t bits = 0;
+    uint8_t* counts = label_counts + size_t{v} * kSignatureLabelSlots;
+    std::fill(counts, counts + kSignatureLabelSlots, uint8_t{0});
+    for (const AdjEntry& a : g.Neighbors(v)) {
+      const LabelId nl = g.VertexLabel(a.neighbor);
+      bits |= uint64_t{1} << SignatureBit(nl, g.EdgeLabel(a.edge));
+      uint8_t& c = counts[SignatureLabelSlot(nl)];
+      if (c != 0xFF) ++c;
+    }
+    nbr_bits[v] = bits;
+    degree[v] = g.Degree(v);
+  }
+  // Pass 2: length-two walk bitmap — the OR of the neighbors' one-hop
+  // bitmaps. Walks may return to v; that holds symmetrically for pattern and
+  // target, so dominance stays sound.
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t bits = 0;
+    for (const AdjEntry& a : g.Neighbors(v)) bits |= nbr_bits[a.neighbor];
+    hop2_bits[v] = bits;
+  }
+}
+
+QuerySignature BuildQuerySignature(const Graph& g) {
+  QuerySignature sig;
+  const uint32_t n = g.NumVertices();
+  sig.num_vertices = n;
+  sig.nbr_bits.resize(n);
+  sig.hop2_bits.resize(n);
+  sig.degree.resize(n);
+  sig.label_counts.resize(size_t{n} * kSignatureLabelSlots);
+  BuildVertexSignatures(g, sig.nbr_bits.data(), sig.hop2_bits.data(),
+                        sig.degree.data(), sig.label_counts.data());
+  return sig;
+}
+
+bool SignatureCoverTest(const Graph& pattern, const SignatureView& psig,
+                        const Graph& target, const SignatureView& tsig) {
+  const uint32_t np = pattern.NumVertices();
+  if (np > target.NumVertices()) return false;
+  for (VertexId pv = 0; pv < np; ++pv) {
+    bool found = false;
+    for (VertexId tv : target.VerticesWithLabel(pattern.VertexLabel(pv))) {
+      if (SignatureDominates(psig, pv, tsig, tv)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool BuildCandidateDomains(const Graph& pattern, const SignatureView& psig,
+                           const Graph& target, const SignatureView& tsig,
+                           CandidateDomains* out, uint64_t* pruned) {
+  const uint32_t np = pattern.NumVertices();
+  const uint32_t nt = target.NumVertices();
+  if (np > nt) return false;
+  out->num_pattern_vertices = np;
+  out->num_target_vertices = nt;
+  out->offsets.clear();
+  out->offsets.reserve(np + 1);
+  out->offsets.push_back(0);
+  out->verts.clear();
+  out->member.assign(size_t{np} * nt, 0);
+  uint64_t local_pruned = 0;
+  for (VertexId pv = 0; pv < np; ++pv) {
+    const size_t seg_begin = out->verts.size();
+    uint8_t* row = out->member.data() + size_t{pv} * nt;
+    for (VertexId tv : target.VerticesWithLabel(pattern.VertexLabel(pv))) {
+      if (SignatureDominates(psig, pv, tsig, tv)) {
+        out->verts.push_back(tv);
+        row[tv] = 1;
+      } else {
+        ++local_pruned;
+      }
+    }
+    if (out->verts.size() == seg_begin) return false;  // barren pair
+    out->offsets.push_back(static_cast<uint32_t>(out->verts.size()));
+  }
+  if (pruned != nullptr) *pruned += local_pruned;
+  return true;
+}
+
+}  // namespace pgsim

@@ -114,6 +114,16 @@ size_t RunMatch(const MatchPlan& plan, const Graph& target,
       plan.num_pattern_edges > target.NumEdges()) {
     return 0;
   }
+  // Signature-derived domains restrict candidate iteration without changing
+  // the embedding set or order: domain segments are ascending-id subsets of
+  // the label buckets, and membership is a necessary condition for any
+  // completed embedding. A mismatched domain (wrong pair) is a caller bug.
+  const CandidateDomains* domains = options.domains;
+  if (domains != nullptr &&
+      (domains->num_pattern_vertices != plan.num_pattern_vertices ||
+       domains->num_target_vertices != target.NumVertices())) {
+    domains = nullptr;
+  }
   s->map.assign(plan.num_pattern_vertices, kInvalidVertex);
   s->used.assign(target.NumVertices(), 0);
   s->cursor.resize(n);
@@ -144,6 +154,13 @@ size_t RunMatch(const MatchPlan& plan, const Graph& target,
           target.Neighbors(s->map[plan.back[boff].other]);
       s->dom_adj[p] = adj.data();
       s->dom_size[p] = static_cast<uint32_t>(adj.size());
+    } else if (domains != nullptr) {
+      // Domain segment: the ascending-id subset of the label bucket whose
+      // signatures dominate this pattern vertex's.
+      const VertexId pv = plan.order[p];
+      const uint32_t begin = domains->offsets[pv];
+      s->dom_bucket[p] = domains->verts.data() + begin;
+      s->dom_size[p] = domains->offsets[pv + 1] - begin;
     } else {
       const Span<VertexId> bucket =
           target.VerticesWithLabel(plan.pos_label[p]);
@@ -166,11 +183,17 @@ size_t RunMatch(const MatchPlan& plan, const Graph& target,
     if (boff != bend) {
       const PlanBackEdge& anchor = plan.back[boff];
       const AdjEntry* adj = s->dom_adj[pos];
+      const uint8_t* member =
+          domains != nullptr
+              ? domains->member.data() +
+                    size_t{pv} * domains->num_target_vertices
+              : nullptr;
       uint32_t& cur = s->cursor[pos];
       while (cur < dom_n) {
         const AdjEntry ta = adj[cur++];
         const VertexId cand = ta.neighbor;
         if (s->used[cand] || target.VertexLabel(cand) != pl) continue;
+        if (member != nullptr && member[cand] == 0) continue;
         if (target.Degree(cand) < pdeg) continue;
         if (target.EdgeLabel(ta.edge) != anchor.label) continue;
         if (plan.min_forward[pos] != 0 &&
@@ -339,7 +362,8 @@ size_t Vf2Scratch::CapacityBytes() const {
          fwd_need.capacity() * sizeof(uint32_t) +
          embedding.vertex_map.capacity() * sizeof(VertexId) +
          embedding.edge_map.capacity() * sizeof(EdgeId) +
-         seen.word_capacity() * sizeof(uint64_t) + dedup.CapacityBytes();
+         seen.word_capacity() * sizeof(uint64_t) + dedup.CapacityBytes() +
+         domains.CapacityBytes();
 }
 
 size_t EnumerateEmbeddings(const MatchPlan& plan, const Graph& target,
@@ -349,11 +373,13 @@ size_t EnumerateEmbeddings(const MatchPlan& plan, const Graph& target,
 }
 
 bool IsSubgraphIsomorphic(const MatchPlan& plan, const Graph& target,
-                          Vf2Scratch* scratch) {
+                          Vf2Scratch* scratch,
+                          const CandidateDomains* domains) {
   if (plan.num_pattern_vertices == 0) return true;  // empty pattern maps
   Vf2Options options;
   options.max_embeddings = 1;
   options.dedup_by_edge_set = false;
+  options.domains = domains;
   return RunMatch(plan, target, options, scratch,
                   [](const Embedding&) { return false; }) > 0;
 }

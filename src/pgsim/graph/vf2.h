@@ -65,6 +65,30 @@ struct Embedding {
   std::vector<EdgeId> edge_map;
 };
 
+/// Per-pattern-vertex candidate sets, precomputed from neighborhood
+/// signatures (graph/signature.h) for one (pattern, target) pair. Domains
+/// are *sound* restrictions: every vertex removed from a label bucket is
+/// provably unable to host its pattern vertex in any monomorphism, so
+/// substituting the domain for the bucket changes neither the embedding set
+/// nor the enumeration order (segments keep the bucket's ascending-id
+/// order). Storage is caller-owned and reused across pairs (Vf2Scratch).
+struct CandidateDomains {
+  uint32_t num_pattern_vertices = 0;
+  uint32_t num_target_vertices = 0;
+  /// CSR over pattern vertices: vertex pv's domain is
+  /// verts[offsets[pv] .. offsets[pv+1]), ascending target ids.
+  std::vector<uint32_t> offsets;
+  std::vector<VertexId> verts;
+  /// Pattern-major membership mask, member[pv * num_target_vertices + tv]:
+  /// one byte probe for the anchored (adjacency-driven) positions.
+  std::vector<uint8_t> member;
+
+  size_t CapacityBytes() const {
+    return offsets.capacity() * sizeof(uint32_t) +
+           verts.capacity() * sizeof(VertexId) + member.capacity();
+  }
+};
+
 /// Enumeration knobs.
 struct Vf2Options {
   /// Stop after this many *distinct edge-set* embeddings (0 = no cap).
@@ -73,6 +97,13 @@ struct Vf2Options {
   /// set are reported once: Definition 5 defines the embedding as the
   /// subgraph (V3, E3) of g, so pattern automorphisms do not multiply counts.
   bool dedup_by_edge_set = true;
+  /// Optional signature-derived candidate domains for this (pattern, target)
+  /// pair: anchorless positions iterate the pattern vertex's domain segment
+  /// instead of the full label bucket, and anchored positions reject
+  /// non-members with one byte probe. Must have been built for exactly this
+  /// pair (num_pattern_vertices/num_target_vertices are asserted). The
+  /// embedding set and enumeration order are unchanged.
+  const CandidateDomains* domains = nullptr;
 };
 
 /// One compiled back-edge constraint of a match position: the candidate must
@@ -171,6 +202,10 @@ struct Vf2Scratch {
   EventSetPool seen;
   /// Open-addressing table over `seen` rows.
   EventRowDedup dedup;
+  /// Caller-filled candidate domains (BuildCandidateDomains writes here and
+  /// Vf2Options::domains points at it); storage only, the engine never
+  /// touches it unless the options request domain-restricted iteration.
+  CandidateDomains domains;
 
   /// Total reserved bytes across all buffers — lets tests pin "a second
   /// pass over the same workload performs no scratch growth".
@@ -187,9 +222,11 @@ size_t EnumerateEmbeddings(const MatchPlan& plan, const Graph& target,
                            FunctionRef<bool(const Embedding&)> callback);
 
 /// Existence check against a compiled plan: stops at the first embedding,
-/// skips dedup and report materialization entirely.
+/// skips dedup and report materialization entirely. `domains` optionally
+/// restricts candidate iteration (see Vf2Options::domains).
 bool IsSubgraphIsomorphic(const MatchPlan& plan, const Graph& target,
-                          Vf2Scratch* scratch);
+                          Vf2Scratch* scratch,
+                          const CandidateDomains* domains = nullptr);
 
 /// Plan-based variant of EmbeddingEdgeSets (see below for the truncation
 /// contract), drawing matcher state from `*scratch`.

@@ -7,6 +7,7 @@
 
 #include "pgsim/common/thread_pool.h"
 #include "pgsim/common/timer.h"
+#include "pgsim/graph/signature.h"
 #include "pgsim/graph/vf2.h"
 
 namespace pgsim {
@@ -169,6 +170,24 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
     feature_plans.push_back(CompileMatchPlan(f.graph));
   }
 
+  // Signature gate inputs: one per-vertex signature set per database graph
+  // (built once, reused by every candidate's support scan) and one per
+  // accepted feature (pattern side of the subfeature containment tests).
+  // Cover-test failures prove zero embeddings, so gated skips cannot change
+  // the mined set — they only shrink isomorphism_tests.
+  std::vector<QuerySignature> db_sigs;
+  std::vector<QuerySignature> feature_sigs;
+  if (options.use_signatures) {
+    db_sigs.resize(database.size());
+    for (size_t gi = 0; gi < database.size(); ++gi) {
+      db_sigs[gi] = BuildQuerySignature(database[gi]);
+    }
+    feature_sigs.reserve(out.features.capacity());
+    for (const Feature& f : out.features) {
+      feature_sigs.push_back(BuildQuerySignature(f.graph));
+    }
+  }
+
   Vf2Options emb_options;
   emb_options.max_embeddings = options.max_growth_embeddings;
   emb_options.dedup_by_edge_set = true;
@@ -298,11 +317,19 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
       // One plan per candidate, reused across its whole parent support (and
       // one scratch for every enumeration/test this candidate runs).
       const MatchPlan cand_plan = CompileMatchPlan(cand.graph);
+      const QuerySignature cand_sig =
+          options.use_signatures ? BuildQuerySignature(cand.graph)
+                                 : QuerySignature{};
       Vf2Scratch vf2;
       // Support and alpha-qualified support.
       std::vector<uint32_t> support;
       size_t alpha_qualified = 0;
       for (uint32_t gi : cand.parent_support) {
+        if (options.use_signatures &&
+            !SignatureCoverTest(cand.graph, cand_sig.view(), database[gi],
+                                db_sigs[gi].view())) {
+          continue;  // provably zero embeddings: skip the (uncounted) VF2
+        }
         ++slot.isomorphism_tests;
         bool truncated = false;
         const std::vector<EdgeBitset> embeddings =
@@ -329,6 +356,11 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
         for (size_t pi = 0; pi < out.features.size(); ++pi) {
           const Feature& prior = out.features[pi];
           if (prior.graph.NumEdges() >= cand.graph.NumEdges()) continue;
+          if (options.use_signatures &&
+              !SignatureCoverTest(prior.graph, feature_sigs[pi].view(),
+                                  cand.graph, cand_sig.view())) {
+            continue;  // cover fail ⟹ prior ⊄ cand: same branch, no VF2
+          }
           ++slot.isomorphism_tests;
           if (!IsSubgraphIsomorphic(feature_plans[pi], cand.graph, &vf2)) {
             continue;
@@ -386,6 +418,9 @@ Result<FeatureSet> MineFeatures(const std::vector<Graph>& database,
       out.features.push_back(std::move(f));
       frontier.push_back(&out.features.back());
       feature_plans.push_back(CompileMatchPlan(out.features.back().graph));
+      if (options.use_signatures) {
+        feature_sigs.push_back(BuildQuerySignature(out.features.back().graph));
+      }
     }
   }
 

@@ -63,6 +63,11 @@ struct FeatureMinerOptions {
   /// Caller-owned pool (not owned; must outlive the call). Overrides
   /// num_threads; PMI::Build threads its build pool through here.
   ThreadPool* pool = nullptr;
+  /// Run the signature cover test before each containment VF2 call (support
+  /// counting and subfeature tests). The test is sound — a failure proves
+  /// zero embeddings — so the mined feature set is bit-identical either way;
+  /// only `isomorphism_tests` (work actually done) shrinks.
+  bool use_signatures = true;
 };
 
 /// One mined feature: its graph and support list Df (indices into Dc).

@@ -27,6 +27,7 @@ BatchQueryCache::Lookup BatchQueryCache::Find(const Graph& q) {
       lk.relaxed = it->second.relaxed;
       lk.prepared = it->second.prepared;
       lk.plans = it->second.plans;
+      lk.sigs = it->second.sigs;
     }
     lk.counts = it->second.counts;
   }
@@ -34,6 +35,7 @@ BatchQueryCache::Lookup BatchQueryCache::Find(const Graph& q) {
   lk.counts != nullptr ? ++stats_.counts_hits : ++stats_.counts_misses;
   lk.prepared != nullptr ? ++stats_.prepared_hits : ++stats_.prepared_misses;
   lk.plans != nullptr ? ++stats_.plans_hits : ++stats_.plans_misses;
+  lk.sigs != nullptr ? ++stats_.sigs_hits : ++stats_.sigs_misses;
   return lk;
 }
 
@@ -72,6 +74,16 @@ void BatchQueryCache::StorePlans(
   const auto it = classes_.find(lk.canonical_key);
   if (it == classes_.end() || it->second.exact_key != lk.exact_key) return;
   if (it->second.plans == nullptr) it->second.plans = std::move(plans);
+}
+
+void BatchQueryCache::StoreSigs(
+    const Lookup& lk,
+    std::shared_ptr<const std::vector<QuerySignature>> sigs) {
+  if (!lk.cacheable) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = classes_.find(lk.canonical_key);
+  if (it == classes_.end() || it->second.exact_key != lk.exact_key) return;
+  if (it->second.sigs == nullptr) it->second.sigs = std::move(sigs);
 }
 
 BatchCacheStats BatchQueryCache::stats() const {

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "pgsim/graph/graph.h"
+#include "pgsim/graph/signature.h"
 #include "pgsim/graph/vf2.h"
 #include "pgsim/query/prob_pruner.h"
 #include "pgsim/query/structural_filter.h"
@@ -63,6 +64,8 @@ struct BatchCacheStats {
   size_t prepared_misses = 0;
   size_t plans_hits = 0;      ///< rq match-plan sets reused (exact duplicates)
   size_t plans_misses = 0;
+  size_t sigs_hits = 0;       ///< rq signature sets reused (exact duplicates)
+  size_t sigs_misses = 0;     ///< probes counted even with signatures off
   size_t uncacheable = 0;     ///< canonical code over budget; query ran cold
 };
 
@@ -87,6 +90,10 @@ class BatchQueryCache {
     /// fixed database label frequencies), so exact-key semantics apply as
     /// for `relaxed`.
     std::shared_ptr<const std::vector<MatchPlan>> plans;
+    /// Non-null on a query-signature hit: one QuerySignature per relaxed
+    /// query, in U's order — a pure function of U, so exact-key semantics
+    /// apply as for `relaxed`.
+    std::shared_ptr<const std::vector<QuerySignature>> sigs;
   };
 
   /// Computes both keys of `q`, probes the cache, and bumps counters.
@@ -113,6 +120,12 @@ class BatchQueryCache {
   void StorePlans(const Lookup& lk,
                   std::shared_ptr<const std::vector<MatchPlan>> plans);
 
+  /// Publishes the relaxed-query vertex signatures for lk's exact form
+  /// (same gating as StorePlans: the signatures must describe the exact U
+  /// that relax-tier hits will reuse).
+  void StoreSigs(const Lookup& lk,
+                 std::shared_ptr<const std::vector<QuerySignature>> sigs);
+
   /// Counter snapshot (consistent under the cache mutex).
   BatchCacheStats stats() const;
 
@@ -126,6 +139,7 @@ class BatchQueryCache {
     std::shared_ptr<const QueryFeatureCounts> counts;
     std::shared_ptr<const PreparedQueryRelations> prepared;
     std::shared_ptr<const std::vector<MatchPlan>> plans;
+    std::shared_ptr<const std::vector<QuerySignature>> sigs;
   };
 
   mutable std::mutex mu_;

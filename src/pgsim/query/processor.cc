@@ -54,7 +54,8 @@ std::string QueryOptionsFingerprint(const QueryOptions& options) {
 
 QueryProcessor::QueryProcessor(const std::vector<ProbabilisticGraph>* database,
                                const ProbabilisticMatrixIndex* pmi,
-                               const StructuralFilter* structural)
+                               const StructuralFilter* structural,
+                               const SignatureIndex* signatures)
     : database_(database), pmi_(pmi), structural_(structural) {
   if (database_ != nullptr) {
     for (const ProbabilisticGraph& g : *database_) {
@@ -86,18 +87,34 @@ QueryProcessor::QueryProcessor(const std::vector<ProbabilisticGraph>* database,
   if (pmi_ != nullptr) {
     epoch_.store(pmi_->epoch(), std::memory_order_release);
   }
+  // Signature index: serve the caller's, or build an owned one over the
+  // database (cheap — one adjacency pass per graph) and inherit the same
+  // tombstone view as above so Compact renumbering stays aligned.
+  if (signatures != nullptr) {
+    sigs_ = signatures;
+  } else if (database_ != nullptr) {
+    owned_sigs_ = std::make_unique<SignatureIndex>(
+        SignatureIndex::Build(*database_));
+    for (uint32_t gi = 0; gi < alive_.size(); ++gi) {
+      if (alive_[gi] == 0) (void)owned_sigs_->RemoveGraph(gi);
+    }
+    sigs_ = owned_sigs_.get();
+  }
 }
 
 QueryProcessor::QueryProcessor(std::vector<ProbabilisticGraph>* database,
                                ProbabilisticMatrixIndex* pmi,
-                               StructuralFilter* structural)
+                               StructuralFilter* structural,
+                               SignatureIndex* signatures)
     : QueryProcessor(
           static_cast<const std::vector<ProbabilisticGraph>*>(database),
           static_cast<const ProbabilisticMatrixIndex*>(pmi),
-          static_cast<const StructuralFilter*>(structural)) {
+          static_cast<const StructuralFilter*>(structural),
+          static_cast<const SignatureIndex*>(signatures)) {
   mutable_database_ = database;
   mutable_pmi_ = pmi;
   mutable_structural_ = structural;
+  mutable_sigs_ = signatures != nullptr ? signatures : owned_sigs_.get();
 }
 
 // ---------------------------------------------------------------------------
@@ -133,6 +150,13 @@ Result<uint32_t> QueryProcessor::AddGraph(const ProbabilisticGraph& graph,
       return Status::Internal("AddGraph: filter and database ids diverged");
     }
   }
+  if (mutable_sigs_ != nullptr) {
+    const uint32_t sig_id = mutable_sigs_->AddGraph(graph.certain());
+    if (sig_id != graph_id) {
+      return Status::Internal(
+          "AddGraph: signature index and database ids diverged");
+    }
+  }
   mutable_database_->push_back(graph);
   AccumulateVertexLabelFrequencies(graph.certain(), &db_label_freq_);
   alive_.push_back(1);
@@ -156,6 +180,9 @@ Status QueryProcessor::RemoveGraph(uint32_t graph_id) {
   }
   if (mutable_structural_ != nullptr) {
     PGSIM_RETURN_NOT_OK(mutable_structural_->RemoveGraph(graph_id));
+  }
+  if (mutable_sigs_ != nullptr) {
+    PGSIM_RETURN_NOT_OK(mutable_sigs_->RemoveGraph(graph_id));
   }
   // Exact label-frequency rollback: an add→remove round trip restores the
   // frequencies byte-identically, so compiled plans — and therefore every
@@ -187,6 +214,7 @@ void QueryProcessor::CompactLocked() {
   if (alive_count == alive_.size()) return;
   if (mutable_pmi_ != nullptr) mutable_pmi_->Compact();
   if (mutable_structural_ != nullptr) mutable_structural_->Compact();
+  if (mutable_sigs_ != nullptr) mutable_sigs_->Compact();
   // All three structures renumber identically: alive ids shift down by the
   // number of dead slots below them.
   auto& db = *mutable_database_;
@@ -322,6 +350,34 @@ Status QueryProcessor::FrontStagesImpl(const Graph& q,
     }
   }
 
+  // ---- Relaxed-query vertex signatures (the gate's pattern side). ----
+  // One QuerySignature per rq, compiled once per query and reused for every
+  // candidate by the filter exact check and stage 3. A pure function of U's
+  // exact form, so the exact-key cache tier applies (same sharing scheme as
+  // the plans above). job->rq_sigs stays null with signatures off — every
+  // downstream gate keys off that.
+  if (options.use_signatures && sigs_ != nullptr) {
+    if (cached.sigs != nullptr) {
+      job->sigs_hold = cached.sigs;
+      job->rq_sigs = job->sigs_hold.get();
+    } else {
+      job->sigs_storage.clear();
+      job->sigs_storage.reserve(relaxed.size());
+      for (const Graph& rq : relaxed) {
+        job->sigs_storage.push_back(BuildQuerySignature(rq));
+      }
+      if (cached.cacheable) {
+        job->sigs_hold = std::make_shared<const std::vector<QuerySignature>>(
+            std::move(job->sigs_storage));
+        job->sigs_storage.clear();
+        job->rq_sigs = job->sigs_hold.get();
+        ctx->cache->StoreSigs(cached, job->sigs_hold);
+      } else {
+        job->rq_sigs = &job->sigs_storage;
+      }
+    }
+  }
+
   // ---- Stage 1: structural pruning (Theorem 1). ----
   WallTimer structural_timer;
   std::vector<uint32_t>& sc_q = job->structural_candidates;
@@ -334,10 +390,17 @@ Status QueryProcessor::FrontStagesImpl(const Graph& q,
     }
     structural_->Filter(q, relaxed, options.delta, &sc_q,
                         &ctx->filter_scratch, &local.structural_detail, counts,
-                        computed.get(), job->rq_plans);
+                        computed.get(), job->rq_plans,
+                        job->rq_sigs != nullptr ? sigs_ : nullptr,
+                        job->rq_sigs);
     if (computed != nullptr) {
       ctx->cache->StoreCounts(cached, std::move(computed));
     }
+    // The exact check's signature rejections are whole VF2 calls avoided.
+    local.sig_pairs_rejected += local.structural_detail.sig_pairs_rejected;
+    local.domain_candidates_pruned +=
+        local.structural_detail.domain_candidates_pruned;
+    local.vf2_calls_avoided += local.structural_detail.sig_pairs_rejected;
   } else {
     for (uint32_t i = 0; i < db.size(); ++i) {
       if (alive_[i]) sc_q.push_back(i);
@@ -424,6 +487,24 @@ void QueryProcessor::VerifyCandidate(const QueryOptions& options,
                                      VerifierScratch* scratch) const {
   const auto& db = *database_;
   const uint32_t gi = job->to_verify[k];
+  // Signature gate: present only when FrontStagesImpl compiled rq signatures
+  // (use_signatures on and an index exists). The gate never changes the
+  // similarity events, so verdicts are identical with it on or off.
+  SignatureGate gate;
+  const SignatureGate* gate_ptr = nullptr;
+  if (job->rq_sigs != nullptr && sigs_ != nullptr) {
+    gate.target = sigs_->ForGraph(gi);
+    gate.rq = job->rq_sigs;
+    gate_ptr = &gate;
+  }
+  const auto accumulate_gate_counters = [job, scratch] {
+    job->sig_pairs_rejected.fetch_add(scratch->sig_pairs_rejected,
+                                      std::memory_order_relaxed);
+    job->domain_candidates_pruned.fetch_add(scratch->domain_candidates_pruned,
+                                            std::memory_order_relaxed);
+    job->vf2_calls_avoided.fetch_add(scratch->vf2_calls_avoided,
+                                     std::memory_order_relaxed);
+  };
   if (options.verify_mode == QueryOptions::VerifyMode::kExact) {
     // The exact DNF engine has no internal cancellation points; honor the
     // token at candidate granularity.
@@ -434,7 +515,9 @@ void QueryProcessor::VerifyCandidate(const QueryOptions& options,
       return;
     }
     const Result<double> ssp = ExactSubgraphSimilarityProbability(
-        db[gi], *job->relaxed, options.verifier, scratch, job->rq_plans);
+        db[gi], *job->relaxed, options.verifier, scratch, job->rq_plans,
+        gate_ptr);
+    accumulate_gate_counters();
     if (!ssp.ok()) {
       job->verdicts[k] = kVerifyFailed;
     } else {
@@ -448,7 +531,8 @@ void QueryProcessor::VerifyCandidate(const QueryOptions& options,
   control.cancel_after_draws = job->cancel_after_draws;
   const Result<SampleOutcome> out = SampleSubgraphSimilarityProbabilityAnytime(
       db[gi], *job->relaxed, options.verifier, &job->verify_rngs[k], scratch,
-      job->rq_plans, control);
+      job->rq_plans, control, gate_ptr);
+  accumulate_gate_counters();
   if (!out.ok()) {
     job->verdicts[k] = kVerifyFailed;
   } else if (!out->completed) {
@@ -482,6 +566,14 @@ void QueryProcessor::FinishQuery(QueryJob* job) const {
     std::sort(job->answers.begin(), job->answers.end());
     local.answers = job->answers.size();
   }
+  // The filter's share of the signature counters was folded in at stage 1;
+  // stage 3's share was accumulated per-candidate into the job atomics.
+  local.sig_pairs_rejected +=
+      job->sig_pairs_rejected.load(std::memory_order_relaxed);
+  local.domain_candidates_pruned +=
+      job->domain_candidates_pruned.load(std::memory_order_relaxed);
+  local.vf2_calls_avoided +=
+      job->vf2_calls_avoided.load(std::memory_order_relaxed);
   local.verify_seconds = job->verify_timer.Seconds();
   local.total_seconds = job->total_timer.Seconds();
   // Fill the answer-cache slot this query's probe addressed (no-op on a hit
@@ -832,6 +924,9 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
       agg.pruned_by_upper += r.stats.pruned_by_upper;
       agg.accepted_by_lower += r.stats.accepted_by_lower;
       agg.verification_candidates += r.stats.verification_candidates;
+      agg.sig_pairs_rejected += r.stats.sig_pairs_rejected;
+      agg.domain_candidates_pruned += r.stats.domain_candidates_pruned;
+      agg.vf2_calls_avoided += r.stats.vf2_calls_avoided;
       agg.sum_queue_wait_seconds += r.stats.queue_wait_seconds;
       agg.sum_query_seconds += r.stats.total_seconds;
       agg.cache_seconds += r.stats.cache_seconds;
@@ -846,6 +941,8 @@ std::vector<BatchQueryResult> QueryProcessor::QueryBatch(
       agg.prepared_cache_misses = cache_stats.prepared_misses;
       agg.plans_cache_hits = cache_stats.plans_hits;
       agg.plans_cache_misses = cache_stats.plans_misses;
+      agg.sigs_cache_hits = cache_stats.sigs_hits;
+      agg.sigs_cache_misses = cache_stats.sigs_misses;
       agg.cache_uncacheable = cache_stats.uncacheable;
     }
     if (batch.answer_cache != nullptr) {

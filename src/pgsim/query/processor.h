@@ -38,6 +38,7 @@
 #include "pgsim/common/timer.h"
 #include "pgsim/graph/graph.h"
 #include "pgsim/graph/relaxation.h"
+#include "pgsim/index/domain_index.h"
 #include "pgsim/index/pmi.h"
 #include "pgsim/query/answer_cache.h"
 #include "pgsim/query/prob_pruner.h"
@@ -73,6 +74,14 @@ struct QueryOptions {
   /// setting. The stealing batch scheduler subsumes this knob (candidates
   /// become scheduler tasks that any idle worker steals) and ignores it.
   uint32_t verify_threads = 1;
+  /// Neighborhood-signature gating ahead of stage 3 (and the structural
+  /// filter's exact check): barren (rq, candidate) pairs are rejected before
+  /// their VF2 call and survivors enumerate against signature-built
+  /// candidate domains. Prunes provably fruitless work only — answers are
+  /// bit-identical on or off, so (like verify_threads) the knob is excluded
+  /// from the options fingerprint. Ignored when the processor has no
+  /// signature index.
+  bool use_signatures = true;
   uint64_t seed = 7;       ///< randomized pruning/verification seed
 };
 
@@ -128,6 +137,12 @@ struct QueryStats {
   double queue_wait_seconds = 0.0; ///< admission -> front-stages start
                                    ///< (stealing batch scheduler only)
   double total_seconds = 0.0;      ///< whole pipeline wall clock
+  /// Signature-gate work avoidance (0 with signatures off or no index).
+  /// Deterministic like the counter fields above; spans the structural
+  /// filter's exact check and stage 3.
+  size_t sig_pairs_rejected = 0;       ///< (rq, candidate) pairs refuted
+  size_t domain_candidates_pruned = 0; ///< bucket vertices pruned from domains
+  size_t vf2_calls_avoided = 0;        ///< matcher invocations skipped
   StructuralFilterStats structural_detail;
 };
 
@@ -153,6 +168,11 @@ struct QueryJob {
   std::shared_ptr<const std::vector<MatchPlan>> plans_hold;
   std::vector<MatchPlan> plans_storage;
   const std::vector<MatchPlan>* rq_plans = nullptr;
+  /// Compiled per-rq vertex signatures (same sharing scheme; null when
+  /// signatures are off or the processor has no index).
+  std::shared_ptr<const std::vector<QuerySignature>> sigs_hold;
+  std::vector<QuerySignature> sigs_storage;
+  const std::vector<QuerySignature>* rq_sigs = nullptr;
 
   std::vector<uint32_t> structural_candidates;  ///< stage 1 output SCq
   std::vector<uint32_t> to_verify;              ///< stage 2 output
@@ -181,6 +201,13 @@ struct QueryJob {
   /// [0, 1] when it never started).
   std::vector<SampleOutcome> intervals;
 
+  /// Stage-3 signature-gate tallies, accumulated by concurrent verification
+  /// workers and merged into `stats` by FinishQuery (the filter exact
+  /// check's share arrives via structural_detail instead).
+  std::atomic<uint64_t> sig_pairs_rejected{0};
+  std::atomic<uint64_t> domain_candidates_pruned{0};
+  std::atomic<uint64_t> vf2_calls_avoided{0};
+
   QueryStats stats;
   Status status = Status::OK();
   WallTimer total_timer;
@@ -203,6 +230,9 @@ struct QueryJob {
     plans_hold.reset();
     plans_storage.clear();
     rq_plans = nullptr;
+    sigs_hold.reset();
+    sigs_storage.clear();
+    rq_sigs = nullptr;
     structural_candidates.clear();
     to_verify.clear();
     answers.clear();
@@ -212,6 +242,9 @@ struct QueryJob {
     cancel_after_draws = 0;
     cancelled.store(false, std::memory_order_relaxed);
     intervals.clear();
+    sig_pairs_rejected.store(0, std::memory_order_relaxed);
+    domain_candidates_pruned.store(0, std::memory_order_relaxed);
+    vf2_calls_avoided.store(0, std::memory_order_relaxed);
     stats = QueryStats();
     status = Status::OK();
     answer_cache = nullptr;
@@ -358,7 +391,13 @@ struct BatchStats {
   size_t prepared_cache_misses = 0;
   size_t plans_cache_hits = 0;        ///< rq match-plan sets reused (dups)
   size_t plans_cache_misses = 0;
+  size_t sigs_cache_hits = 0;         ///< rq signature sets reused (dups)
+  size_t sigs_cache_misses = 0;
   size_t cache_uncacheable = 0;       ///< canonical code over budget
+  /// Summed per-query signature-gate counters (see QueryStats).
+  size_t sig_pairs_rejected = 0;
+  size_t domain_candidates_pruned = 0;
+  size_t vf2_calls_avoided = 0;
   /// Cross-batch AnswerCache counter deltas over this batch (all zero when
   /// BatchOptions::answer_cache is null). hits are whole queries whose
   /// answer set was served without running the pipeline; stale counts
@@ -407,15 +446,25 @@ class QueryProcessor {
   /// label frequencies once — every query's relaxed-query match plans are
   /// compiled against them (rarest-label-first seed ordering). A processor
   /// built through this overload is read-only: AddGraph/RemoveGraph error.
+  ///
+  /// `signatures`, when non-null, is the caller's neighborhood-signature
+  /// index (not owned; DurableDatabase passes its loaded one). When null the
+  /// processor builds and owns one from the database — the signature gate is
+  /// always available, QueryOptions::use_signatures picks per query whether
+  /// it runs.
   QueryProcessor(const std::vector<ProbabilisticGraph>* database,
                  const ProbabilisticMatrixIndex* pmi,
-                 const StructuralFilter* structural);
+                 const StructuralFilter* structural,
+                 const SignatureIndex* signatures = nullptr);
 
   /// Mutable overload: same serving behavior, plus the mutation API below
   /// operates on the caller's structures in place. The caller must not
-  /// mutate them directly while this processor exists.
+  /// mutate them directly while this processor exists. A caller-supplied
+  /// `signatures` is maintained in place by AddGraph/RemoveGraph/Compact;
+  /// when null the processor maintains its own.
   QueryProcessor(std::vector<ProbabilisticGraph>* database,
-                 ProbabilisticMatrixIndex* pmi, StructuralFilter* structural);
+                 ProbabilisticMatrixIndex* pmi, StructuralFilter* structural,
+                 SignatureIndex* signatures = nullptr);
 
   /// Recovers a crash-consistent database from `dir` (convenience forwarder
   /// for DurableDatabase::Open, storage/durable_db.h): loads the last
@@ -547,6 +596,12 @@ class QueryProcessor {
   std::vector<ProbabilisticGraph>* mutable_database_ = nullptr;
   ProbabilisticMatrixIndex* mutable_pmi_ = nullptr;
   StructuralFilter* mutable_structural_ = nullptr;
+  /// Neighborhood-signature index: `sigs_` is the serving pointer (owned or
+  /// caller-supplied), `mutable_sigs_` its writable alias for the mutation
+  /// API. Tombstones and Compact renumbering track the PMI exactly.
+  std::unique_ptr<SignatureIndex> owned_sigs_;
+  const SignatureIndex* sigs_ = nullptr;
+  SignatureIndex* mutable_sigs_ = nullptr;
   /// Vertex-label frequencies summed over the database (index = LabelId):
   /// the MatchPlanOptions::label_freq input for per-query plan compilation.
   /// Maintained exactly under AddGraph/RemoveGraph — an add→remove round

@@ -185,9 +185,14 @@ void StructuralFilter::Filter(const Graph& q, const std::vector<Graph>& relaxed,
                               StructuralFilterStats* stats,
                               const QueryFeatureCounts* precomputed,
                               QueryFeatureCounts* computed_counts,
-                              const std::vector<MatchPlan>* rq_plans) const {
+                              const std::vector<MatchPlan>* rq_plans,
+                              const SignatureIndex* sigs,
+                              const std::vector<QuerySignature>* rq_sigs)
+    const {
   WallTimer timer;
   StructuralFilterStats local;
+  // The gate needs both sides; half-armed callers run unguarded.
+  const bool use_sigs = sigs != nullptr && rq_sigs != nullptr;
 
   // Per-feature thresholds from the query: needed = count_f(q) - delta *
   // maxPerEdge_f(q); only features with needed >= 1 can prune. The counts
@@ -310,8 +315,23 @@ void StructuralFilter::Filter(const Graph& q, const std::vector<Graph>& relaxed,
           continue;
         }
         if (!HistogramCoversPattern(graph_hist_[gi], rq_hist[ri])) continue;
+        // Signature gate: a cover-test failure proves rq cannot embed, so
+        // skipping the (uncounted) VF2 call cannot change the survivor set;
+        // a pass yields candidate domains that VF2 consumes as a sound,
+        // order-preserving narrowing of its per-position iteration.
+        const CandidateDomains* domains = nullptr;
+        if (use_sigs) {
+          if (!BuildCandidateDomains(rq, (*rq_sigs)[ri].view(), gc,
+                                     sigs->ForGraph(gi), &scratch->vf2.domains,
+                                     &local.domain_candidates_pruned)) {
+            ++local.sig_pairs_rejected;
+            continue;
+          }
+          domains = &scratch->vf2.domains;
+        }
         ++local.isomorphism_tests;
-        if (IsSubgraphIsomorphic((*rq_plans)[ri], gc, &scratch->vf2)) {
+        if (IsSubgraphIsomorphic((*rq_plans)[ri], gc, &scratch->vf2,
+                                 domains)) {
           similar = true;
           break;
         }

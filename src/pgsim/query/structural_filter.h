@@ -39,7 +39,9 @@
 #include "pgsim/common/bitset.h"
 #include "pgsim/common/status.h"
 #include "pgsim/graph/graph.h"
+#include "pgsim/graph/signature.h"
 #include "pgsim/graph/vf2.h"
+#include "pgsim/index/domain_index.h"
 #include "pgsim/mining/feature_miner.h"
 
 namespace pgsim {
@@ -75,6 +77,13 @@ struct StructuralFilterStats {
   size_t count_filter_survivors = 0;
   size_t exact_survivors = 0;
   uint64_t isomorphism_tests = 0;
+  /// (gi, rq) exact-check pairs dismissed by the signature cover test before
+  /// VF2 (each is one isomorphism test avoided). Zero when the caller passes
+  /// no signature index.
+  uint64_t sig_pairs_rejected = 0;
+  /// Candidate vertices removed from signature-built VF2 domains for pairs
+  /// that survived the cover test.
+  uint64_t domain_candidates_pruned = 0;
   double seconds = 0.0;
 };
 
@@ -152,13 +161,22 @@ class StructuralFilter {
   /// query for the exact check (the processor's per-query shared set);
   /// otherwise plans are compiled into the scratch — once per query, reused
   /// across every surviving candidate.
+  ///
+  /// `sigs` + `rq_sigs` (both or neither) arm the signature cover test in
+  /// the exact check: barren (gi, rq) pairs skip VF2 entirely and survivors
+  /// run VF2 over signature-built candidate domains. The cover test is
+  /// sound, so the survivor set is bit-identical with or without them.
+  /// `sigs` must index the same graph ids this filter was built over;
+  /// `rq_sigs` holds one QuerySignature per relaxed query, in U's order.
   void Filter(const Graph& q, const std::vector<Graph>& relaxed,
               uint32_t delta, std::vector<uint32_t>* survivors,
               StructuralFilterScratch* scratch,
               StructuralFilterStats* stats = nullptr,
               const QueryFeatureCounts* precomputed = nullptr,
               QueryFeatureCounts* computed_counts = nullptr,
-              const std::vector<MatchPlan>* rq_plans = nullptr) const;
+              const std::vector<MatchPlan>* rq_plans = nullptr,
+              const SignatureIndex* sigs = nullptr,
+              const std::vector<QuerySignature>* rq_sigs = nullptr) const;
 
   /// Counts each indexed feature's embeddings in `q` (the iso-invariant
   /// expensive half of Filter); `isomorphism_tests`, when non-null, is

@@ -58,16 +58,21 @@ Status CollectSimilarityEvents(const ProbabilisticGraph& g,
                                const std::vector<Graph>& relaxed,
                                const VerifierOptions& options,
                                VerifierScratch* scratch,
-                               const std::vector<MatchPlan>* plans) {
+                               const std::vector<MatchPlan>* plans,
+                               const SignatureGate* gate) {
+  scratch->sig_pairs_rejected = 0;
+  scratch->domain_candidates_pruned = 0;
+  scratch->vf2_calls_avoided = 0;
+  scratch->rq_plans_compiled = 0;
   // The pipeline hands in plans compiled once per query; a standalone call
-  // compiles them here, into reused scratch storage, once per call (not
-  // once per relaxed query x candidate as the pre-plan engine did).
-  if (plans == nullptr) {
+  // compiles them here, into reused scratch storage, lazily — only when a
+  // relaxed query actually reaches the matcher, so a signature rejection
+  // skips the compile too (an empty `order` marks an uncompiled slot; every
+  // relaxed query is non-empty, so a compiled plan never has one).
+  const bool lazy_plans = plans == nullptr;
+  if (lazy_plans) {
     scratch->rq_plans.clear();
-    scratch->rq_plans.reserve(relaxed.size());
-    for (const Graph& rq : relaxed) {
-      scratch->rq_plans.push_back(CompileMatchPlan(rq));
-    }
+    scratch->rq_plans.resize(relaxed.size());
     plans = &scratch->rq_plans;
   }
   EventSetPool& events = scratch->events;
@@ -83,6 +88,24 @@ Status CollectSimilarityEvents(const ProbabilisticGraph& g,
                            : options.max_embeddings_per_rq + 1;
   vf2.dedup_by_edge_set = true;
   for (size_t ri = 0; ri < relaxed.size(); ++ri) {
+    vf2.domains = nullptr;
+    if (gate != nullptr) {
+      // Cover test + domain build in one pass: a barren pair contributes no
+      // embeddings, so skipping it leaves the event pool bit-identical.
+      if (!BuildCandidateDomains(relaxed[ri], (*gate->rq)[ri].view(),
+                                 g.certain(), gate->target,
+                                 &scratch->vf2.domains,
+                                 &scratch->domain_candidates_pruned)) {
+        ++scratch->sig_pairs_rejected;
+        ++scratch->vf2_calls_avoided;
+        continue;
+      }
+      vf2.domains = &scratch->vf2.domains;
+    }
+    if (lazy_plans && scratch->rq_plans[ri].order.empty()) {
+      scratch->rq_plans[ri] = CompileMatchPlan(relaxed[ri]);
+      ++scratch->rq_plans_compiled;
+    }
     const size_t n = EnumerateEmbeddings(
         (*plans)[ri], g.certain(), vf2, &scratch->vf2,
         [&](const Embedding& emb) {
@@ -152,9 +175,9 @@ Result<double> ExactSubgraphSimilarityProbability(
 Result<double> ExactSubgraphSimilarityProbability(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
     const VerifierOptions& options, VerifierScratch* scratch,
-    const std::vector<MatchPlan>* plans) {
+    const std::vector<MatchPlan>* plans, const SignatureGate* gate) {
   PGSIM_RETURN_NOT_OK(
-      CollectSimilarityEvents(g, relaxed, options, scratch, plans));
+      CollectSimilarityEvents(g, relaxed, options, scratch, plans, gate));
   return ExactSspFromEvents(g, options, scratch);
 }
 
@@ -189,10 +212,11 @@ Result<double> SampleSubgraphSimilarityProbability(
 Result<double> SampleSubgraphSimilarityProbability(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
     const VerifierOptions& options, Rng* rng, VerifierScratch* scratch,
-    const std::vector<MatchPlan>* plans) {
-  PGSIM_ASSIGN_OR_RETURN(SampleOutcome out,
-                         SampleSubgraphSimilarityProbabilityAnytime(
-                             g, relaxed, options, rng, scratch, plans));
+    const std::vector<MatchPlan>* plans, const SignatureGate* gate) {
+  PGSIM_ASSIGN_OR_RETURN(
+      SampleOutcome out,
+      SampleSubgraphSimilarityProbabilityAnytime(
+          g, relaxed, options, rng, scratch, plans, SampleControl{}, gate));
   return out.estimate;
 }
 
@@ -214,12 +238,20 @@ SampleOutcome UndrawOutcome(double v_upper, bool completed) {
 Result<SampleOutcome> SampleSubgraphSimilarityProbabilityAnytime(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
     const VerifierOptions& options, Rng* rng, VerifierScratch* scratch,
-    const std::vector<MatchPlan>* plans, const SampleControl& control) {
+    const std::vector<MatchPlan>* plans, const SampleControl& control,
+    const SignatureGate* gate) {
   if (control.cancel != nullptr && control.cancel->IsCancelled()) {
+    // Clear the gate telemetry CollectSimilarityEvents would have reset, so
+    // callers accumulating after a cancelled run don't re-read the previous
+    // candidate's counts.
+    scratch->sig_pairs_rejected = 0;
+    scratch->domain_candidates_pruned = 0;
+    scratch->vf2_calls_avoided = 0;
+    scratch->rq_plans_compiled = 0;
     return UndrawOutcome(1.0, /*completed=*/false);
   }
   PGSIM_RETURN_NOT_OK(
-      CollectSimilarityEvents(g, relaxed, options, scratch, plans));
+      CollectSimilarityEvents(g, relaxed, options, scratch, plans, gate));
   EventSetPool& events = scratch->events;
   if (events.empty()) {
     // No embedding of any relaxed query: the SSP is exactly 0.

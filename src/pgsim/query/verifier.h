@@ -50,6 +50,7 @@
 #include "pgsim/common/random.h"
 #include "pgsim/common/status.h"
 #include "pgsim/graph/graph.h"
+#include "pgsim/graph/signature.h"
 #include "pgsim/graph/vf2.h"
 #include "pgsim/prob/dnf_exact.h"
 #include "pgsim/prob/probabilistic_graph.h"
@@ -119,8 +120,19 @@ struct VerifierScratch {
   Vf2Scratch vf2;
   /// Per-relaxed-query plans compiled locally when the caller supplies none
   /// (the processor passes its per-query shared plan set instead, so this
-  /// fallback only pays on standalone verifier calls).
+  /// fallback only pays on standalone verifier calls). Compilation is lazy:
+  /// a relaxed query rejected by the signature gate never compiles a plan.
   std::vector<MatchPlan> rq_plans;
+
+  /// Signature-gate telemetry, reset at every CollectSimilarityEvents call
+  /// (the caller accumulates across candidates): (rq, candidate) pairs
+  /// rejected outright, label-bucket vertices pruned from surviving pairs'
+  /// domains, matcher invocations skipped, and fallback plans actually
+  /// compiled (audits the lazy compile above).
+  uint64_t sig_pairs_rejected = 0;
+  uint64_t domain_candidates_pruned = 0;
+  uint64_t vf2_calls_avoided = 0;
+  uint64_t rq_plans_compiled = 0;
 
   /// Partition-model sampling plan, rebuilt per candidate (see verifier.cc:
   /// per active ne set an unconditional compact CDF with per-entry OR-masks,
@@ -148,15 +160,30 @@ struct VerifierScratch {
 /// unsound on a partial list; SMP callers may treat the failure as "fall
 /// back to exact bounds"); the pool contents are unspecified on error.
 ///
+/// A signature gate for one (query, candidate) pairing: the candidate
+/// graph's signature view plus one compiled QuerySignature per relaxed
+/// query (same order as `relaxed`). When supplied, every relaxed query runs
+/// the cover test against the candidate before its matcher call — barren
+/// pairs contribute no embeddings by construction, so skipping them leaves
+/// the event pool, and therefore every probability downstream, bit-identical
+/// — and survivors enumerate against signature-built candidate domains.
+struct SignatureGate {
+  SignatureView target;
+  const std::vector<QuerySignature>* rq = nullptr;
+};
+
 /// `plans`, when non-null, supplies one compiled MatchPlan per relaxed
 /// query (same order as `relaxed`) — the query pipeline compiles them once
 /// per query and reuses them for every candidate. When null, plans are
-/// compiled into the scratch per call.
+/// compiled into the scratch per call, lazily: only for relaxed queries the
+/// signature gate (if any) lets through. `gate`, when non-null, prunes and
+/// domain-seeds as described on SignatureGate.
 Status CollectSimilarityEvents(const ProbabilisticGraph& g,
                                const std::vector<Graph>& relaxed,
                                const VerifierOptions& options,
                                VerifierScratch* scratch,
-                               const std::vector<MatchPlan>* plans = nullptr);
+                               const std::vector<MatchPlan>* plans = nullptr,
+                               const SignatureGate* gate = nullptr);
 
 /// Legacy materializing wrapper around the scratch-based collector.
 Result<std::vector<EdgeBitset>> CollectSimilarityEvents(
@@ -179,12 +206,13 @@ Result<double> ExactSubgraphSimilarityProbability(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
     const VerifierOptions& options = VerifierOptions());
 
-/// As above, drawing all event storage from `*scratch`; `plans` as in
-/// CollectSimilarityEvents.
+/// As above, drawing all event storage from `*scratch`; `plans` and `gate`
+/// as in CollectSimilarityEvents.
 Result<double> ExactSubgraphSimilarityProbability(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
     const VerifierOptions& options, VerifierScratch* scratch,
-    const std::vector<MatchPlan>* plans = nullptr);
+    const std::vector<MatchPlan>* plans = nullptr,
+    const SignatureGate* gate = nullptr);
 
 /// Definition 9 evaluated literally by possible-world enumeration + subgraph
 /// distance per world. Tiny graphs only; tests' ground truth.
@@ -205,7 +233,8 @@ Result<double> SampleSubgraphSimilarityProbability(
 Result<double> SampleSubgraphSimilarityProbability(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
     const VerifierOptions& options, Rng* rng, VerifierScratch* scratch,
-    const std::vector<MatchPlan>* plans = nullptr);
+    const std::vector<MatchPlan>* plans = nullptr,
+    const SignatureGate* gate = nullptr);
 
 /// Cooperative-cancellation controls for the anytime sampler.
 struct SampleControl {
@@ -244,6 +273,7 @@ Result<SampleOutcome> SampleSubgraphSimilarityProbabilityAnytime(
     const ProbabilisticGraph& g, const std::vector<Graph>& relaxed,
     const VerifierOptions& options, Rng* rng, VerifierScratch* scratch,
     const std::vector<MatchPlan>* plans = nullptr,
-    const SampleControl& control = SampleControl{});
+    const SampleControl& control = SampleControl{},
+    const SignatureGate* gate = nullptr);
 
 }  // namespace pgsim

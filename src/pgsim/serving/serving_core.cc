@@ -495,6 +495,14 @@ void ServingCore::FinishRun(QueryRun* run) {
     r.answers = std::move(job.answers);
     r.stats = job.stats;
   }
+  // Every branch above filled r.stats from job.stats; fold the signature
+  // counters into the core totals before resolving.
+  n_sig_pairs_rejected_.fetch_add(r.stats.sig_pairs_rejected,
+                                  std::memory_order_relaxed);
+  n_domain_candidates_pruned_.fetch_add(r.stats.domain_candidates_pruned,
+                                        std::memory_order_relaxed);
+  n_vf2_calls_avoided_.fetch_add(r.stats.vf2_calls_avoided,
+                                 std::memory_order_relaxed);
   RecordResolution(r.status, r.degraded);
   if (!t->Resolve(std::move(r))) {
     n_double_resolves_.fetch_add(1, std::memory_order_relaxed);
@@ -523,6 +531,11 @@ ServingStats ServingCore::stats() const {
   s.mutations_applied = n_mutations_.load(std::memory_order_relaxed);
   s.waves = n_waves_.load(std::memory_order_relaxed);
   s.double_resolves = n_double_resolves_.load(std::memory_order_relaxed);
+  s.sig_pairs_rejected =
+      n_sig_pairs_rejected_.load(std::memory_order_relaxed);
+  s.domain_candidates_pruned =
+      n_domain_candidates_pruned_.load(std::memory_order_relaxed);
+  s.vf2_calls_avoided = n_vf2_calls_avoided_.load(std::memory_order_relaxed);
   return s;
 }
 

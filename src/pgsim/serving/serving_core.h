@@ -201,6 +201,10 @@ struct ServingStats {
   uint64_t mutations_applied = 0;  ///< AddGraph/RemoveGraph applied
   uint64_t waves = 0;              ///< scheduler runs the dispatcher issued
   uint64_t double_resolves = 0;    ///< Resolve calls dropped (MUST stay 0)
+  /// Signature-gate totals across all resolved queries (see QueryStats).
+  uint64_t sig_pairs_rejected = 0;
+  uint64_t domain_candidates_pruned = 0;
+  uint64_t vf2_calls_avoided = 0;
 };
 
 /// Construction knobs.
@@ -316,6 +320,9 @@ class ServingCore {
   std::atomic<uint64_t> n_mutations_{0};
   std::atomic<uint64_t> n_waves_{0};
   std::atomic<uint64_t> n_double_resolves_{0};
+  std::atomic<uint64_t> n_sig_pairs_rejected_{0};
+  std::atomic<uint64_t> n_domain_candidates_pruned_{0};
+  std::atomic<uint64_t> n_vf2_calls_avoided_{0};
 
   std::thread dispatcher_;
   std::thread deadline_thread_;

@@ -63,8 +63,9 @@ Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Create(
   db->filter_ =
       StructuralFilter::Build(db->certain_, db->pmi_.features(),
                               filter_options);
+  db->sigs_ = SignatureIndex::Build(db->database_);
   db->processor_ = std::make_unique<QueryProcessor>(&db->database_, &db->pmi_,
-                                                    &db->filter_);
+                                                    &db->filter_, &db->sigs_);
 
   PGSIM_RETURN_NOT_OK(db->WriteSnapshotGeneration(0));
   db->snapshot_gen_ = 0;
@@ -175,10 +176,47 @@ Status DurableDatabase::FinishOpen(std::vector<WalRecord> records) {
   PGSIM_ASSIGN_OR_RETURN(
       filter_, StructuralFilter::Load(SnapPath(dir_, snapshot_gen_, "filter"),
                                       certain_, pmi_.features()));
+  // Signature snapshot: load and cross-check, or rebuild. Unlike the PMI and
+  // filter, the signatures are fully derivable from the graphs, so a missing
+  // file (a pre-signature directory) rebuilds instead of failing — but a
+  // *present* file that disagrees with the MANIFEST or the graphs is
+  // corruption and must surface as DataLoss, never silently rebuild.
+  auto sigs = SignatureIndex::Load(SnapPath(dir_, snapshot_gen_, "sig"));
+  if (sigs.ok()) {
+    if (sigs->saved_epoch() != snapshot_epoch_) {
+      return Status::DataLoss("signature snapshot epoch " +
+                              std::to_string(sigs->saved_epoch()) +
+                              " does not match MANIFEST epoch " +
+                              std::to_string(snapshot_epoch_));
+    }
+    if (sigs->num_graphs() != database_.size()) {
+      return Status::DataLoss("signature snapshot has " +
+                              std::to_string(sigs->num_graphs()) +
+                              " graphs, database has " +
+                              std::to_string(database_.size()));
+    }
+    for (uint32_t gi = 0; gi < database_.size(); ++gi) {
+      if (sigs->ForGraph(gi).num_vertices !=
+              database_[gi].certain().NumVertices() ||
+          sigs->IsAlive(gi) != pmi_.IsAlive(gi)) {
+        return Status::DataLoss(
+            "signature snapshot disagrees with the database at graph " +
+            std::to_string(gi));
+      }
+    }
+    sigs_ = std::move(sigs).value();
+  } else if (sigs.status().code() == StatusCode::kNotFound) {
+    sigs_ = SignatureIndex::Build(database_);
+    for (uint32_t gi = 0; gi < database_.size(); ++gi) {
+      if (!pmi_.IsAlive(gi)) PGSIM_RETURN_NOT_OK(sigs_.RemoveGraph(gi));
+    }
+  } else {
+    return sigs.status();
+  }
   // The processor inherits the PMI's epoch and tombstone view, so the epoch
   // chain below continues exactly where the snapshot left off.
   processor_ =
-      std::make_unique<QueryProcessor>(&database_, &pmi_, &filter_);
+      std::make_unique<QueryProcessor>(&database_, &pmi_, &filter_, &sigs_);
 
   for (const WalRecord& rec : records) {
     if (rec.epoch_before < snapshot_epoch_) {
@@ -240,6 +278,7 @@ Status DurableDatabase::WriteSnapshotGeneration(uint64_t gen) {
 
   PGSIM_RETURN_NOT_OK(pmi_.Save(SnapPath(dir_, gen, "pmi")));
   PGSIM_RETURN_NOT_OK(filter_.Save(SnapPath(dir_, gen, "filter")));
+  PGSIM_RETURN_NOT_OK(sigs_.Save(SnapPath(dir_, gen, "sig"), epoch));
 
   // The MANIFEST rename is the commit point: until it lands, the previous
   // generation (or nothing, for Create) stays authoritative.
@@ -341,6 +380,7 @@ Status DurableDatabase::CheckpointLocked() {
   ::unlink(SnapPath(dir_, old_gen, "db").c_str());
   ::unlink(SnapPath(dir_, old_gen, "pmi").c_str());
   ::unlink(SnapPath(dir_, old_gen, "filter").c_str());
+  ::unlink(SnapPath(dir_, old_gen, "sig").c_str());
   return Status::OK();
 }
 

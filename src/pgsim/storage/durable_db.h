@@ -141,7 +141,7 @@ class DurableDatabase {
   /// Binds certain_, builds the processor, opens + replays the WAL.
   Status FinishOpen(std::vector<WalRecord> records);
 
-  /// Writes snap-<gen>.{db,pmi,filter} and installs MANIFEST{gen, epoch}.
+  /// Writes snap-<gen>.{db,pmi,filter,sig} and installs MANIFEST{gen, epoch}.
   Status WriteSnapshotGeneration(uint64_t gen);
 
   Status CheckpointLocked();
@@ -156,6 +156,10 @@ class DurableDatabase {
   std::vector<Graph> certain_;
   ProbabilisticMatrixIndex pmi_;
   StructuralFilter filter_;
+  /// Neighborhood signatures for the stage-3/filter gate; snapshotted as
+  /// snap-<gen>.sig and maintained through the processor's mutation path. A
+  /// missing file (pre-signature directory) is rebuilt from the graphs.
+  SignatureIndex sigs_;
   std::unique_ptr<QueryProcessor> processor_;
   std::unique_ptr<WriteAheadLog> wal_;
   /// Serializes mutations and checkpoints (queries use the processor's own

@@ -87,9 +87,12 @@ TEST(GoldenPipelineTest, FullPipelineAnswersArePinned) {
   const QueryProcessor processor(&db, &pmi, &filter);
 
   // The pinned values must hold however the batch is executed — including
-  // with stage 3 fanned across an intra-query verification pool, and under
+  // with stage 3 fanned across an intra-query verification pool, under
   // either batch scheduler (the work-stealing task graph must reproduce the
-  // chunked parallel-for's answers bit for bit at any steal schedule).
+  // chunked parallel-for's answers bit for bit at any steal schedule), and
+  // with the signature gate on or off (its cover test is sound, so skipped
+  // matcher calls can never change an answer or a pinned candidate count).
+  for (const bool use_signatures : {true, false}) {
   for (const bool enable_cache : {true, false}) {
     for (const uint32_t threads : {1u, 4u}) {
       for (const uint32_t verify_threads : {1u, 3u}) {
@@ -100,6 +103,7 @@ TEST(GoldenPipelineTest, FullPipelineAnswersArePinned) {
       batch.enable_cache = enable_cache;
       batch.scheduler = scheduler;
       options.verify_threads = verify_threads;
+      options.use_signatures = use_signatures;
       const auto results = processor.QueryBatch(queries, options, batch);
       ASSERT_EQ(results.size(), GoldenQueries().size());
       for (size_t i = 0; i < results.size(); ++i) {
@@ -109,7 +113,8 @@ TEST(GoldenPipelineTest, FullPipelineAnswersArePinned) {
             << "query " << i << " threads=" << threads
             << " cache=" << enable_cache
             << " verify_threads=" << verify_threads << " stealing="
-            << (scheduler == BatchOptions::Scheduler::kStealing);
+            << (scheduler == BatchOptions::Scheduler::kStealing)
+            << " signatures=" << use_signatures;
         EXPECT_EQ(results[i].stats.structural_candidates,
                   golden.structural_candidates)
             << i;
@@ -123,6 +128,7 @@ TEST(GoldenPipelineTest, FullPipelineAnswersArePinned) {
       }
       }
     }
+  }
   }
 }
 
